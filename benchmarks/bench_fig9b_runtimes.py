@@ -1,0 +1,35 @@
+"""Fig 9b — synthesis runtime per per-axiom suite by instruction bound.
+
+Paper expectations: runtimes grow super-exponentially with the bound and
+(noise aside) monotonically per suite.  The sweep itself is shared with
+the Fig 9a benchmark through the reporting cache; the benchmark below
+times one representative synthesis point so pytest-benchmark reports a
+stable, comparable number.
+"""
+
+from __future__ import annotations
+
+from repro.models import x86t_elt
+from repro.reporting import fig9_sweep, render_fig9b
+from repro.synth import SynthesisConfig, synthesize
+
+
+def test_fig9b_runtimes(benchmark, save_report) -> None:
+    sweep = fig9_sweep()  # cached when bench_fig9a ran first
+    runtimes = sweep.runtimes()
+
+    # Monotone growth per suite, with the paper's own caveat: noise can
+    # produce local non-monotonicity (their rmw_atomicity did), so require
+    # large-scale growth — the last bound costs more than the first.
+    for axiom, by_bound in runtimes.items():
+        bounds = sorted(by_bound)
+        if len(bounds) >= 2:
+            assert by_bound[bounds[-1]] >= by_bound[bounds[0]], axiom
+
+    def representative_point():
+        return synthesize(
+            SynthesisConfig(bound=6, model=x86t_elt(), target_axiom="invlpg")
+        )
+
+    benchmark.pedantic(representative_point, rounds=3, iterations=1)
+    save_report("fig9b_runtimes", render_fig9b(sweep))

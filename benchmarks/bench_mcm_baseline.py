@@ -1,0 +1,52 @@
+"""§VI-A cited baseline — user-level MCM litmus-test synthesis [30].
+
+The paper contrasts its ELT counts against Lustig et al.'s x86-TSO
+synthesis, whose sc_per_loc suite *saturates* (10 tests in their
+relaxation semantics).  In MCM mode this engine shows the same saturation
+shape: the sc_per_loc suite stops growing once all coherence shapes fit
+the bound (5 tests under our stricter closed-group relaxations — see
+EXPERIMENTS.md for the accounting of the difference), while the MTM
+suites of Fig 9a keep growing — the paper's "richer interactions" point.
+"""
+
+from __future__ import annotations
+
+from repro.models import x86tso
+from repro.reporting import render_series_table
+from repro.synth import SynthesisConfig, synthesize
+
+
+def mcm_sweep(axiom: str, bounds: range) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for bound in bounds:
+        config = SynthesisConfig(
+            bound=bound, model=x86tso(), target_axiom=axiom, mcm_mode=True
+        )
+        counts[bound] = synthesize(config).count
+    return counts
+
+
+def test_mcm_baseline_saturation(benchmark, save_report) -> None:
+    counts = benchmark.pedantic(
+        mcm_sweep, args=("sc_per_loc", range(2, 6)), rounds=1, iterations=1
+    )
+    # Saturation: the suite stops growing.
+    assert counts[3] == counts[4] == counts[5]
+    assert counts[5] == 5
+
+    causality = mcm_sweep("causality", range(2, 5))
+    rmw = mcm_sweep("rmw_atomicity", range(2, 5))
+    report = render_series_table(
+        {
+            "sc_per_loc (mcm)": counts,
+            "causality (mcm)": causality,
+            "rmw_atomicity (mcm)": rmw,
+        },
+        x_label="bound",
+        title="MCM-mode synthesis baseline (x86-TSO, user-level [30])",
+    )
+    report += (
+        "\n\nsc_per_loc saturates (paper reports saturation at 10 tests under"
+        "\n[30]'s looser relaxation semantics; ours is 5 — see EXPERIMENTS.md)"
+    )
+    save_report("mcm_baseline", report)

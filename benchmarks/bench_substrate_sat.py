@@ -1,0 +1,68 @@
+"""Substrate benchmark — the CDCL SAT solver (the MiniSat stand-in).
+
+Not a paper figure: engineering baselines for the solver underlying the
+relational (Alloy-port) pipeline, kept honest across changes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sat import CdclSolver, Cnf, solve_cnf
+
+
+def pigeonhole(holes: int) -> Cnf:
+    pigeons = holes + 1
+    cnf = Cnf(pigeons * holes)
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    for pigeon in range(pigeons):
+        cnf.add_clause([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var(p1, hole), -var(p2, hole)])
+    return cnf
+
+
+def random_3sat(num_vars: int, num_clauses: int, seed: int) -> Cnf:
+    rng = random.Random(seed)
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    return cnf
+
+
+def test_pigeonhole_unsat(benchmark) -> None:
+    cnf = pigeonhole(6)
+
+    def solve():
+        return solve_cnf(cnf)
+
+    result = benchmark(solve)
+    assert not result.satisfiable
+
+
+def test_random_3sat_underconstrained(benchmark) -> None:
+    # Clause/variable ratio 2.0: almost surely satisfiable.
+    cnf = random_3sat(60, 120, seed=7)
+
+    def solve():
+        return CdclSolver(cnf).solve()
+
+    result = benchmark(solve)
+    assert result.satisfiable
+    assert cnf.evaluate(result.model)
+
+
+def test_random_3sat_near_threshold(benchmark) -> None:
+    # Ratio ~4.26: the hard region (kept small for pure Python).
+    cnf = random_3sat(40, 170, seed=11)
+
+    def solve():
+        return CdclSolver(cnf).solve()
+
+    benchmark(solve)

@@ -1,0 +1,58 @@
+"""Validation-direction workflow: explore every outcome of an ELT program,
+persist a synthesized suite, reload it, and re-check verdicts — the shape
+of a COATCheck-style hardware-validation flow built on this library.
+
+Run:  python examples/explore_outcomes.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.litmus import EltSuite, suite_from_synthesis
+from repro.litmus.figures import fig10a_ptwalk2
+from repro.models import x86t_elt
+from repro.synth import SynthesisConfig, explore_program, synthesize
+
+
+def main() -> None:
+    model = x86t_elt()
+
+    # ------------------------------------------------------------------
+    # 1. Outcome exploration: which behaviors may hardware exhibit for a
+    #    given program, and which must never appear?
+    # ------------------------------------------------------------------
+    program = fig10a_ptwalk2().execution.program
+    exploration = explore_program(program, model)
+    print("=== ptwalk2 outcome space ===")
+    print(exploration.summary())
+    assert exploration.can_violate
+
+    # ------------------------------------------------------------------
+    # 2. Synthesize a regression suite and persist it.
+    # ------------------------------------------------------------------
+    result = synthesize(
+        SynthesisConfig(bound=5, model=model, target_axiom="invlpg")
+    )
+    suite = suite_from_synthesis(result, prefix="invlpg5")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "invlpg_bound5.elts"
+        suite.save(path)
+        print(f"\nsaved {len(suite)} ELTs to {path.name} "
+              f"({path.stat().st_size} bytes)")
+
+        # --------------------------------------------------------------
+        # 3. Reload and re-validate: every ELT still violates the axiom
+        #    it was synthesized for (what a test-runner would assert on
+        #    simulator/hardware traces).
+        # --------------------------------------------------------------
+        reloaded = EltSuite.load(path)
+        for entry in reloaded:
+            verdict = model.check(entry.execution)
+            expected = set(entry.meta["violates"].split(","))
+            assert set(verdict.violated) == expected, entry.name
+            print(f"  {entry.name}: {verdict}")
+    print("\nreloaded suite verdicts all match their metadata.")
+
+
+if __name__ == "__main__":
+    main()

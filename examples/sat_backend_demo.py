@@ -1,0 +1,56 @@
+"""The Alloy-port pipeline end to end: encode a program's witness space
+relationally, compile to CNF, and enumerate candidate executions with the
+built-in CDCL solver — the §IV-C architecture (Alloy + Kodkod + MiniSat)
+reimplemented from scratch.
+
+Run:  python examples/sat_backend_demo.py
+"""
+
+from repro.litmus import format_execution
+from repro.litmus.figures import fig10a_ptwalk2
+from repro.models import x86t_elt
+from repro.synth import enumerate_witnesses
+from repro.synth.sat_backend import WitnessProblem
+
+
+def main() -> None:
+    program = fig10a_ptwalk2().execution.program
+    model = x86t_elt()
+
+    # Encode: structural relations as exact bounds, witness relations free,
+    # every derived Table I relation equated to its defining expression.
+    encoded = WitnessProblem(program)
+    compilation_stats = encoded.problem
+    print("ptwalk2 witness space, relationally encoded")
+    print(f"  universe: {len(compilation_stats.atoms)} atoms")
+
+    print("\nall candidate executions (via SAT enumeration):")
+    for index, execution in enumerate(encoded.executions(), start=1):
+        verdict = model.check(execution)
+        print(f"\n--- candidate {index}: {verdict} ---")
+        print(format_execution(execution, show_derived=False))
+
+    # Cross-check against the explicit Python enumerator.
+    explicit = {
+        (frozenset(e._rf), frozenset(e.co))
+        for e in enumerate_witnesses(program)
+    }
+    via_sat = {
+        (frozenset(e._rf), frozenset(e.co))
+        for e in WitnessProblem(program).executions()
+    }
+    assert explicit == via_sat
+    print(
+        f"\nSAT backend and explicit enumerator agree on all "
+        f"{len(explicit)} candidate executions."
+    )
+
+    # Targeted enumeration: only executions violating the invlpg axiom.
+    targeted = WitnessProblem(program)
+    targeted.constrain_axiom_violated(model, "invlpg")
+    forbidden = list(targeted.executions())
+    print(f"executions violating invlpg: {len(forbidden)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of TransForm (ISCA 2020).
+
+TransForm formally specifies *memory transistency models* (MTMs — memory
+consistency extended with virtual-memory behaviors) and synthesizes
+*enhanced litmus tests* (ELTs) from such specifications.
+
+Subpackages
+-----------
+``repro.sat``
+    Pure-Python CDCL SAT solver (MiniSat stand-in).
+``repro.relational``
+    Alloy/Kodkod-lite bounded relational model finder.
+``repro.mtm``
+    The MTM vocabulary of Table I: events, locations, programs, candidate
+    executions, and derived relations.
+``repro.models``
+    Axiomatic memory models: SC, x86-TSO, and the paper's ``x86t_elt``.
+``repro.synth``
+    The ELT synthesis engine (Fig 7 pipeline): bounded enumeration,
+    interestingness pruning, minimality, deduplication.
+``repro.litmus``
+    ELT text formats, the reconstructed COATCheck suite, and the §VI-B
+    comparison tool.
+``repro.reporting``
+    ASCII tables/plots and the experiment drivers behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazy re-exports of the headline API, so ``from repro import
+    ProgramBuilder, x86t_elt, synthesize`` works without importing every
+    subsystem at package-import time."""
+    surface = {
+        "ProgramBuilder": ("repro.mtm", "ProgramBuilder"),
+        "Program": ("repro.mtm", "Program"),
+        "Execution": ("repro.mtm", "Execution"),
+        "Event": ("repro.mtm", "Event"),
+        "EventKind": ("repro.mtm", "EventKind"),
+        "MemoryModel": ("repro.models", "MemoryModel"),
+        "x86tso": ("repro.models", "x86tso"),
+        "x86t_elt": ("repro.models", "x86t_elt"),
+        "sequential_consistency": ("repro.models", "sequential_consistency"),
+        "SynthesisConfig": ("repro.synth", "SynthesisConfig"),
+        "synthesize": ("repro.synth", "synthesize"),
+        "explore_program": ("repro.synth", "explore_program"),
+        "format_execution": ("repro.litmus", "format_execution"),
+        "parse_elt": ("repro.litmus", "parse_elt"),
+        "serialize_elt": ("repro.litmus", "serialize_elt"),
+    }
+    if name in surface:
+        import importlib
+
+        module_name, attribute = surface[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "__version__",
+    "ProgramBuilder",
+    "Program",
+    "Execution",
+    "Event",
+    "EventKind",
+    "MemoryModel",
+    "x86tso",
+    "x86t_elt",
+    "sequential_consistency",
+    "SynthesisConfig",
+    "synthesize",
+    "explore_program",
+    "format_execution",
+    "parse_elt",
+    "serialize_elt",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface: ``transform-synth``.
+
+Subcommands mirror the framework's workflow:
+
+* ``synthesize`` — run one per-axiom suite at a bound and print the ELTs;
+* ``sweep``      — the Fig 9 per-axiom bound sweep (counts + runtimes);
+* ``check``      — evaluate an ELT file (machine format) against a model;
+* ``compare``    — the §VI-B comparison against the hand-written suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .litmus import format_execution, parse_elt
+from .models import (
+    MemoryModel,
+    sequential_consistency,
+    x86t_amd_bug,
+    x86t_elt,
+    x86tso,
+)
+from .reporting import (
+    comparison_corpus,
+    fig9_sweep,
+    render_comparison,
+    render_fig9a,
+    render_fig9b,
+    run_coatcheck_comparison,
+)
+from .synth import SynthesisConfig, synthesize
+
+MODELS = {
+    "x86t_elt": x86t_elt,
+    "x86tso": x86tso,
+    "sc": sequential_consistency,
+    "x86t_amd_bug": x86t_amd_bug,
+}
+
+
+def _model(name: str) -> MemoryModel:
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(MODELS)}"
+        )
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    model = _model(args.model)
+    config = SynthesisConfig(
+        bound=args.bound,
+        model=model,
+        target_axiom=args.axiom,
+        max_threads=args.threads,
+        mcm_mode=args.mcm,
+        time_budget_s=args.budget,
+    )
+    result = synthesize(config)
+    stats = result.stats
+    print(
+        f"suite[{args.axiom or 'any-axiom'} @ bound {args.bound}]: "
+        f"{result.count} unique ELTs "
+        f"({stats.programs_enumerated} programs, "
+        f"{stats.executions_enumerated} executions, "
+        f"{stats.runtime_s:.2f}s"
+        f"{', TIMED OUT' if stats.timed_out else ''})"
+    )
+    for index, elt in enumerate(result.elts):
+        print(f"\n--- ELT {index + 1} (violates: {', '.join(elt.violated_axioms)}) ---")
+        print(format_execution(elt.execution, show_derived=args.verbose))
+    if args.save:
+        from .litmus import suite_from_synthesis
+
+        prefix = args.axiom or "elt"
+        path = suite_from_synthesis(result, prefix=prefix).save(args.save)
+        print(f"\nsuite written to {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    bounds = None
+    if args.max_bound is not None:
+        from .models import X86T_ELT_AXIOM_NAMES
+
+        bounds = {axiom: args.max_bound for axiom in X86T_ELT_AXIOM_NAMES}
+    sweep = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=args.budget)
+    print(render_fig9a(sweep))
+    print()
+    print(render_fig9b(sweep))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    model = _model(args.model)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    execution = parse_elt(text)
+    print(format_execution(execution))
+    verdict = model.check(execution)
+    if args.explain and verdict.forbidden:
+        from .models import render_explanations
+
+        print()
+        print(render_explanations(execution, model))
+    else:
+        print(f"\n{verdict}")
+    return 0 if verdict.permitted else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    corpus = comparison_corpus()
+    report = run_coatcheck_comparison(corpus)
+    print(render_comparison(report))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .synth import explore_program
+
+    model = _model(args.model)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    execution = parse_elt(text)
+    exploration = explore_program(
+        execution.program, model, limit=args.limit
+    )
+    print(exploration.summary())
+    if args.verbose:
+        for index, outcome in enumerate(exploration.outcomes, start=1):
+            print(f"\n--- outcome {index}: {outcome.verdict} ---")
+            print(format_execution(outcome.execution, show_derived=False))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="transform-synth",
+        description="TransForm reproduction: formal MTMs and ELT synthesis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synthesize", help="synthesize a per-axiom ELT suite")
+    synth.add_argument("--bound", type=int, required=True)
+    synth.add_argument("--axiom", default=None, help="axiom to violate")
+    synth.add_argument("--model", default="x86t_elt", choices=sorted(MODELS))
+    synth.add_argument("--threads", type=int, default=2)
+    synth.add_argument("--mcm", action="store_true", help="user-level MCM mode")
+    synth.add_argument("--budget", type=float, default=None, help="seconds")
+    synth.add_argument("--verbose", action="store_true")
+    synth.add_argument("--save", default=None, help="write an .elts suite file")
+    synth.set_defaults(func=cmd_synthesize)
+
+    sweep = sub.add_parser("sweep", help="Fig 9 per-axiom bound sweep")
+    sweep.add_argument("--max-bound", type=int, default=None)
+    sweep.add_argument("--budget", type=float, default=None, help="seconds/run")
+    sweep.set_defaults(func=cmd_sweep)
+
+    check = sub.add_parser("check", help="check an ELT file against a model")
+    check.add_argument("file", help="ELT machine-format file, or - for stdin")
+    check.add_argument("--model", default="x86t_elt", choices=sorted(MODELS))
+    check.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the labeled cycle witnessing each violated axiom",
+    )
+    check.set_defaults(func=cmd_check)
+
+    compare = sub.add_parser(
+        "compare", help="§VI-B comparison vs the hand-written COATCheck suite"
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    explore = sub.add_parser(
+        "explore", help="enumerate all outcomes of an ELT program"
+    )
+    explore.add_argument("file", help="ELT machine-format file, or - for stdin")
+    explore.add_argument("--model", default="x86t_elt", choices=sorted(MODELS))
+    explore.add_argument("--limit", type=int, default=None)
+    explore.add_argument("--verbose", action="store_true")
+    explore.set_defaults(func=cmd_explore)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CnfError(ReproError):
+    """Malformed CNF input (bad literal, empty variable range, ...)."""
+
+
+class DimacsError(ReproError):
+    """Malformed DIMACS file contents."""
+
+
+class RelationalError(ReproError):
+    """Errors in relational specifications (arity mismatch, unknown relation,
+    unbound variable, bad bounds)."""
+
+
+class ArityError(RelationalError):
+    """A relational expression was combined with an incompatible arity."""
+
+
+class VocabularyError(ReproError):
+    """An ELT/event structure violates the MTM vocabulary's typing rules
+    (e.g. a ghost instruction with a program-order edge)."""
+
+
+class WellFormednessError(ReproError):
+    """A program or candidate execution violates a structural placement rule
+    (distinct from being *forbidden*, which is a model-predicate question)."""
+
+
+class SynthesisError(ReproError):
+    """Errors in synthesis configuration (bad bound, unknown axiom name)."""
+
+
+class LitmusFormatError(ReproError):
+    """Malformed textual litmus/ELT representation."""

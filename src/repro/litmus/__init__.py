@@ -1,0 +1,38 @@
+"""Litmus/ELT assets: paper figures, classic MCM tests, text formats, the
+reconstructed COATCheck suite, and the §VI-B comparison tool."""
+
+from .classics import ALL_CLASSICS, SC_VERDICTS, TSO_VERDICTS
+from .coatcheck import CoatCheckTest, coatcheck_suite
+from .compare import (
+    Category,
+    Classification,
+    ComparisonReport,
+    classify_test,
+    compare_suite,
+)
+from .figures import ALL_FIGURES, PaperExample
+from .format import format_execution, format_program, serialize_elt
+from .parser import parse_elt
+from .suitefile import EltSuite, SuiteEntry, suite_from_synthesis
+
+__all__ = [
+    "ALL_FIGURES",
+    "PaperExample",
+    "ALL_CLASSICS",
+    "TSO_VERDICTS",
+    "SC_VERDICTS",
+    "CoatCheckTest",
+    "coatcheck_suite",
+    "Category",
+    "Classification",
+    "ComparisonReport",
+    "classify_test",
+    "compare_suite",
+    "format_program",
+    "format_execution",
+    "serialize_elt",
+    "parse_elt",
+    "EltSuite",
+    "SuiteEntry",
+    "suite_from_synthesis",
+]

@@ -1,0 +1,178 @@
+"""Classic user-level MCM litmus tests (MCM mode: no VM events).
+
+Used to validate the x86-TSO / SC models against their textbook verdicts
+and to reproduce the paper's cited user-level synthesis baseline ([30]).
+Each constructor documents the canonical x86-TSO verdict of the candidate
+execution it returns.
+"""
+
+from __future__ import annotations
+
+from ..mtm import Execution, ProgramBuilder
+from .figures import PaperExample
+
+
+def sb() -> PaperExample:
+    """Store buffering, both reads return 0.  TSO: *permitted* (the W->R
+    reordering TSO relaxes); SC: forbidden."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    r1 = c0.read("y")
+    w2 = c1.write("y")
+    r3 = c1.read("x")
+    execution = Execution(b.build())  # both reads read the initial value
+    return PaperExample("sb", execution, {"W0": w0, "R1": r1, "W2": w2, "R3": r3})
+
+
+def sb_fence() -> PaperExample:
+    """Store buffering with MFENCEs: *forbidden* under TSO (causality via
+    the fence term)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    c0.fence()
+    r1 = c0.read("y")
+    w2 = c1.write("y")
+    c1.fence()
+    r3 = c1.read("x")
+    execution = Execution(b.build())
+    return PaperExample(
+        "sb_fence", execution, {"W0": w0, "R1": r1, "W2": w2, "R3": r3}
+    )
+
+
+def mp() -> PaperExample:
+    """Message passing: consumer sees the flag but not the data.
+    TSO: *forbidden* (W->W and R->R both preserved)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    w1 = c0.write("y")
+    r2 = c1.read("y")
+    r3 = c1.read("x")
+    execution = Execution(b.build(), rf=[(w1.eid, r2.eid)])
+    return PaperExample("mp", execution, {"W0": w0, "W1": w1, "R2": r2, "R3": r3})
+
+
+def lb() -> PaperExample:
+    """Load buffering: each load sees the other thread's later store.
+    TSO: *forbidden* (R->W preserved)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    r0 = c0.read("x")
+    w1 = c0.write("y")
+    r2 = c1.read("y")
+    w3 = c1.write("x")
+    execution = Execution(b.build(), rf=[(w3.eid, r0.eid), (w1.eid, r2.eid)])
+    return PaperExample("lb", execution, {"R0": r0, "W1": w1, "R2": r2, "W3": w3})
+
+
+def co_rr() -> PaperExample:
+    """Read-read coherence: two same-address reads observe a remote write
+    out of order.  TSO: *forbidden* (sc_per_loc and causality)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    r1 = c1.read("x")
+    r2 = c1.read("x")
+    execution = Execution(b.build(), rf=[(w0.eid, r1.eid)])  # r2 reads 0
+    return PaperExample("co_rr", execution, {"W0": w0, "R1": r1, "R2": r2})
+
+
+def co_ww() -> PaperExample:
+    """Write-write coherence: coherence order contradicts program order.
+    TSO: *forbidden* (sc_per_loc)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0 = b.thread()
+    w0 = c0.write("x")
+    w1 = c0.write("x")
+    execution = Execution(b.build(), co=[(w1.eid, w0.eid)])
+    return PaperExample("co_ww", execution, {"W0": w0, "W1": w1})
+
+
+def co_wr() -> PaperExample:
+    """A read ignores the latest same-address write of its own thread.
+    TSO: *forbidden* (sc_per_loc)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0 = b.thread()
+    w0 = c0.write("x")
+    r1 = c0.read("x")
+    execution = Execution(b.build())  # r1 reads the initial value
+    return PaperExample("co_wr", execution, {"W0": w0, "R1": r1})
+
+
+def co_rw1() -> PaperExample:
+    """A read observes the write that follows it in program order.
+    TSO: *forbidden* (sc_per_loc)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0 = b.thread()
+    r0 = c0.read("x")
+    w1 = c0.write("x")
+    execution = Execution(b.build(), rf=[(w1.eid, r0.eid)])
+    return PaperExample("co_rw1", execution, {"R0": r0, "W1": w1})
+
+
+def rmw_intervene() -> PaperExample:
+    """A remote write slips between the read and write of an atomic RMW.
+    TSO: *forbidden* (rmw_atomicity)."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    r0, w1 = c0.rmw("x")
+    w2 = c1.write("x")
+    execution = Execution(b.build(), co=[(w2.eid, w1.eid)])
+    # r0 reads the initial value; w2 is co-between init and w1.
+    return PaperExample("rmw_intervene", execution, {"R0": r0, "W1": w1, "W2": w2})
+
+
+def rmw_atomic_ok() -> PaperExample:
+    """The same program with the remote write ordered after the RMW pair:
+    *permitted*."""
+    b = ProgramBuilder(mcm_mode=True)
+    c0, c1 = b.thread(), b.thread()
+    r0, w1 = c0.rmw("x")
+    w2 = c1.write("x")
+    execution = Execution(b.build(), co=[(w1.eid, w2.eid)])
+    return PaperExample("rmw_atomic_ok", execution, {"R0": r0, "W1": w1, "W2": w2})
+
+
+ALL_CLASSICS = {
+    "sb": sb,
+    "sb_fence": sb_fence,
+    "mp": mp,
+    "lb": lb,
+    "co_rr": co_rr,
+    "co_ww": co_ww,
+    "co_wr": co_wr,
+    "co_rw1": co_rw1,
+    "rmw_intervene": rmw_intervene,
+    "rmw_atomic_ok": rmw_atomic_ok,
+}
+
+#: Canonical x86-TSO verdicts (True = permitted).
+TSO_VERDICTS = {
+    "sb": True,
+    "sb_fence": False,
+    "mp": False,
+    "lb": False,
+    "co_rr": False,
+    "co_ww": False,
+    "co_wr": False,
+    "co_rw1": False,
+    "rmw_intervene": False,
+    "rmw_atomic_ok": True,
+}
+
+#: Canonical SC verdicts.
+SC_VERDICTS = {
+    "sb": False,
+    "sb_fence": False,
+    "mp": False,
+    "lb": False,
+    "co_rr": False,
+    "co_ww": False,
+    "co_wr": False,
+    "co_rw1": False,
+    "rmw_intervene": False,
+    "rmw_atomic_ok": True,
+}

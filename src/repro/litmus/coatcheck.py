@@ -1,0 +1,453 @@
+"""Reconstruction of the hand-written COATCheck ELT suite (§VI-B).
+
+The paper compares TransForm's synthesized output against the 40 hand-
+written ELTs shipped with COATCheck [29]:
+
+* 9 exercise IPI semantics TransForm does not model (excluded);
+* 9 do not meet the spanning-set criteria (excluded);
+* 22 are *relevant*: 7 are minimal and synthesized verbatim ("category
+  1", matching 4 distinct synthesized programs — several hand tests are
+  outcome variants of one program) and 15 are non-minimal supersets of
+  synthesizable tests ("category 2", e.g. ``dirtybit3`` minus {W3} is
+  ``ptwalk2``).
+
+The published suite is not reproduced in the paper, so this module
+*reconstructs* a suite with the same composition: the two tests the paper
+names (``ptwalk2``, ``dirtybit3``) are exact (Figs 10a/10b); the remainder
+follow the same patterns anchored on cores that TransForm synthesizes at
+small bounds.  The §VI-B comparison pipeline then *computes* every
+classification — nothing below is labeled by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..mtm import Execution, ProgramBuilder
+from .figures import fig10a_ptwalk2, fig10b_dirtybit3, fig11_stale_mapping_after_ipi
+
+
+@dataclass
+class CoatCheckTest:
+    """One hand-written suite entry.
+
+    ``execution`` is None for the IPI tests whose semantics TransForm (and
+    this reproduction) cannot express — they are counted, not modeled.
+    """
+
+    name: str
+    description: str
+    execution: Optional[Execution] = None
+    uses_unsupported_ipi: bool = False
+
+
+# ----------------------------------------------------------------------
+# Category-1 anchors: four synthesized programs (A, B, C, D).
+# ----------------------------------------------------------------------
+def _program_a_forbidden() -> Execution:
+    """ptwalk2 (Fig 10a): remap + INVLPG, then a stale re-walk."""
+    return fig10a_ptwalk2().execution
+
+
+def _program_a_permitted() -> Execution:
+    """Same program, fresh-walk outcome (permitted)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")
+    r2 = c0.read("x")
+    program = b.build()
+    return Execution(program, rf=[(wpte0.eid, b.walk_of(r2).eid)])
+
+
+def _program_b_forbidden() -> Execution:
+    """Fig 11: the IPI arrives, the walk still loads the stale mapping."""
+    return fig11_stale_mapping_after_ipi().execution
+
+
+def _program_b_permitted() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0, c1 = b.thread(), b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")
+    c1.invlpg_for(wpte0)
+    r3 = c1.read("x")
+    program = b.build()
+    return Execution(program, rf=[(wpte0.eid, b.walk_of(r3).eid)])
+
+
+def _program_c(read_from_write: bool) -> Execution:
+    """coWR as an ELT: W x then R x on one core sharing the TLB entry.
+    Reading the initial value is forbidden (sc_per_loc); reading the write
+    is the permitted variant."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    w0 = c0.write("x")
+    r1 = c0.read("x", walk=b.walk_of(w0))
+    program = b.build()
+    rf = [(w0.eid, r1.eid)] if read_from_write else []
+    return Execution(program, rf=rf)
+
+
+def _program_d() -> Execution:
+    """ptw-source causality: a read observes the po-later write that hit
+    the TLB entry the read's walk loaded (forbidden: tlb_causality)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    r0 = c0.read("x")
+    w1 = c0.write("x", walk=b.walk_of(r0))
+    program = b.build()
+    return Execution(program, rf=[(w1.eid, r0.eid)])
+
+
+# ----------------------------------------------------------------------
+# Category-2 tests: anchors plus extraneous instructions.
+# ----------------------------------------------------------------------
+def _a_plus_read() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0 = b.thread()
+    c0.pte_write("x", "pa_new")
+    c0.read("x")  # stale walk
+    c0.read("y")
+    return Execution(b.build())
+
+
+def _a_plus_write() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0 = b.thread()
+    c0.pte_write("x", "pa_new")
+    c0.read("x")
+    c0.write("y")
+    return Execution(b.build())
+
+
+def _a_plus_fence() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    c0.pte_write("x", "pa_new")
+    c0.fence()
+    c0.read("x")
+    return Execution(b.build())
+
+
+def _b_plus_write() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0, c1 = b.thread(), b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")
+    c0.write("y")
+    c1.invlpg_for(wpte0)
+    c1.read("x")  # stale
+    return Execution(b.build())
+
+
+def _b_plus_read() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0, c1 = b.thread(), b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")
+    c0.read("y")
+    c1.invlpg_for(wpte0)
+    c1.read("x")
+    return Execution(b.build())
+
+
+def _b_plus_prior_read() -> Execution:
+    """TLB-shootdown shape: C1 already had the mapping cached before the
+    IPI; both the early read and the post-IPI stale read appear."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0, c1 = b.thread(), b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")
+    c1.read("x")
+    c1.invlpg_for(wpte0)
+    c1.read("x")  # re-walk, stale outcome
+    return Execution(b.build())
+
+
+def _c_plus_read() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0 = b.thread()
+    w0 = c0.write("x")
+    c0.read("x", walk=b.walk_of(w0))  # reads initial value: forbidden
+    c0.read("y")
+    return Execution(b.build())
+
+
+def _c_plus_remote_write() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    c0.read("x", walk=b.walk_of(w0))
+    c1.write("y")
+    return Execution(b.build())
+
+
+def _double_write_then_read() -> Execution:
+    """W x; W x (capacity re-walk); R x reading the initial value —
+    reduces to the coWR core by dropping the first write."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    w0 = c0.write("x")
+    w1 = c0.write("x")  # fresh walk (capacity eviction)
+    c0.read("x", walk=b.walk_of(w1))
+    program = b.build()
+    return Execution(
+        program,
+        co=[(w0.eid, w1.eid), (b.dirty_of(w0).eid, b.dirty_of(w1).eid)],
+    )
+
+
+def _corr_core(extra: str) -> Execution:
+    """coRR as an ELT (+ optional extraneous instruction)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    if extra == "write":
+        c0.write("y")
+    r1 = c1.read("x")
+    if extra == "fence":
+        c1.fence()
+    r2 = c1.read("x", walk=b.walk_of(r1))
+    if extra == "read":
+        c1.read("y")
+    program = b.build()
+    return Execution(program, rf=[(w0.eid, r1.eid)])  # r2 reads initial
+
+
+def _rmw_plus_read() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0, c1 = b.thread(), b.thread()
+    _r0, w1 = c0.rmw("x")
+    w2 = c1.write("x")
+    c1.read("y")
+    program = b.build()
+    wdb1 = b.dirty_of(w1)
+    wdb2 = b.dirty_of(w2)
+    return Execution(
+        program,
+        co=[(w2.eid, w1.eid), (wdb2.eid, wdb1.eid)],
+    )
+
+
+def _d_plus_remote_write() -> Execution:
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0, c1 = b.thread(), b.thread()
+    r0 = c0.read("x")
+    w1 = c0.write("x", walk=b.walk_of(r0))
+    c1.write("y")
+    program = b.build()
+    return Execution(program, rf=[(w1.eid, r0.eid)])
+
+
+# ----------------------------------------------------------------------
+# Non-spanning tests (read-only: no Write, so no multiple outcomes).
+# ----------------------------------------------------------------------
+def _read_only(build: Callable[[ProgramBuilder], None]) -> Execution:
+    b = ProgramBuilder()
+    build(b)
+    return Execution(b.build())
+
+
+def _ns_shared_walk() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        r0 = c0.read("x")
+        c0.read("x", walk=b.walk_of(r0))
+
+    return _read_only(build)
+
+
+def _ns_refill() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        c0.read("x")
+        c0.invlpg("x")
+        c0.read("x")
+
+    return _read_only(build)
+
+
+def _ns_single_read() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        c0.read("x")
+
+    return _read_only(build)
+
+
+def _ns_two_vas() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        c0.read("x")
+        c0.read("y")
+
+    return _read_only(build)
+
+
+def _ns_cross_read() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0, c1 = b.thread(), b.thread()
+        c0.read("x")
+        c1.read("x")
+
+    return _read_only(build)
+
+
+def _ns_read_fence() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        c0.read("x")
+        c0.fence()
+        c0.read("y")
+
+    return _read_only(build)
+
+
+def _ns_spurious_pair() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        c0.read("x")
+        c0.invlpg("x")
+        c0.read("x")
+        c0.invlpg("x")
+        c0.read("x")
+
+    return _read_only(build)
+
+
+def _ns_hit_chain() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0 = b.thread()
+        r0 = c0.read("x")
+        c0.read("x", walk=b.walk_of(r0))
+        c0.read("x", walk=b.walk_of(r0))
+
+    return _read_only(build)
+
+
+def _ns_two_cores() -> Execution:
+    def build(b: ProgramBuilder) -> None:
+        c0, c1 = b.thread(), b.thread()
+        c0.read("x")
+        c0.read("y")
+        c1.read("y")
+        c1.read("x")
+
+    return _read_only(build)
+
+
+def coatcheck_suite() -> list[CoatCheckTest]:
+    """The 40-test reconstructed suite."""
+    tests: list[CoatCheckTest] = [
+        # ---- category-1 candidates (minimal, synthesized verbatim) ----
+        CoatCheckTest(
+            "ptwalk2",
+            "Fig 10a: stale walk after remap+INVLPG (forbidden)",
+            _program_a_forbidden(),
+        ),
+        CoatCheckTest(
+            "ptwalk1",
+            "remap+INVLPG then a fresh walk (permitted outcome variant)",
+            _program_a_permitted(),
+        ),
+        CoatCheckTest(
+            "ipi2",
+            "Fig 11: stale mapping observed after the IPI lands (forbidden)",
+            _program_b_forbidden(),
+        ),
+        CoatCheckTest(
+            "ipi3",
+            "IPI then fresh mapping (permitted outcome variant)",
+            _program_b_permitted(),
+        ),
+        CoatCheckTest(
+            "cowr_pt",
+            "write then same-location read returning the initial value",
+            _program_c(read_from_write=False),
+        ),
+        CoatCheckTest(
+            "cowr_pt_ok",
+            "write then same-location read returning the write (permitted)",
+            _program_c(read_from_write=True),
+        ),
+        CoatCheckTest(
+            "ptwsrc",
+            "read sources the TLB entry later hit by the write it reads from",
+            _program_d(),
+        ),
+        # ---- category-2 candidates (reducible supersets) --------------
+        CoatCheckTest(
+            "dirtybit3",
+            "Fig 10b: permitted; minus {W3} it is ptwalk2",
+            fig10b_dirtybit3().execution,
+        ),
+        CoatCheckTest("ptwalk3", "ptwalk2 plus an unrelated read", _a_plus_read()),
+        CoatCheckTest("ptwalk4", "ptwalk2 plus an unrelated write", _a_plus_write()),
+        CoatCheckTest("ptwalk5", "ptwalk2 plus an MFENCE", _a_plus_fence()),
+        CoatCheckTest("ipi4", "Fig 11 plus an unrelated write", _b_plus_write()),
+        CoatCheckTest("ipi5", "Fig 11 plus an unrelated read", _b_plus_read()),
+        CoatCheckTest(
+            "tlbshoot",
+            "shootdown with the mapping pre-cached on the remote core",
+            _b_plus_prior_read(),
+        ),
+        CoatCheckTest("dirtybit1", "coWR core plus an unrelated read", _c_plus_read()),
+        CoatCheckTest(
+            "dirtybit2",
+            "double write then read of the initial value",
+            _double_write_then_read(),
+        ),
+        CoatCheckTest(
+            "dirtybit4",
+            "coWR core plus an unrelated remote write",
+            _c_plus_remote_write(),
+        ),
+        CoatCheckTest("corr_pt", "coRR core plus an unrelated write", _corr_core("write")),
+        CoatCheckTest("corr_pt2", "coRR core plus an unrelated read", _corr_core("read")),
+        CoatCheckTest("corr_pt3", "coRR core plus an MFENCE", _corr_core("fence")),
+        CoatCheckTest(
+            "rmw_pt",
+            "intervening write inside an RMW plus an unrelated read",
+            _rmw_plus_read(),
+        ),
+        CoatCheckTest(
+            "ptwsrc2",
+            "ptw-source causality core plus an unrelated remote write",
+            _d_plus_remote_write(),
+        ),
+        # ---- non-spanning (read-only) ----------------------------------
+        CoatCheckTest("ro_share", "Fig 5a: two reads share one walk", _ns_shared_walk()),
+        CoatCheckTest("ro_refill", "Fig 5b: INVLPG forces a re-walk", _ns_refill()),
+        CoatCheckTest("ro_basic", "single translated read", _ns_single_read()),
+        CoatCheckTest("ro_two_vas", "two reads, two translations", _ns_two_vas()),
+        CoatCheckTest("ro_cross", "same VA read on two cores", _ns_cross_read()),
+        CoatCheckTest("ro_fence", "reads separated by MFENCE", _ns_read_fence()),
+        CoatCheckTest("ro_spur2", "two spurious invalidations", _ns_spurious_pair()),
+        CoatCheckTest("ro_hits", "three reads on one TLB entry", _ns_hit_chain()),
+        CoatCheckTest("ro_2core", "read-only cross-core interleaving", _ns_two_cores()),
+    ]
+    # ---- unsupported IPI semantics (counted, not modeled) -------------
+    for index in range(1, 10):
+        tests.append(
+            CoatCheckTest(
+                f"intr{index}",
+                "exercises fixed-interrupt IPI semantics beyond INVLPG "
+                "(TransForm models INVLPG only, §III-B2)",
+                execution=None,
+                uses_unsupported_ipi=True,
+            )
+        )
+    return tests

@@ -1,0 +1,153 @@
+"""The §VI-B comparison tool: classify hand-written ELTs against a
+synthesized corpus.
+
+The paper's automated comparison "first checks if TransForm would
+synthesize the ELT verbatim in the synthesized suite (category 1), and if
+not, subsequently tests for the ELT's inclusion in category 2 by trying to
+remove subsets of instructions from the ELT to see if it can be minimized
+to a TransForm-synthesizable test."  This module implements exactly that:
+
+* **UNSUPPORTED** — the test uses IPI semantics outside the vocabulary;
+* **NOT_SPANNING** — the test fails a spanning-set criterion (§IV-B): it
+  has no write, or no candidate execution of its program can violate the
+  transistency predicate;
+* **CATEGORY_1** — the test's program canonicalizes to a synthesized one;
+* **CATEGORY_2** — removing some union of closed relaxation groups yields
+  a synthesized program (the reduction is reported);
+* **UNMATCHED** — relevant but not matched within the corpus bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import combinations
+from typing import Optional
+
+from ..models import MemoryModel
+from ..mtm import Program
+from ..synth import (
+    canonical_program_key,
+    enumerate_witnesses,
+    relaxed_program,
+    removal_groups,
+)
+from ..synth.canon import ProgramKey
+from .coatcheck import CoatCheckTest
+
+
+class Category(Enum):
+    UNSUPPORTED = "unsupported-ipi"
+    NOT_SPANNING = "not-spanning"
+    CATEGORY_1 = "category-1"
+    CATEGORY_2 = "category-2"
+    UNMATCHED = "unmatched"
+
+
+@dataclass
+class Classification:
+    test: CoatCheckTest
+    category: Category
+    matched_key: Optional[ProgramKey] = None
+    removed_events: frozenset[str] = frozenset()
+
+    @property
+    def name(self) -> str:
+        return self.test.name
+
+
+@dataclass
+class ComparisonReport:
+    """§VI-B roll-up over a whole suite."""
+
+    classifications: list[Classification] = field(default_factory=list)
+
+    def count(self, category: Category) -> int:
+        return sum(1 for c in self.classifications if c.category is category)
+
+    @property
+    def relevant(self) -> int:
+        return self.count(Category.CATEGORY_1) + self.count(
+            Category.CATEGORY_2
+        ) + self.count(Category.UNMATCHED)
+
+    def category1_matched_programs(self) -> set[ProgramKey]:
+        return {
+            c.matched_key
+            for c in self.classifications
+            if c.category is Category.CATEGORY_1 and c.matched_key is not None
+        }
+
+    def summary_rows(self) -> list[tuple[str, int]]:
+        return [
+            ("total hand-written tests", len(self.classifications)),
+            ("unsupported IPI semantics", self.count(Category.UNSUPPORTED)),
+            ("fail spanning-set criteria", self.count(Category.NOT_SPANNING)),
+            ("relevant for comparison", self.relevant),
+            ("category 1 (verbatim)", self.count(Category.CATEGORY_1)),
+            (
+                "distinct synthesized programs matched by category 1",
+                len(self.category1_matched_programs()),
+            ),
+            ("category 2 (reducible)", self.count(Category.CATEGORY_2)),
+            ("unmatched", self.count(Category.UNMATCHED)),
+        ]
+
+
+def _program_can_violate(program: Program, model: MemoryModel) -> bool:
+    """Spanning criterion 2: some candidate execution is forbidden."""
+    for execution in enumerate_witnesses(program):
+        if model.forbids(execution):
+            return True
+    return False
+
+
+def _has_write(program: Program) -> bool:
+    return any(e.is_write_like for e in program.events.values())
+
+
+def classify_test(
+    test: CoatCheckTest,
+    synthesized_keys: set[ProgramKey],
+    model: MemoryModel,
+    max_reduction_groups: int = 3,
+) -> Classification:
+    """Classify one hand-written test against a synthesized corpus."""
+    if test.uses_unsupported_ipi or test.execution is None:
+        return Classification(test, Category.UNSUPPORTED)
+    program = test.execution.program
+    if not _has_write(program) or not _program_can_violate(program, model):
+        return Classification(test, Category.NOT_SPANNING)
+    key = canonical_program_key(program)
+    if key in synthesized_keys:
+        return Classification(test, Category.CATEGORY_1, matched_key=key)
+    # Category-2 search: remove unions of closed relaxation groups.
+    groups = removal_groups(program)
+    for size in range(1, min(max_reduction_groups, len(groups)) + 1):
+        for subset in combinations(groups, size):
+            removed = frozenset().union(*subset)
+            if len(removed) >= len(program.events):
+                continue
+            reduced = relaxed_program(program, removed)
+            reduced_key = canonical_program_key(reduced)
+            if reduced_key in synthesized_keys:
+                return Classification(
+                    test,
+                    Category.CATEGORY_2,
+                    matched_key=reduced_key,
+                    removed_events=removed,
+                )
+    return Classification(test, Category.UNMATCHED)
+
+
+def compare_suite(
+    tests: list[CoatCheckTest],
+    synthesized_keys: set[ProgramKey],
+    model: MemoryModel,
+) -> ComparisonReport:
+    report = ComparisonReport()
+    for test in tests:
+        report.classifications.append(
+            classify_test(test, synthesized_keys, model)
+        )
+    return report

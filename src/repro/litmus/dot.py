@@ -1,0 +1,89 @@
+"""Graphviz DOT export of candidate executions.
+
+Renders an ELT the way the paper's figures do: one cluster per core with
+instructions in program order (ghosts attached to their parents), plus
+labeled relation edges (rf, co, fr, rf_ptw, rf_pa, fr_va, remap, ...).
+The output is plain DOT text; no graphviz installation is required to
+produce it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from ..mtm import Execution, names
+
+#: Relations drawn by default, with graphviz colors.
+DEFAULT_EDGE_STYLE: Mapping[str, str] = {
+    names.RF: "forestgreen",
+    names.CO: "crimson",
+    names.FR: "orange",
+    names.RF_PTW: "dodgerblue",
+    names.RF_PA: "purple",
+    names.FR_VA: "brown",
+    names.FR_PA: "plum",
+    names.CO_PA: "firebrick",
+    names.REMAP: "gray40",
+    names.RMW: "black",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def execution_to_dot(
+    execution: Execution,
+    name: str = "elt",
+    relations: Optional[Iterable[str]] = None,
+) -> str:
+    """Render a candidate execution as a DOT digraph."""
+    program = execution.program
+    lines = [f"digraph {_quote(name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append('  node [shape=box, fontname="monospace"];')
+
+    for core, thread in enumerate(program.threads):
+        lines.append(f"  subgraph cluster_core{core} {{")
+        lines.append(f'    label="C{core}";')
+        previous: Optional[str] = None
+        for eid in thread:
+            event = program.events[eid]
+            label = f"{event.kind.value}"
+            if event.va is not None:
+                label += f" {event.va}"
+            if event.pa is not None:
+                label += f" -> {event.pa}"
+            lines.append(f"    {_quote(eid)} [label={_quote(label)}];")
+            for ghost in program.ghosts.get(eid, ()):
+                g = program.events[ghost]
+                glabel = f"{g.kind.value} pte({g.va})"
+                lines.append(
+                    f"    {_quote(ghost)} [label={_quote(glabel)}, "
+                    "style=dashed];"
+                )
+                lines.append(
+                    f"    {_quote(eid)} -> {_quote(ghost)} "
+                    '[style=dotted, label="ghost", color=gray];'
+                )
+            if previous is not None:
+                lines.append(
+                    f"    {_quote(previous)} -> {_quote(eid)} "
+                    '[label="po", color=gray60];'
+                )
+            previous = eid
+        lines.append("  }")
+
+    wanted = list(relations) if relations is not None else list(
+        DEFAULT_EDGE_STYLE
+    )
+    for relation_name in wanted:
+        color = DEFAULT_EDGE_STYLE.get(relation_name, "black")
+        for a, b in sorted(execution.relation(relation_name).tuples):
+            lines.append(
+                f"  {_quote(a)} -> {_quote(b)} "
+                f"[label={_quote(relation_name)}, color={color}, "
+                "constraint=false];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,369 @@
+"""The paper's figure ELTs, encoded with the public builder API.
+
+Each constructor returns a :class:`PaperExample` bundling the candidate
+execution with named event handles so tests and examples can assert on
+specific edges.  Expected verdicts (permitted/forbidden and which axioms a
+forbidden execution violates) are documented per constructor and asserted
+in ``tests/test_paper_examples.py`` — these are the strongest oracles the
+paper gives us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..mtm import Event, Execution, ProgramBuilder
+
+
+@dataclass
+class PaperExample:
+    """A named candidate execution from the paper with event handles."""
+
+    name: str
+    execution: Execution
+    events: Mapping[str, Event] = field(default_factory=dict)
+
+    def eid(self, key: str) -> str:
+        return self.events[key].eid
+
+
+def fig2b_sb_elt() -> PaperExample:
+    """Fig 2b: the sb litmus test mapped to an ELT; outcome remains
+    *permitted* (each VA keeps its own PA; the sb outcome is legal TSO)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_b")
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    r1 = c0.read("y")
+    w2 = c1.write("y")
+    r3 = c1.read("x")
+    program = b.build()
+    execution = Execution(
+        program,
+        rf=[(w2.eid, r1.eid), (w0.eid, r3.eid)],
+    )
+    return PaperExample(
+        "fig2b_sb_elt",
+        execution,
+        {
+            "W0": w0,
+            "R1": r1,
+            "W2": w2,
+            "R3": r3,
+            "Wdb0": b.dirty_of(w0),
+            "Rptw0": b.walk_of(w0),
+            "Rptw1": b.walk_of(r1),
+            "Wdb2": b.dirty_of(w2),
+            "Rptw2": b.walk_of(w2),
+            "Rptw3": b.walk_of(r3),
+        },
+    )
+
+
+def fig2c_sb_aliased() -> PaperExample:
+    """Fig 2c: sb where a remap aliases x and y to the same PA — the drawn
+    outcome is *forbidden* (coherence violation: sc_per_loc)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_b")
+    c0, c1 = b.thread(), b.thread()
+    w0 = c0.write("x")
+    wpte3 = c1.pte_write("y", "pa_a")  # INVLPG4 appended on C1
+    inv1 = c0.invlpg_for(wpte3)  # IPI-delivered INVLPG on C0
+    r2 = c0.read("y")
+    w5 = c1.write("y")
+    r6 = c1.read("x")
+    program = b.build()
+    wdb5 = b.dirty_of(w5)
+    execution = Execution(
+        program,
+        rf=[
+            (w5.eid, r2.eid),  # R2 reads y = 2 written by W5
+            (w0.eid, r6.eid),  # R6 reads x = 1 written by W0
+            (wpte3.eid, b.walk_of(r2).eid),  # both y walks see the remap
+            (wpte3.eid, b.walk_of(w5).eid),
+        ],
+        co=[
+            (w0.eid, w5.eid),  # both write PA a after the alias
+            (wpte3.eid, wdb5.eid),
+        ],
+    )
+    return PaperExample(
+        "fig2c_sb_aliased",
+        execution,
+        {
+            "W0": w0,
+            "INVLPG1": inv1,
+            "R2": r2,
+            "WPTE3": wpte3,
+            "W5": w5,
+            "R6": r6,
+            "Wdb5": wdb5,
+            "Rptw2": b.walk_of(r2),
+            "Rptw5": b.walk_of(w5),
+        },
+    )
+
+
+def fig3a_read_with_walk() -> PaperExample:
+    """Fig 3a: a lone Read invokes a PT walk that loads its mapping."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    r0 = c0.read("x")
+    execution = Execution(b.build())
+    return PaperExample(
+        "fig3a", execution, {"R0": r0, "Rptw0": b.walk_of(r0)}
+    )
+
+
+def fig3b_write_with_ghosts() -> PaperExample:
+    """Fig 3b: a lone Write invokes both a PT walk and a dirty-bit update."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    w0 = c0.write("x")
+    execution = Execution(b.build())
+    return PaperExample(
+        "fig3b",
+        execution,
+        {"W0": w0, "Rptw0": b.walk_of(w0), "Wdb0": b.dirty_of(w0)},
+    )
+
+
+def fig4b_remap_chain() -> PaperExample:
+    """Fig 4b: two remaps alias x and y onto PA c; exercises every pa edge
+    (rf_pa, co_pa, fr_pa, fr_va).  Permitted."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_b")
+    c0 = b.thread()
+    r0 = c0.read("x")
+    r1 = c0.read("y")
+    wpte2 = c0.pte_write("y", "pa_c")  # + INVLPG3
+    r4 = c0.read("y")
+    wpte5 = c0.pte_write("x", "pa_c")  # + INVLPG6
+    r7 = c0.read("x")
+    program = b.build()
+    execution = Execution(
+        program,
+        rf=[
+            (wpte2.eid, b.walk_of(r4).eid),
+            (wpte5.eid, b.walk_of(r7).eid),
+        ],
+        co_pa=[(wpte2.eid, wpte5.eid)],
+    )
+    return PaperExample(
+        "fig4b_remap_chain",
+        execution,
+        {
+            "R0": r0,
+            "R1": r1,
+            "WPTE2": wpte2,
+            "R4": r4,
+            "WPTE5": wpte5,
+            "R7": r7,
+        },
+    )
+
+
+def fig5a_shared_walk() -> PaperExample:
+    """Fig 5a: two Reads of the same VA share one TLB entry (one walk)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    r0 = c0.read("x")
+    r1 = c0.read("x", walk=b.walk_of(r0))
+    execution = Execution(b.build())
+    return PaperExample(
+        "fig5a", execution, {"R0": r0, "R1": r1, "Rptw0": b.walk_of(r0)}
+    )
+
+
+def fig5b_invlpg_forces_rewalk() -> PaperExample:
+    """Fig 5b: a spurious INVLPG between two same-VA Reads forces the second
+    to re-walk (same mapping, new TLB fill)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    r0 = c0.read("x")
+    inv1 = c0.invlpg("x")
+    r2 = c0.read("x")
+    execution = Execution(b.build())
+    return PaperExample(
+        "fig5b",
+        execution,
+        {
+            "R0": r0,
+            "INVLPG1": inv1,
+            "R2": r2,
+            "Rptw0": b.walk_of(r0),
+            "Rptw2": b.walk_of(r2),
+        },
+    )
+
+
+def fig6d_remap_disambiguation() -> PaperExample:
+    """Fig 6d: the remap of x to PA b disambiguates which Write R6 reads
+    from (W3, not W4).  Permitted under x86t_elt."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0, c1 = b.thread(), b.thread()
+    r0 = c0.read("x")
+    w4 = c1.write("x")
+    wpte1 = c0.pte_write("x", "pa_b")  # + local INVLPG2
+    inv5 = c1.invlpg_for(wpte1)
+    w3 = c0.write("x")
+    r6 = c1.read("x")
+    program = b.build()
+    wdb3, wdb4 = b.dirty_of(w3), b.dirty_of(w4)
+    execution = Execution(
+        program,
+        rf=[
+            (w3.eid, r6.eid),  # R6 reads x = 1 from W3 (same PA b)
+            (wpte1.eid, b.walk_of(w3).eid),
+            (wpte1.eid, b.walk_of(r6).eid),
+        ],
+        co=[(wdb4.eid, wpte1.eid), (wpte1.eid, wdb3.eid)],
+    )
+    inv2_eid = program.threads[0][program.threads[0].index(wpte1.eid) + 1]
+    return PaperExample(
+        "fig6d_remap_disambiguation",
+        execution,
+        {
+            "R0": r0,
+            "WPTE1": wpte1,
+            "INVLPG2": program.events[inv2_eid],
+            "W3": w3,
+            "W4": w4,
+            "INVLPG5": inv5,
+            "R6": r6,
+            "Wdb3": wdb3,
+            "Wdb4": wdb4,
+            "Rptw0": b.walk_of(r0),
+            "Rptw3": b.walk_of(w3),
+            "Rptw4": b.walk_of(w4),
+            "Rptw6": b.walk_of(r6),
+        },
+    )
+
+
+def fig8_non_minimal_mp() -> PaperExample:
+    """Fig 8: an mp-shaped causality violation with an extraneous Write on a
+    third core.  Forbidden, but *not minimal* (removing W4 keeps the cycle),
+    so TransForm must not synthesize it."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_b").map("u", "pa_c")
+    c0, c1, c2 = b.thread(), b.thread(), b.thread()
+    w0 = c0.write("x")
+    w1 = c0.write("y")
+    r2 = c1.read("y")
+    r3 = c1.read("x")
+    w4 = c2.write("u")
+    execution = Execution(b.build(), rf=[(w1.eid, r2.eid)])
+    return PaperExample(
+        "fig8_non_minimal_mp",
+        execution,
+        {"W0": w0, "W1": w1, "R2": r2, "R3": r3, "W4": w4},
+    )
+
+
+def fig10a_ptwalk2() -> PaperExample:
+    """Fig 10a: the COATCheck ``ptwalk2`` ELT, synthesized verbatim by
+    TransForm.  Forbidden: violates both sc_per_loc and invlpg — after the
+    remap and its INVLPG, R2's fresh walk still loads the *stale* mapping."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")  # + INVLPG1
+    r2 = c0.read("x")
+    program = b.build()
+    # No rf into R2's walk: it reads the initial (stale) mapping x -> pa_a.
+    execution = Execution(program)
+    inv1_eid = program.threads[0][1]
+    return PaperExample(
+        "fig10a_ptwalk2",
+        execution,
+        {
+            "WPTE0": wpte0,
+            "INVLPG1": program.events[inv1_eid],
+            "R2": r2,
+            "Rptw2": b.walk_of(r2),
+        },
+    )
+
+
+def fig10b_dirtybit3() -> PaperExample:
+    """Fig 10b: the COATCheck ``dirtybit3`` ELT.  Permitted as written; the
+    comparison tool reduces it (drop {W3}) to a minimal synthesizable core."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0 = b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")  # + INVLPG1
+    r2 = c0.read("x")
+    w3 = c0.write("x")  # re-walks: TLB capacity eviction (§III-B2)
+    program = b.build()
+    wdb3 = b.dirty_of(w3)
+    execution = Execution(
+        program,
+        rf=[
+            (wpte0.eid, b.walk_of(r2).eid),
+            (wpte0.eid, b.walk_of(w3).eid),
+        ],
+        co=[(wpte0.eid, wdb3.eid)],
+    )
+    inv1_eid = program.threads[0][1]
+    return PaperExample(
+        "fig10b_dirtybit3",
+        execution,
+        {
+            "WPTE0": wpte0,
+            "INVLPG1": program.events[inv1_eid],
+            "R2": r2,
+            "W3": w3,
+            "Wdb3": wdb3,
+            "Rptw2": b.walk_of(r2),
+            "Rptw3": b.walk_of(w3),
+        },
+    )
+
+
+def fig11_stale_mapping_after_ipi() -> PaperExample:
+    """Fig 11: a new TransForm-synthesized ELT.  The IPI INVLPG2 reaches C1
+    before R3, yet R3's walk loads the stale mapping — forbidden via the
+    invlpg axiom (cycle in remap + fr_va + ^po)."""
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    c0, c1 = b.thread(), b.thread()
+    wpte0 = c0.pte_write("x", "pa_b")  # + local INVLPG1
+    inv2 = c1.invlpg_for(wpte0)
+    r3 = c1.read("x")
+    program = b.build()
+    execution = Execution(program)  # R3's walk reads the stale initial PTE
+    inv1_eid = program.threads[0][1]
+    return PaperExample(
+        "fig11_stale_mapping_after_ipi",
+        execution,
+        {
+            "WPTE0": wpte0,
+            "INVLPG1": program.events[inv1_eid],
+            "INVLPG2": inv2,
+            "R3": r3,
+            "Rptw3": b.walk_of(r3),
+        },
+    )
+
+
+ALL_FIGURES = {
+    "fig2b": fig2b_sb_elt,
+    "fig2c": fig2c_sb_aliased,
+    "fig3a": fig3a_read_with_walk,
+    "fig3b": fig3b_write_with_ghosts,
+    "fig4b": fig4b_remap_chain,
+    "fig5a": fig5a_shared_walk,
+    "fig5b": fig5b_invlpg_forces_rewalk,
+    "fig6d": fig6d_remap_disambiguation,
+    "fig8": fig8_non_minimal_mp,
+    "fig10a": fig10a_ptwalk2,
+    "fig10b": fig10b_dirtybit3,
+    "fig11": fig11_stale_mapping_after_ipi,
+}

@@ -1,0 +1,171 @@
+"""Parser for the machine ELT format produced by
+:func:`repro.litmus.format.serialize_elt`.
+
+The format is deliberately position-based so it is renaming-free: events
+are addressed as ``T.S`` (thread T, slot S), ghost instructions as
+``walk:T.S`` / ``wdb:T.S``.  Remap INVLPGs are written ``ipi K`` where K
+indexes the K-th ``wpte`` line in thread-major order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import LitmusFormatError
+from ..mtm import Event, EventKind, Execution, Program
+
+
+@dataclass
+class _ParsedThread:
+    lines: list[tuple] = field(default_factory=list)
+
+
+def _split(line: str) -> list[str]:
+    return line.split()
+
+
+def parse_elt(text: str) -> Execution:
+    """Parse the machine format back into an Execution."""
+    mcm_mode = False
+    initial_map: dict[str, str] = {}
+    threads: list[_ParsedThread] = []
+    current: Optional[_ParsedThread] = None
+    rmw_refs: list[tuple[str, str]] = []
+    rf_refs: list[tuple[str, str]] = []
+    co_refs: list[tuple[str, str]] = []
+    co_pa_refs: list[tuple[str, str]] = []
+
+    lines = [ln for ln in text.splitlines() if ln.strip() and not ln.strip().startswith("#")]
+    if not lines or lines[0].strip() != "elt":
+        raise LitmusFormatError("ELT text must start with an 'elt' line")
+    for raw in lines[1:]:
+        parts = _split(raw)
+        head = parts[0]
+        if head == "mcm":
+            mcm_mode = True
+        elif head == "map":
+            if len(parts) != 3:
+                raise LitmusFormatError(f"bad map line: {raw!r}")
+            initial_map[parts[1]] = parts[2]
+        elif head == "thread":
+            current = _ParsedThread()
+            threads.append(current)
+        elif head in ("r", "w", "wpte", "invlpg", "ipi", "fence", "tlbflush"):
+            if current is None:
+                raise LitmusFormatError(f"instruction before any thread: {raw!r}")
+            current.lines.append(tuple(parts))
+        elif head == "rmw":
+            rmw_refs.append((parts[1], parts[2]))
+        elif head == "rf":
+            rf_refs.append((parts[1], parts[2]))
+        elif head == "co":
+            co_refs.append((parts[1], parts[2]))
+        elif head == "co_pa":
+            co_pa_refs.append((parts[1], parts[2]))
+        else:
+            raise LitmusFormatError(f"unknown line: {raw!r}")
+
+    events: dict[str, Event] = {}
+    thread_eids: list[list[str]] = []
+    ghosts: dict[str, tuple[str, ...]] = {}
+    remap: list[tuple[str, str]] = []
+    wpte_by_index: dict[int, str] = {}
+    ipi_lines: list[tuple[int, str]] = []  # (wpte index, invlpg eid)
+    by_position: dict[str, str] = {}
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        eid = f"e{counter}"
+        counter += 1
+        return eid
+
+    wpte_counter = 0
+    for core, parsed in enumerate(threads):
+        eids: list[str] = []
+        for slot, parts in enumerate(parsed.lines):
+            head = parts[0]
+            position = f"{core}.{slot}"
+            if head == "fence":
+                eid = fresh()
+                events[eid] = Event(eid, EventKind.FENCE, core)
+            elif head == "tlbflush":
+                eid = fresh()
+                events[eid] = Event(eid, EventKind.TLB_FLUSH, core)
+            elif head == "wpte":
+                if len(parts) != 3:
+                    raise LitmusFormatError(f"bad wpte line: {parts}")
+                eid = fresh()
+                events[eid] = Event(
+                    eid, EventKind.PTE_WRITE, core, parts[1], pa=parts[2]
+                )
+                wpte_by_index[wpte_counter] = eid
+                wpte_counter += 1
+            elif head == "invlpg":
+                eid = fresh()
+                events[eid] = Event(eid, EventKind.INVLPG, core, parts[1])
+            elif head == "ipi":
+                eid = fresh()
+                index = int(parts[1])
+                # VA filled in after all wptes are known.
+                events[eid] = Event(eid, EventKind.INVLPG, core, f"?ipi{index}")
+                ipi_lines.append((index, eid))
+            elif head in ("r", "w"):
+                if len(parts) != 3 or parts[2] not in ("miss", "hit", "plain"):
+                    raise LitmusFormatError(f"bad access line: {parts}")
+                kind = EventKind.READ if head == "r" else EventKind.WRITE
+                eid = fresh()
+                events[eid] = Event(eid, kind, core, parts[1])
+                ghost_list: list[str] = []
+                if kind is EventKind.WRITE and parts[2] != "plain":
+                    dirty = fresh()
+                    events[dirty] = Event(
+                        dirty, EventKind.DIRTY_BIT_WRITE, core, parts[1]
+                    )
+                    ghost_list.append(dirty)
+                    by_position[f"wdb:{position}"] = dirty
+                if parts[2] == "miss":
+                    walk = fresh()
+                    events[walk] = Event(walk, EventKind.PT_WALK, core, parts[1])
+                    ghost_list.append(walk)
+                    by_position[f"walk:{position}"] = walk
+                if ghost_list:
+                    ghosts[eid] = tuple(ghost_list)
+            else:  # pragma: no cover
+                raise LitmusFormatError(f"unreachable line head {head!r}")
+            eids.append(eid)
+            by_position[position] = eid
+        thread_eids.append(eids)
+
+    # Fix up IPI VAs and remap edges now that all wptes exist.
+    for index, inv_eid in ipi_lines:
+        if index not in wpte_by_index:
+            raise LitmusFormatError(f"ipi references unknown wpte #{index}")
+        pte = events[wpte_by_index[index]]
+        old = events[inv_eid]
+        events[inv_eid] = Event(old.eid, EventKind.INVLPG, old.core, pte.va)
+        remap.append((pte.eid, inv_eid))
+
+    # "hit" accesses: resolve their walks implicitly (derive_rf_ptw will);
+    # nothing to record — ghosts only exist for misses.
+    def resolve(ref: str) -> str:
+        if ref not in by_position:
+            raise LitmusFormatError(f"unknown event reference {ref!r}")
+        return by_position[ref]
+
+    program = Program(
+        events=events,
+        threads=tuple(tuple(t) for t in thread_eids),
+        ghosts=ghosts,
+        remap=frozenset(remap),
+        rmw=frozenset((resolve(a), resolve(b)) for a, b in rmw_refs),
+        initial_map=initial_map,
+        mcm_mode=mcm_mode,
+    )
+    return Execution(
+        program,
+        rf=[(resolve(a), resolve(b)) for a, b in rf_refs],
+        co=[(resolve(a), resolve(b)) for a, b in co_refs],
+        co_pa=[(resolve(a), resolve(b)) for a, b in co_pa_refs],
+    )

@@ -1,0 +1,65 @@
+"""Axiomatic memory models: SC, x86-TSO, and the paper's x86t_elt MTM.
+
+Public surface:
+
+* :class:`Axiom`, :class:`MemoryModel`, :class:`Verdict` — infrastructure.
+* :func:`x86tso`, :func:`x86t_elt`, :func:`sequential_consistency`,
+  :func:`x86t_amd_bug` — the catalog.
+* :data:`X86T_ELT_AXIOM_NAMES` — Fig 9 axiom order.
+"""
+
+from .base import Axiom, MemoryModel, Verdict
+from .catalog import (
+    CAUSALITY,
+    INVLPG,
+    RMW_ATOMICITY,
+    SC_ORDER,
+    SC_PER_LOC,
+    TLB_CAUSALITY,
+    X86T_ELT_AXIOM_NAMES,
+    sc_t,
+    sequential_consistency,
+    x86t_amd_bug,
+    x86t_elt,
+    x86tso,
+)
+from .compare import (
+    Agreement,
+    ModelComparison,
+    compare_models,
+    discriminating_elts,
+)
+from .diagnostics import (
+    CycleExplanation,
+    LabeledEdge,
+    explain_axiom_violation,
+    explain_verdict,
+    render_explanations,
+)
+
+__all__ = [
+    "Axiom",
+    "MemoryModel",
+    "Verdict",
+    "SC_PER_LOC",
+    "RMW_ATOMICITY",
+    "CAUSALITY",
+    "INVLPG",
+    "TLB_CAUSALITY",
+    "SC_ORDER",
+    "X86T_ELT_AXIOM_NAMES",
+    "sequential_consistency",
+    "x86tso",
+    "x86t_elt",
+    "x86t_amd_bug",
+    "sc_t",
+    "Agreement",
+    "ModelComparison",
+    "compare_models",
+    "discriminating_elts",
+    "CycleExplanation",
+    "LabeledEdge",
+    "explain_axiom_violation",
+    "explain_verdict",
+    "render_explanations",
+]

@@ -1,0 +1,77 @@
+"""The axiom library: x86-TSO consistency (§II-A) and x86t_elt transistency
+(§V-A), written once against the generic relational protocol.
+
+Derived model-level relations (``ppo``, ``fence``) are expressed with the
+same vocabulary operators, so they too work concretely and symbolically.
+"""
+
+from __future__ import annotations
+
+from ..mtm import Vocabulary
+from ..relational.ast import acyclic, no
+
+
+def ppo_tso(v: Vocabulary):
+    """x86-TSO preserved program order: program order over memory events
+    minus the relaxed store->load pairs (§II-A axiom 3).
+
+    Ghost instructions are not in po, so ppo never touches them.
+    """
+    po_mem = v.po & v.memory_event.product(v.memory_event)
+    return po_mem - v.write_like.product(v.read_like)
+
+
+def fence_order(v: Vocabulary):
+    """Pairs of memory events separated by a fence in program order."""
+    before = v.po & v.memory_event.product(v.fence_events)
+    after = v.po & v.fence_events.product(v.memory_event)
+    return before.dot(after)
+
+
+# ----------------------------------------------------------------------
+# x86-TSO consistency axioms (paper §II-A, after herding-cats [3])
+# ----------------------------------------------------------------------
+def sc_per_loc(v: Vocabulary):
+    """{rf + co + fr + po_loc} is acyclic: per-location sequential
+    consistency (coherence).  Covers user-facing, support *and* ghost
+    accesses — po_loc orders ghosts by their parent's program slot."""
+    return acyclic(v.rf + v.co + v.fr + v.po_loc)
+
+
+def rmw_atomicity(v: Vocabulary):
+    """No intervening same-address write between the Read and Write of an
+    atomic RMW: fr.co does not intersect rmw."""
+    return no(v.fr.dot(v.co) & v.rmw)
+
+
+def causality(v: Vocabulary):
+    """{rfe + co + fr + ppo + fence} is acyclic (store-buffer TSO)."""
+    return acyclic(v.rfe + v.co + v.fr + ppo_tso(v) + fence_order(v))
+
+
+# ----------------------------------------------------------------------
+# x86t_elt transistency axioms (paper §V-A)
+# ----------------------------------------------------------------------
+def invlpg(v: Vocabulary):
+    """{fr_va + ^po + remap} is acyclic: after a remap's INVLPG reaches a
+    core, later same-VA accesses on that core must not use the stale
+    mapping (§V-A1).  ``po`` here is already transitively closed, and
+    acyclicity is invariant under closure."""
+    return acyclic(v.fr_va + v.po + v.remap)
+
+
+def tlb_causality(v: Vocabulary):
+    """{ptw_source + com} is acyclic: an event sourced by a TLB entry that
+    event e's walk populated cannot be com-ordered before e (§V-A2).
+    Diagnostic: localizes bugs to TLB implementations."""
+    return acyclic(v.ptw_source + v.com)
+
+
+# ----------------------------------------------------------------------
+# Sequential consistency (baseline, Lamport [27])
+# ----------------------------------------------------------------------
+def sc_order(v: Vocabulary):
+    """{com + po over memory events} is acyclic: a single total order
+    explains the execution."""
+    po_mem = v.po & v.memory_event.product(v.memory_event)
+    return acyclic(v.com + po_mem)

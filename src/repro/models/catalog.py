@@ -1,0 +1,91 @@
+"""The model catalog: SC, x86-TSO, x86t_elt, and bug-modeling variants.
+
+``x86t_elt`` is the paper's case-study MTM (§V): the x86-TSO consistency
+axioms plus the ``invlpg`` and ``tlb_causality`` transistency axioms.
+
+``x86t_amd_bug`` models the AMD Athlon/Opteron erratum the paper motivates
+with (§I, [4]): INVLPG fails to invalidate the designated TLB entries, so
+stale-mapping reads after a remap become observable — captured by dropping
+the ``invlpg`` axiom.  ELTs forbidden by ``x86t_elt`` but permitted by
+``x86t_amd_bug`` are exactly the tests that expose the bug.
+"""
+
+from __future__ import annotations
+
+from . import axioms
+from .base import Axiom, MemoryModel
+
+SC_PER_LOC = Axiom(
+    "sc_per_loc",
+    axioms.sc_per_loc,
+    "acyclic(rf + co + fr + po_loc): per-location coherence",
+)
+RMW_ATOMICITY = Axiom(
+    "rmw_atomicity",
+    axioms.rmw_atomicity,
+    "no (fr.co & rmw): atomic read-modify-writes",
+)
+CAUSALITY = Axiom(
+    "causality",
+    axioms.causality,
+    "acyclic(rfe + co + fr + ppo + fence): TSO global ordering",
+)
+INVLPG = Axiom(
+    "invlpg",
+    axioms.invlpg,
+    "acyclic(fr_va + ^po + remap): no stale mappings after remap INVLPGs",
+)
+TLB_CAUSALITY = Axiom(
+    "tlb_causality",
+    axioms.tlb_causality,
+    "acyclic(ptw_source + com): TLB-entry sourcing respects causality",
+    diagnostic=True,
+)
+SC_ORDER = Axiom(
+    "sc_order",
+    axioms.sc_order,
+    "acyclic(com + po): a single interleaving explains the execution",
+)
+
+
+def sequential_consistency() -> MemoryModel:
+    """Lamport SC over the MTM event space (baseline)."""
+    return MemoryModel("sc", [SC_ORDER, RMW_ATOMICITY])
+
+
+def x86tso() -> MemoryModel:
+    """The x86-TSO consistency predicate (§II-A)."""
+    return MemoryModel("x86tso", [SC_PER_LOC, RMW_ATOMICITY, CAUSALITY])
+
+
+def x86t_elt() -> MemoryModel:
+    """The paper's estimated Intel x86 MTM (§V-A): transistency = x86-TSO
+    consistency + {invlpg, tlb_causality}."""
+    return x86tso().extended("x86t_elt", [INVLPG, TLB_CAUSALITY])
+
+
+def x86t_amd_bug() -> MemoryModel:
+    """x86t_elt with the invlpg guarantee *removed*: models hardware whose
+    INVLPG fails to invalidate TLB entries (AMD erratum [4])."""
+    return x86t_elt().without("x86t_amd_bug", ["invlpg"])
+
+
+def sc_t() -> MemoryModel:
+    """A sequentially-consistent *transistency* model: SC over user events
+    plus the same VM axioms as x86t_elt.  Useful as a stronger reference —
+    everything x86t_elt forbids, sc_t forbids too, plus the store-buffer
+    behaviors SC rules out.  Demonstrates that the vocabulary composes
+    with any base consistency predicate (the paper's "arbitrary MTMs")."""
+    return sequential_consistency().extended(
+        "sc_t", [SC_PER_LOC, INVLPG, TLB_CAUSALITY]
+    )
+
+
+#: The five x86t_elt axioms in the order the paper's Fig 9 reports them.
+X86T_ELT_AXIOM_NAMES = (
+    "sc_per_loc",
+    "rmw_atomicity",
+    "causality",
+    "invlpg",
+    "tlb_causality",
+)

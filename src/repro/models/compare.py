@@ -1,0 +1,82 @@
+"""Model-vs-model comparison over ELT executions.
+
+Given two models (say, correct x86t_elt and an erratum variant) and a set
+of candidate executions, classify each execution by the pair of verdicts.
+Executions *forbidden by the reference but permitted by the subject* are
+the discriminating tests: observing one on hardware proves the subject
+model (not the reference) describes the machine — exactly how synthesized
+ELTs "inform system designers about the software-visible effects of VM
+implementations" (paper §I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from ..mtm import Execution
+from .base import MemoryModel
+
+
+class Agreement(Enum):
+    BOTH_PERMIT = "both-permit"
+    BOTH_FORBID = "both-forbid"
+    ONLY_REFERENCE_FORBIDS = "only-reference-forbids"  # discriminating
+    ONLY_SUBJECT_FORBIDS = "only-subject-forbids"
+
+
+@dataclass
+class ModelComparison:
+    reference: str
+    subject: str
+    buckets: dict[Agreement, list[Execution]] = field(
+        default_factory=lambda: {a: [] for a in Agreement}
+    )
+
+    @property
+    def discriminating(self) -> list[Execution]:
+        """Executions the reference forbids but the subject permits — the
+        bug-detector tests."""
+        return self.buckets[Agreement.ONLY_REFERENCE_FORBIDS]
+
+    def counts(self) -> dict[str, int]:
+        return {a.value: len(execs) for a, execs in self.buckets.items()}
+
+    @property
+    def equivalent_on_inputs(self) -> bool:
+        return not (
+            self.buckets[Agreement.ONLY_REFERENCE_FORBIDS]
+            or self.buckets[Agreement.ONLY_SUBJECT_FORBIDS]
+        )
+
+
+def compare_models(
+    reference: MemoryModel,
+    subject: MemoryModel,
+    executions: Iterable[Execution],
+) -> ModelComparison:
+    """Bucket executions by the verdict pair (reference, subject)."""
+    comparison = ModelComparison(reference.name, subject.name)
+    for execution in executions:
+        ref_permits = reference.permits(execution)
+        sub_permits = subject.permits(execution)
+        if ref_permits and sub_permits:
+            bucket = Agreement.BOTH_PERMIT
+        elif not ref_permits and not sub_permits:
+            bucket = Agreement.BOTH_FORBID
+        elif not ref_permits and sub_permits:
+            bucket = Agreement.ONLY_REFERENCE_FORBIDS
+        else:
+            bucket = Agreement.ONLY_SUBJECT_FORBIDS
+        comparison.buckets[bucket].append(execution)
+    return comparison
+
+
+def discriminating_elts(
+    reference: MemoryModel,
+    subject: MemoryModel,
+    executions: Iterable[Execution],
+) -> list[Execution]:
+    """The tests that distinguish ``subject`` hardware from ``reference``."""
+    return compare_models(reference, subject, executions).discriminating

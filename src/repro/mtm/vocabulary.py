@@ -1,0 +1,98 @@
+"""The MTM vocabulary as a namespace object (Table I).
+
+:class:`Vocabulary` wraps a mapping from relation names to relation values
+and exposes them as attributes.  The values may be concrete
+:class:`~repro.relational.TupleSet` objects (when checking a candidate
+execution) or symbolic :class:`~repro.relational.ast.Expr` nodes (when
+compiling to SAT) — memory-model axioms are written once against this
+namespace and work in both modes (see :mod:`repro.models.base`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from ..errors import VocabularyError
+from ..relational import TupleSet
+from ..relational.ast import Expr, Rel
+from . import names
+
+RelationLike = Union[TupleSet, Expr]
+
+
+class Vocabulary:
+    """Attribute-style access to the Table I relations.
+
+    >>> from repro.relational import TupleSet
+    >>> voc = Vocabulary({"rf": TupleSet.pairs([("a", "b")])},
+    ...                  strict=False)
+    >>> ("a", "b") in voc.rf
+    True
+    """
+
+    _FIELDS = tuple(names.UNARY_SETS) + tuple(names.BINARY_RELATIONS)
+
+    def __init__(
+        self, relations: Mapping[str, RelationLike], strict: bool = True
+    ) -> None:
+        self._relations = dict(relations)
+        if strict:
+            missing = [f for f in self._FIELDS if f not in self._relations]
+            if missing:
+                raise VocabularyError(f"vocabulary missing relations: {missing}")
+
+    def __getattr__(self, item: str):
+        # Map pythonic attribute names onto registry names: unary sets use
+        # CamelCase registry names ("Read"), binary use snake_case already.
+        relations = object.__getattribute__(self, "_relations")
+        if item in relations:
+            return relations[item]
+        camel = item[:1].upper() + item[1:]
+        for candidate in (item, camel):
+            if candidate in relations:
+                return relations[candidate]
+        raise AttributeError(f"no relation {item!r} in vocabulary")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    # Convenience aliases matching the paper's prose -------------------
+    @property
+    def read(self):
+        return self._relations[names.READ]
+
+    @property
+    def write(self):
+        return self._relations[names.WRITE]
+
+    @property
+    def memory_event(self):
+        return self._relations[names.MEMORY]
+
+    @property
+    def user_event(self):
+        return self._relations[names.USER]
+
+    @property
+    def write_like(self):
+        return self._relations[names.WRITE_LIKE]
+
+    @property
+    def read_like(self):
+        return self._relations[names.READ_LIKE]
+
+    @property
+    def fence_events(self):
+        return self._relations[names.FENCE]
+
+
+def symbolic_vocabulary() -> Vocabulary:
+    """A Vocabulary of symbolic relation references, for compiling model
+    predicates into relational formulas (SAT backend and documentation)."""
+    relations: dict[str, RelationLike] = {}
+    for name in names.UNARY_SETS:
+        relations[name] = Rel(name, 1)
+    for name in names.BINARY_RELATIONS:
+        relations[name] = Rel(name, 2)
+    return Vocabulary(relations)

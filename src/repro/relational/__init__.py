@@ -1,0 +1,98 @@
+"""Bounded relational model finding (Alloy 4.2 + Kodkod stand-in).
+
+Public surface:
+
+* :class:`TupleSet` — concrete relations with Alloy-style operators.
+* AST constructors from :mod:`repro.relational.ast` (``Rel``, ``forall``,
+  ``exists``, ``acyclic``, ``no``, ``some``, ``subset``, ``conj`` ...).
+* :class:`Instance` — a concrete model.
+* :func:`eval_expr` / :func:`eval_formula` — reference evaluation.
+* :class:`Problem` — declare bounds, constrain, solve/enumerate via SAT.
+"""
+
+from .ast import (
+    And,
+    Closure,
+    Difference,
+    Exists,
+    Expr,
+    FalseF,
+    ForAll,
+    Formula,
+    Iden,
+    Intersect,
+    Join,
+    Literal,
+    Lone,
+    No,
+    Not,
+    One,
+    Or,
+    Product,
+    Rel,
+    Some,
+    Subset,
+    Transpose,
+    TrueF,
+    Union_,
+    Univ,
+    VarRef,
+    acyclic,
+    conj,
+    disj,
+    exists,
+    forall,
+    irreflexive,
+    no,
+    some,
+    subset,
+)
+from .instance import Instance
+from .eval import eval_expr, eval_formula
+from .translate import Problem, RelationBound
+from .tuples import TupleSet
+
+__all__ = [
+    "TupleSet",
+    "Instance",
+    "Problem",
+    "RelationBound",
+    "eval_expr",
+    "eval_formula",
+    # AST
+    "Expr",
+    "Formula",
+    "Rel",
+    "Literal",
+    "Iden",
+    "Univ",
+    "VarRef",
+    "Union_",
+    "Intersect",
+    "Difference",
+    "Join",
+    "Product",
+    "Transpose",
+    "Closure",
+    "TrueF",
+    "FalseF",
+    "Subset",
+    "Some",
+    "No",
+    "One",
+    "Lone",
+    "Not",
+    "And",
+    "Or",
+    "ForAll",
+    "Exists",
+    "forall",
+    "exists",
+    "conj",
+    "disj",
+    "acyclic",
+    "irreflexive",
+    "no",
+    "some",
+    "subset",
+]

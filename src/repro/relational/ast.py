@@ -1,0 +1,428 @@
+"""Relational logic AST — the reproduction's Alloy-lite.
+
+Expressions denote relations (sets of atom tuples); formulas denote truth
+values.  The same operator protocol is implemented by concrete
+:class:`~repro.relational.tuples.TupleSet`, so axiom definitions written
+with the *generic* helpers at the bottom of this module (``acyclic``,
+``no``, ``some``, ``subset``...) work both symbolically (building formulas
+for the SAT translation) and concretely (returning plain booleans).
+
+Example — the x86-TSO ``sc_per_loc`` axiom, written once::
+
+    def sc_per_loc(v):
+        return acyclic(v.rf + v.co + v.fr + v.po_loc)
+
+where ``v``'s attributes are either ``Expr`` nodes or ``TupleSet``s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Union as TUnion
+
+from ..errors import ArityError, RelationalError
+from .tuples import TupleSet
+
+
+class Expr:
+    """Base class for relational expressions."""
+
+    arity: int
+
+    # -- algebra -------------------------------------------------------
+    def __add__(self, other: "Expr") -> "Expr":
+        return Union_(self, _as_expr(other))
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Intersect(self, _as_expr(other))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Difference(self, _as_expr(other))
+
+    def dot(self, other: "Expr") -> "Expr":
+        return Join(self, _as_expr(other))
+
+    def product(self, other: "Expr") -> "Expr":
+        return Product(self, _as_expr(other))
+
+    def t(self) -> "Expr":
+        return Transpose(self)
+
+    def plus(self) -> "Expr":
+        return Closure(self)
+
+    def star(self, _atoms: object = None) -> "Expr":
+        """Reflexive-transitive closure.  The ``atoms`` argument exists for
+        protocol compatibility with TupleSet and is ignored (the universe
+        supplies the identity)."""
+        return Union_(Closure(self), Iden())
+
+    # -- formulas ------------------------------------------------------
+    def in_(self, other: "Expr") -> "Formula":
+        return Subset(self, _as_expr(other))
+
+    def eq(self, other: "Expr") -> "Formula":
+        other = _as_expr(other)
+        return And(Subset(self, other), Subset(other, self))
+
+    def some(self) -> "Formula":
+        return Some(self)
+
+    def no_(self) -> "Formula":
+        return No(self)
+
+    def one(self) -> "Formula":
+        return One(self)
+
+    def lone(self) -> "Formula":
+        return Lone(self)
+
+
+def _as_expr(value: TUnion["Expr", TupleSet]) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, TupleSet):
+        return Literal(value)
+    raise RelationalError(f"not a relational expression: {value!r}")
+
+
+@dataclass(frozen=True)
+class Rel(Expr):
+    """Reference to a declared relation."""
+
+    name: str
+    arity: int = 2
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant relation."""
+
+    value: TupleSet
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.value.arity
+
+    def __repr__(self) -> str:
+        return f"lit{sorted(self.value.tuples)}"
+
+
+@dataclass(frozen=True)
+class Iden(Expr):
+    """Identity relation over the universe."""
+
+    arity: int = field(default=2, init=False)
+
+    def __repr__(self) -> str:
+        return "iden"
+
+
+@dataclass(frozen=True)
+class Univ(Expr):
+    """All atoms of the universe (unary)."""
+
+    arity: int = field(default=1, init=False)
+
+    def __repr__(self) -> str:
+        return "univ"
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A quantified variable: a singleton unary relation."""
+
+    name: str
+    arity: int = field(default=1, init=False)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def _require_same_arity(a: Expr, b: Expr, op: str) -> int:
+    if a.arity != b.arity:
+        raise ArityError(f"{op} requires equal arities: {a.arity} vs {b.arity}")
+    return a.arity
+
+
+@dataclass(frozen=True)
+class Union_(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return _require_same_arity(self.left, self.right, "union")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Intersect(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return _require_same_arity(self.left, self.right, "intersection")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return _require_same_arity(self.left, self.right, "difference")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} - {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        arity = self.left.arity + self.right.arity - 2
+        if arity < 1:
+            raise ArityError("join of two unary relations has arity 0")
+        return arity
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}.{self.right!r})"
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    left: Expr
+    right: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.left.arity + self.right.arity
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}->{self.right!r})"
+
+
+@dataclass(frozen=True)
+class Transpose(Expr):
+    arg: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        if self.arg.arity != 2:
+            raise ArityError(f"transpose requires arity 2, got {self.arg.arity}")
+        return 2
+
+    def __repr__(self) -> str:
+        return f"~{self.arg!r}"
+
+
+@dataclass(frozen=True)
+class Closure(Expr):
+    arg: Expr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        if self.arg.arity != 2:
+            raise ArityError(f"closure requires arity 2, got {self.arg.arity}")
+        return 2
+
+    def __repr__(self) -> str:
+        return f"^{self.arg!r}"
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+class Formula:
+    def and_(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def or_(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Or(Not(self), other)
+
+    def not_(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Subset(Formula):
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} in {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Some(Formula):
+    arg: Expr
+
+    def __repr__(self) -> str:
+        return f"some {self.arg!r}"
+
+
+@dataclass(frozen=True)
+class No(Formula):
+    arg: Expr
+
+    def __repr__(self) -> str:
+        return f"no {self.arg!r}"
+
+
+@dataclass(frozen=True)
+class One(Formula):
+    arg: Expr
+
+    def __repr__(self) -> str:
+        return f"one {self.arg!r}"
+
+
+@dataclass(frozen=True)
+class Lone(Formula):
+    arg: Expr
+
+    def __repr__(self) -> str:
+        return f"lone {self.arg!r}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    arg: Formula
+
+    def __repr__(self) -> str:
+        return f"!{self.arg!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} && {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} || {self.right!r})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    var: str
+    domain: Expr
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"(all {self.var}: {self.domain!r} | {self.body!r})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: str
+    domain: Expr
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"(some {self.var}: {self.domain!r} | {self.body!r})"
+
+
+def forall(var: str, domain: Expr, body: Callable[[VarRef], Formula]) -> Formula:
+    """``all var: domain | body(var)`` with a fresh variable reference."""
+    ref = VarRef(var)
+    return ForAll(var, _as_expr(domain), body(ref))
+
+
+def exists(var: str, domain: Expr, body: Callable[[VarRef], Formula]) -> Formula:
+    ref = VarRef(var)
+    return Exists(var, _as_expr(domain), body(ref))
+
+
+def conj(formulas: Iterable[Formula]) -> Formula:
+    """Conjunction of a formula sequence (TrueF if empty)."""
+    result: Formula | None = None
+    for formula in formulas:
+        result = formula if result is None else And(result, formula)
+    return result if result is not None else TrueF()
+
+
+def disj(formulas: Iterable[Formula]) -> Formula:
+    result: Formula | None = None
+    for formula in formulas:
+        result = formula if result is None else Or(result, formula)
+    return result if result is not None else FalseF()
+
+
+# ----------------------------------------------------------------------
+# Generic (concrete-or-symbolic) axiom helpers
+# ----------------------------------------------------------------------
+RelationLike = TUnion[Expr, TupleSet]
+Truthy = TUnion[Formula, bool]
+
+
+def acyclic(relation: RelationLike) -> Truthy:
+    """No cycles in a binary relation.
+
+    Concretely: graph search.  Symbolically: ``no (^r & iden)``.
+    """
+    if isinstance(relation, TupleSet):
+        return relation.is_acyclic()
+    return No(Intersect(Closure(_as_expr(relation)), Iden()))
+
+
+def irreflexive(relation: RelationLike) -> Truthy:
+    if isinstance(relation, TupleSet):
+        return relation.is_irreflexive()
+    return No(Intersect(_as_expr(relation), Iden()))
+
+
+def no(relation: RelationLike) -> Truthy:
+    """The relation is empty."""
+    if isinstance(relation, TupleSet):
+        return relation.is_empty()
+    return No(_as_expr(relation))
+
+
+def some(relation: RelationLike) -> Truthy:
+    if isinstance(relation, TupleSet):
+        return bool(relation)
+    return Some(_as_expr(relation))
+
+
+def subset(left: RelationLike, right: RelationLike) -> Truthy:
+    if isinstance(left, TupleSet) and isinstance(right, TupleSet):
+        return left.is_subset(right)
+    return Subset(_as_expr(left), _as_expr(right))

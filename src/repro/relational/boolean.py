@@ -1,0 +1,164 @@
+"""Hash-consed boolean circuits.
+
+The Kodkod-style translation evaluates relational expressions into boolean
+adjacency matrices whose entries are nodes of this circuit language.  The
+builder interns nodes structurally so identical subcircuits are shared, and
+performs light simplification (constant folding, involution of negation,
+flattening of nested conjunctions/disjunctions).
+
+Circuits are converted to CNF with the Tseitin transformation in
+:mod:`repro.relational.translate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..errors import RelationalError
+
+
+@dataclass(frozen=True)
+class BTrue:
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class BFalse:
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class BVar:
+    var: int  # positive SAT variable index
+
+    def __repr__(self) -> str:
+        return f"v{self.var}"
+
+
+@dataclass(frozen=True)
+class BNot:
+    arg: "BoolNode"
+
+    def __repr__(self) -> str:
+        return f"!{self.arg!r}"
+
+
+@dataclass(frozen=True)
+class BAnd:
+    args: tuple["BoolNode", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class BOr:
+    args: tuple["BoolNode", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(a) for a in self.args) + ")"
+
+
+BoolNode = Union[BTrue, BFalse, BVar, BNot, BAnd, BOr]
+
+TRUE = BTrue()
+FALSE = BFalse()
+
+
+class BoolBuilder:
+    """Factory for interned, lightly-simplified boolean nodes."""
+
+    def __init__(self) -> None:
+        self._interned: dict[object, BoolNode] = {}
+
+    def _intern(self, node: BoolNode) -> BoolNode:
+        found = self._interned.get(node)
+        if found is not None:
+            return found
+        self._interned[node] = node
+        return node
+
+    def var(self, var: int) -> BoolNode:
+        if var <= 0:
+            raise RelationalError(f"boolean variables must be positive: {var}")
+        return self._intern(BVar(var))
+
+    def not_(self, arg: BoolNode) -> BoolNode:
+        if isinstance(arg, BTrue):
+            return FALSE
+        if isinstance(arg, BFalse):
+            return TRUE
+        if isinstance(arg, BNot):
+            return arg.arg
+        return self._intern(BNot(arg))
+
+    def and_(self, args: Iterable[BoolNode]) -> BoolNode:
+        flat: list[BoolNode] = []
+        seen: set[BoolNode] = set()
+        for arg in args:
+            if isinstance(arg, BFalse):
+                return FALSE
+            if isinstance(arg, BTrue):
+                continue
+            parts = arg.args if isinstance(arg, BAnd) else (arg,)
+            for part in parts:
+                complement = part.arg if isinstance(part, BNot) else BNot(part)
+                if complement in seen:
+                    return FALSE
+                if part not in seen:
+                    seen.add(part)
+                    flat.append(part)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return self._intern(BAnd(tuple(flat)))
+
+    def or_(self, args: Iterable[BoolNode]) -> BoolNode:
+        flat: list[BoolNode] = []
+        seen: set[BoolNode] = set()
+        for arg in args:
+            if isinstance(arg, BTrue):
+                return TRUE
+            if isinstance(arg, BFalse):
+                continue
+            parts = arg.args if isinstance(arg, BOr) else (arg,)
+            for part in parts:
+                complement = part.arg if isinstance(part, BNot) else BNot(part)
+                if complement in seen:
+                    return TRUE
+                if part not in seen:
+                    seen.add(part)
+                    flat.append(part)
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return self._intern(BOr(tuple(flat)))
+
+    def implies(self, a: BoolNode, b: BoolNode) -> BoolNode:
+        return self.or_([self.not_(a), b])
+
+    def iff(self, a: BoolNode, b: BoolNode) -> BoolNode:
+        return self.and_([self.implies(a, b), self.implies(b, a)])
+
+
+def evaluate_node(node: BoolNode, assignment: dict[int, bool]) -> bool:
+    """Evaluate a circuit under a total SAT assignment (used by tests and by
+    instance extraction)."""
+    if isinstance(node, BTrue):
+        return True
+    if isinstance(node, BFalse):
+        return False
+    if isinstance(node, BVar):
+        return assignment[node.var]
+    if isinstance(node, BNot):
+        return not evaluate_node(node.arg, assignment)
+    if isinstance(node, BAnd):
+        return all(evaluate_node(arg, assignment) for arg in node.args)
+    if isinstance(node, BOr):
+        return any(evaluate_node(arg, assignment) for arg in node.args)
+    raise RelationalError(f"unknown boolean node: {node!r}")

@@ -1,0 +1,105 @@
+"""Reference evaluator: relational AST against a concrete :class:`Instance`.
+
+Used to (a) check candidate instances against formulas without going through
+SAT, and (b) cross-validate the symbolic translator in the test suite — the
+translator and this evaluator must agree on every (formula, instance) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import RelationalError
+from . import ast
+from .instance import Instance
+from .tuples import Atom, TupleSet
+
+Env = Mapping[str, Atom]
+
+
+def eval_expr(expr: ast.Expr, instance: Instance, env: Env | None = None) -> TupleSet:
+    """Evaluate an expression to a concrete tuple set."""
+    env = env or {}
+    if isinstance(expr, ast.Rel):
+        return instance.relation(expr.name)
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Iden):
+        return TupleSet.identity(instance.atoms)
+    if isinstance(expr, ast.Univ):
+        return TupleSet.unary(instance.atoms)
+    if isinstance(expr, ast.VarRef):
+        if expr.name not in env:
+            raise RelationalError(f"unbound variable: {expr.name}")
+        return TupleSet.unary([env[expr.name]])
+    if isinstance(expr, ast.Union_):
+        return eval_expr(expr.left, instance, env) + eval_expr(expr.right, instance, env)
+    if isinstance(expr, ast.Intersect):
+        return eval_expr(expr.left, instance, env) & eval_expr(expr.right, instance, env)
+    if isinstance(expr, ast.Difference):
+        return eval_expr(expr.left, instance, env) - eval_expr(expr.right, instance, env)
+    if isinstance(expr, ast.Join):
+        return eval_expr(expr.left, instance, env).dot(
+            eval_expr(expr.right, instance, env)
+        )
+    if isinstance(expr, ast.Product):
+        return eval_expr(expr.left, instance, env).product(
+            eval_expr(expr.right, instance, env)
+        )
+    if isinstance(expr, ast.Transpose):
+        return eval_expr(expr.arg, instance, env).t()
+    if isinstance(expr, ast.Closure):
+        return eval_expr(expr.arg, instance, env).plus()
+    raise RelationalError(f"unknown expression node: {expr!r}")
+
+
+def eval_formula(
+    formula: ast.Formula, instance: Instance, env: Env | None = None
+) -> bool:
+    """Evaluate a formula to a boolean."""
+    env = env or {}
+    if isinstance(formula, ast.TrueF):
+        return True
+    if isinstance(formula, ast.FalseF):
+        return False
+    if isinstance(formula, ast.Subset):
+        return eval_expr(formula.left, instance, env).is_subset(
+            eval_expr(formula.right, instance, env)
+        )
+    if isinstance(formula, ast.Some):
+        return bool(eval_expr(formula.arg, instance, env))
+    if isinstance(formula, ast.No):
+        return not eval_expr(formula.arg, instance, env)
+    if isinstance(formula, ast.One):
+        return len(eval_expr(formula.arg, instance, env)) == 1
+    if isinstance(formula, ast.Lone):
+        return len(eval_expr(formula.arg, instance, env)) <= 1
+    if isinstance(formula, ast.Not):
+        return not eval_formula(formula.arg, instance, env)
+    if isinstance(formula, ast.And):
+        return eval_formula(formula.left, instance, env) and eval_formula(
+            formula.right, instance, env
+        )
+    if isinstance(formula, ast.Or):
+        return eval_formula(formula.left, instance, env) or eval_formula(
+            formula.right, instance, env
+        )
+    if isinstance(formula, ast.ForAll):
+        domain = eval_expr(formula.domain, instance, env)
+        if domain.arity != 1:
+            raise RelationalError("quantifier domain must be unary")
+        for (atom,) in domain:
+            extended = {**env, formula.var: atom}
+            if not eval_formula(formula.body, instance, extended):
+                return False
+        return True
+    if isinstance(formula, ast.Exists):
+        domain = eval_expr(formula.domain, instance, env)
+        if domain.arity != 1:
+            raise RelationalError("quantifier domain must be unary")
+        for (atom,) in domain:
+            extended = {**env, formula.var: atom}
+            if eval_formula(formula.body, instance, extended):
+                return True
+        return False
+    raise RelationalError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,365 @@
+"""Bounded relational model finding: the Kodkod [52] stand-in.
+
+A :class:`Problem` fixes a universe of atoms and declares relations with
+lower/upper tuple bounds.  Expressions are evaluated into *boolean
+adjacency matrices* (sparse maps from tuples to circuit nodes); formulas
+compile to circuits; the Tseitin transformation yields CNF which the
+:mod:`repro.sat` CDCL solver searches.  Models are decoded back into
+:class:`~repro.relational.instance.Instance` objects.
+
+This is exactly the pipeline TransForm relies on via Alloy 4.2 + Kodkod +
+MiniSat (paper §IV-C), re-implemented at the scale this reproduction needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Optional
+
+from ..errors import RelationalError
+from ..sat import CdclSolver, Cnf
+from . import ast
+from .boolean import (
+    FALSE,
+    TRUE,
+    BAnd,
+    BFalse,
+    BNot,
+    BOr,
+    BoolBuilder,
+    BoolNode,
+    BTrue,
+    BVar,
+)
+from .instance import Instance
+from .tuples import Atom, Tuple_, TupleSet
+
+Matrix = dict[Tuple_, BoolNode]
+
+
+class RelationBound:
+    """Lower/upper tuple bounds for one declared relation."""
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        upper: Iterable[Tuple_],
+        lower: Iterable[Tuple_] = (),
+    ) -> None:
+        self.name = name
+        self.arity = arity
+        self.upper = frozenset(tuple(t) for t in upper)
+        self.lower = frozenset(tuple(t) for t in lower)
+        for t in self.upper | self.lower:
+            if len(t) != arity:
+                raise RelationalError(
+                    f"bound tuple {t} of {name!r} has arity {len(t)}, expected {arity}"
+                )
+        if not self.lower <= self.upper:
+            raise RelationalError(
+                f"lower bound of {name!r} is not contained in its upper bound"
+            )
+
+
+class Problem:
+    """A bounded relational satisfaction problem."""
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        self.atoms: tuple[Atom, ...] = tuple(dict.fromkeys(atoms))
+        if not self.atoms:
+            raise RelationalError("universe must contain at least one atom")
+        self._bounds: dict[str, RelationBound] = {}
+        self._constraints: list[ast.Formula] = []
+
+    # ------------------------------------------------------------------
+    # Declaration API
+    # ------------------------------------------------------------------
+    def declare(
+        self,
+        name: str,
+        arity: int,
+        upper: Optional[Iterable[Tuple_]] = None,
+        lower: Iterable[Tuple_] = (),
+    ) -> ast.Rel:
+        """Declare a relation; ``upper`` defaults to all tuples of the given
+        arity over the universe."""
+        if name in self._bounds:
+            raise RelationalError(f"relation {name!r} already declared")
+        if upper is None:
+            upper = _all_tuples(self.atoms, arity)
+        bound = RelationBound(name, arity, upper, lower)
+        stray = {a for t in bound.upper for a in t} - set(self.atoms)
+        if stray:
+            raise RelationalError(
+                f"bounds of {name!r} mention unknown atoms: {sorted(stray)}"
+            )
+        self._bounds[name] = bound
+        return ast.Rel(name, arity)
+
+    def constrain(self, formula: ast.Formula) -> None:
+        self._constraints.append(formula)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self) -> Optional[Instance]:
+        """Return one satisfying instance, or None."""
+        for instance in self.iter_instances(limit=1):
+            return instance
+        return None
+
+    def iter_instances(self, limit: Optional[int] = None) -> Iterator[Instance]:
+        """Enumerate satisfying instances, distinct on declared relations."""
+        compiled = _Compilation(self)
+        solver = CdclSolver(compiled.cnf)
+        count = 0
+        while limit is None or count < limit:
+            result = solver.solve()
+            if not result.satisfiable:
+                return
+            model = result.model
+            assert model is not None
+            yield compiled.decode(model)
+            count += 1
+            blocking = [
+                (-var if model.get(var, False) else var)
+                for var in compiled.tuple_vars
+            ]
+            if not blocking:
+                return
+            if not solver.add_clause(blocking):
+                return
+
+
+def _all_tuples(atoms: tuple[Atom, ...], arity: int) -> list[Tuple_]:
+    out: list[Tuple_] = [()]
+    for _ in range(arity):
+        out = [t + (a,) for t in out for a in atoms]
+    return out
+
+
+class _Compilation:
+    """Compiled form of a Problem: CNF + decoding tables."""
+
+    def __init__(self, problem: Problem) -> None:
+        self.problem = problem
+        self.builder = BoolBuilder()
+        self.cnf = Cnf()
+        self._rel_matrices: dict[str, Matrix] = {}
+        self._var_to_entry: dict[int, tuple[str, Tuple_]] = {}
+        self.tuple_vars: list[int] = []
+        self._tseitin_cache: dict[BoolNode, int] = {}
+
+        for name, bound in problem._bounds.items():
+            matrix: Matrix = {}
+            for t in sorted(bound.upper):
+                if t in bound.lower:
+                    matrix[t] = TRUE
+                else:
+                    var = self.cnf.new_var()
+                    matrix[t] = self.builder.var(var)
+                    self._var_to_entry[var] = (name, t)
+                    self.tuple_vars.append(var)
+            self._rel_matrices[name] = matrix
+
+        root_nodes = [
+            self._formula(constraint, {}) for constraint in problem._constraints
+        ]
+        root = self.builder.and_(root_nodes)
+        root_lit = self._tseitin(root)
+        self.cnf.add_clause([root_lit])
+
+    # ------------------------------------------------------------------
+    # Expression -> matrix
+    # ------------------------------------------------------------------
+    def _expr(self, expr: ast.Expr, env: dict[str, Atom]) -> Matrix:
+        builder = self.builder
+        if isinstance(expr, ast.Rel):
+            if expr.name not in self._rel_matrices:
+                raise RelationalError(f"relation {expr.name!r} was never declared")
+            return self._rel_matrices[expr.name]
+        if isinstance(expr, ast.Literal):
+            return {t: TRUE for t in expr.value.tuples}
+        if isinstance(expr, ast.Iden):
+            return {(a, a): TRUE for a in self.problem.atoms}
+        if isinstance(expr, ast.Univ):
+            return {(a,): TRUE for a in self.problem.atoms}
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in env:
+                raise RelationalError(f"unbound variable: {expr.name}")
+            return {(env[expr.name],): TRUE}
+        if isinstance(expr, ast.Union_):
+            left = self._expr(expr.left, env)
+            right = self._expr(expr.right, env)
+            out: Matrix = dict(left)
+            for t, node in right.items():
+                out[t] = builder.or_([out.get(t, FALSE), node])
+            return out
+        if isinstance(expr, ast.Intersect):
+            left = self._expr(expr.left, env)
+            right = self._expr(expr.right, env)
+            return {
+                t: builder.and_([left[t], right[t]])
+                for t in left.keys() & right.keys()
+            }
+        if isinstance(expr, ast.Difference):
+            left = self._expr(expr.left, env)
+            right = self._expr(expr.right, env)
+            return {
+                t: builder.and_([node, builder.not_(right.get(t, FALSE))])
+                for t, node in left.items()
+            }
+        if isinstance(expr, ast.Join):
+            return self._join(self._expr(expr.left, env), self._expr(expr.right, env))
+        if isinstance(expr, ast.Product):
+            left = self._expr(expr.left, env)
+            right = self._expr(expr.right, env)
+            return {
+                a + b: builder.and_([na, nb])
+                for a, na in left.items()
+                for b, nb in right.items()
+            }
+        if isinstance(expr, ast.Transpose):
+            return {(b, a): node for (a, b), node in self._expr(expr.arg, env).items()}
+        if isinstance(expr, ast.Closure):
+            return self._closure(self._expr(expr.arg, env))
+        raise RelationalError(f"unknown expression node: {expr!r}")
+
+    def _join(self, left: Matrix, right: Matrix) -> Matrix:
+        builder = self.builder
+        by_head: dict[Atom, list[tuple[Tuple_, BoolNode]]] = {}
+        for t, node in right.items():
+            by_head.setdefault(t[0], []).append((t[1:], node))
+        combined: dict[Tuple_, list[BoolNode]] = {}
+        for t, node in left.items():
+            for rest, rnode in by_head.get(t[-1], ()):
+                key = t[:-1] + rest
+                if not key:
+                    raise RelationalError("join of two unary relations has arity 0")
+                combined.setdefault(key, []).append(builder.and_([node, rnode]))
+        return {t: builder.or_(nodes) for t, nodes in combined.items()}
+
+    def _closure(self, matrix: Matrix) -> Matrix:
+        result = dict(matrix)
+        steps = max(1, math.ceil(math.log2(max(2, len(self.problem.atoms)))))
+        for _ in range(steps):
+            squared = self._join(result, result)
+            merged = dict(result)
+            for t, node in squared.items():
+                merged[t] = self.builder.or_([merged.get(t, FALSE), node])
+            result = merged
+        return result
+
+    # ------------------------------------------------------------------
+    # Formula -> circuit
+    # ------------------------------------------------------------------
+    def _formula(self, formula: ast.Formula, env: dict[str, Atom]) -> BoolNode:
+        builder = self.builder
+        if isinstance(formula, ast.TrueF):
+            return TRUE
+        if isinstance(formula, ast.FalseF):
+            return FALSE
+        if isinstance(formula, ast.Subset):
+            left = self._expr(formula.left, env)
+            right = self._expr(formula.right, env)
+            return builder.and_(
+                [builder.implies(node, right.get(t, FALSE)) for t, node in left.items()]
+            )
+        if isinstance(formula, ast.Some):
+            return builder.or_(self._expr(formula.arg, env).values())
+        if isinstance(formula, ast.No):
+            return builder.not_(builder.or_(self._expr(formula.arg, env).values()))
+        if isinstance(formula, ast.One):
+            return self._exactly_one(list(self._expr(formula.arg, env).values()))
+        if isinstance(formula, ast.Lone):
+            return self._at_most_one(list(self._expr(formula.arg, env).values()))
+        if isinstance(formula, ast.Not):
+            return builder.not_(self._formula(formula.arg, env))
+        if isinstance(formula, ast.And):
+            return builder.and_(
+                [self._formula(formula.left, env), self._formula(formula.right, env)]
+            )
+        if isinstance(formula, ast.Or):
+            return builder.or_(
+                [self._formula(formula.left, env), self._formula(formula.right, env)]
+            )
+        if isinstance(formula, (ast.ForAll, ast.Exists)):
+            domain = self._expr(formula.domain, env)
+            for t in domain:
+                if len(t) != 1:
+                    raise RelationalError("quantifier domain must be unary")
+            parts: list[BoolNode] = []
+            for (atom,), guard in domain.items():
+                extended = {**env, formula.var: atom}
+                body = self._formula(formula.body, extended)
+                if isinstance(formula, ast.ForAll):
+                    parts.append(builder.implies(guard, body))
+                else:
+                    parts.append(builder.and_([guard, body]))
+            if isinstance(formula, ast.ForAll):
+                return builder.and_(parts)
+            return builder.or_(parts)
+        raise RelationalError(f"unknown formula node: {formula!r}")
+
+    def _at_most_one(self, nodes: list[BoolNode]) -> BoolNode:
+        builder = self.builder
+        clauses: list[BoolNode] = []
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                clauses.append(
+                    builder.or_([builder.not_(nodes[i]), builder.not_(nodes[j])])
+                )
+        return builder.and_(clauses)
+
+    def _exactly_one(self, nodes: list[BoolNode]) -> BoolNode:
+        return self.builder.and_([self.builder.or_(nodes), self._at_most_one(nodes)])
+
+    # ------------------------------------------------------------------
+    # Tseitin CNF conversion
+    # ------------------------------------------------------------------
+    def _tseitin(self, node: BoolNode) -> int:
+        """Return a literal equisatisfiably representing ``node``."""
+        if isinstance(node, BTrue):
+            if TRUE not in self._tseitin_cache:
+                var = self.cnf.new_var()
+                self.cnf.add_clause([var])
+                self._tseitin_cache[TRUE] = var
+            return self._tseitin_cache[TRUE]
+        if isinstance(node, BFalse):
+            return -self._tseitin(TRUE)
+        if isinstance(node, BVar):
+            return node.var
+        if isinstance(node, BNot):
+            return -self._tseitin(node.arg)
+        cached = self._tseitin_cache.get(node)
+        if cached is not None:
+            return cached
+        arg_lits = [self._tseitin(arg) for arg in node.args]
+        fresh = self.cnf.new_var()
+        if isinstance(node, BAnd):
+            for lit in arg_lits:
+                self.cnf.add_clause([-fresh, lit])
+            self.cnf.add_clause([fresh] + [-lit for lit in arg_lits])
+        elif isinstance(node, BOr):
+            for lit in arg_lits:
+                self.cnf.add_clause([-lit, fresh])
+            self.cnf.add_clause([-fresh] + arg_lits)
+        else:  # pragma: no cover - exhaustive above
+            raise RelationalError(f"unknown boolean node: {node!r}")
+        self._tseitin_cache[node] = fresh
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, model: dict[int, bool]) -> Instance:
+        relations: dict[str, TupleSet] = {}
+        for name, bound in self.problem._bounds.items():
+            tuples = set(bound.lower)
+            matrix = self._rel_matrices[name]
+            for t, node in matrix.items():
+                if isinstance(node, BVar) and model.get(node.var, False):
+                    tuples.add(t)
+            relations[name] = TupleSet(bound.arity, tuples)
+        return Instance(self.problem.atoms, relations)

@@ -1,0 +1,30 @@
+"""Experiment drivers and plain-text reporting (tables, ASCII figures)."""
+
+from .experiments import (
+    DEFAULT_CORPUS_BOUNDS,
+    DEFAULT_MAX_BOUNDS,
+    comparison_corpus,
+    fig9_sweep,
+    render_comparison,
+    render_fig9a,
+    render_fig9b,
+    run_coatcheck_comparison,
+    tlb_causality_attribution,
+)
+from .figures import render_log_plot
+from .tables import render_series_table, render_table
+
+__all__ = [
+    "render_table",
+    "render_series_table",
+    "render_log_plot",
+    "fig9_sweep",
+    "render_fig9a",
+    "render_fig9b",
+    "tlb_causality_attribution",
+    "comparison_corpus",
+    "run_coatcheck_comparison",
+    "render_comparison",
+    "DEFAULT_MAX_BOUNDS",
+    "DEFAULT_CORPUS_BOUNDS",
+]

@@ -1,0 +1,68 @@
+"""ASCII renditions of the paper's figures (log-scale scatter plots).
+
+Fig 9a plots ELT-suite sizes and Fig 9b synthesis runtimes against the
+instruction bound, both on logarithmic y axes; :func:`render_log_plot`
+reproduces that shape in plain text so benchmark output is self-contained.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_log_plot(
+    series: Mapping[str, Mapping[int, float]],
+    title: str,
+    y_label: str,
+    height: int = 12,
+    min_positive: float = 1e-3,
+) -> str:
+    """Plot named series (x -> y) with a log10 y-axis.
+
+    Zero/negative values are clamped to ``min_positive`` (log axes cannot
+    show zero — the paper's Fig 9 simply omits empty suites)."""
+    points: dict[str, dict[int, float]] = {
+        name: {x: max(float(y), min_positive) for x, y in values.items()}
+        for name, values in series.items()
+        if values
+    }
+    if not points:
+        return f"{title}\n(no data)"
+    xs = sorted({x for values in points.values() for x in values})
+    all_y = [y for values in points.values() for y in values.values()]
+    lo = math.floor(math.log10(min(all_y)))
+    hi = math.ceil(math.log10(max(all_y)))
+    if hi == lo:
+        hi = lo + 1
+    rows: list[str] = [title]
+    col_width = max(len(str(x)) for x in xs) + 1
+    for level in range(height, -1, -1):
+        log_y = lo + (hi - lo) * level / height
+        cells = []
+        for x in xs:
+            marker = " "
+            for index, (name, values) in enumerate(points.items()):
+                if x not in values:
+                    continue
+                value_level = (
+                    (math.log10(values[x]) - lo) / (hi - lo) * height
+                )
+                if abs(value_level - level) < 0.5:
+                    marker = _MARKERS[index % len(_MARKERS)]
+            cells.append(marker.center(col_width))
+        axis = f"1e{log_y:+.1f}" if level % 3 == 0 else ""
+        rows.append(f"{axis:>8} |" + "".join(cells))
+    rows.append(" " * 8 + "-+" + "-" * (col_width * len(xs)))
+    rows.append(
+        " " * 8 + "  " + "".join(str(x).center(col_width) for x in xs)
+    )
+    rows.append(" " * 10 + "instruction bound" + f"   (y: {y_label})")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(points)
+    )
+    rows.append(" " * 8 + legend)
+    return "\n".join(rows)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 22]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: dict[str, dict[int, object]],
+    x_label: str,
+    title: str = "",
+    missing: str = "-",
+) -> str:
+    """Table with one row per x value and one column per named series
+    (the natural shape for the Fig 9 data)."""
+    xs = sorted({x for values in series.values() for x in values})
+    names = list(series)
+    headers = [x_label] + names
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for name in names:
+            value = series[name].get(x, None)
+            if isinstance(value, float):
+                row.append(f"{value:.3f}")
+            else:
+                row.append(missing if value is None else value)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

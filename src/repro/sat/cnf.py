@@ -1,0 +1,122 @@
+"""CNF formula container.
+
+Literals follow the DIMACS convention: a variable is a positive integer
+``v`` and its negation is ``-v``.  :class:`Cnf` owns variable allocation so
+encoders (e.g. the relational-to-SAT translator) can create fresh auxiliary
+variables without coordinating a global counter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import CnfError
+
+
+class Cnf:
+    """A conjunction of clauses over integer literals.
+
+    >>> cnf = Cnf()
+    >>> a, b = cnf.new_var(), cnf.new_var()
+    >>> cnf.add_clause([a, b])
+    >>> cnf.add_clause([-a])
+    >>> cnf.num_vars, cnf.num_clauses
+    (2, 2)
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise CnfError(f"negative variable count: {num_vars}")
+        self._num_vars = num_vars
+        self._clauses: list[tuple[int, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Variable allocation
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Highest allocated variable index (variables are 1..num_vars)."""
+        return self._num_vars
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables and return them in order."""
+        if count < 0:
+            raise CnfError(f"negative allocation count: {count}")
+        return [self.new_var() for _ in range(count)]
+
+    def ensure_var(self, var: int) -> None:
+        """Grow the variable range so that ``var`` is a valid variable."""
+        if var <= 0:
+            raise CnfError(f"variables must be positive, got {var}")
+        self._num_vars = max(self._num_vars, var)
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> Sequence[tuple[int, ...]]:
+        return self._clauses
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (a disjunction of literals).
+
+        Duplicate literals are collapsed; a clause containing both ``v`` and
+        ``-v`` is a tautology and is dropped.  An empty clause is allowed and
+        makes the formula trivially unsatisfiable.
+        """
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in literals:
+            if not isinstance(lit, int) or lit == 0:
+                raise CnfError(f"invalid literal: {lit!r}")
+            self.ensure_var(abs(lit))
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        self._clauses.append(tuple(out))
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "Cnf") -> None:
+        """Append all clauses of ``other`` (variable spaces must be shared)."""
+        self._num_vars = max(self._num_vars, other.num_vars)
+        self._clauses.extend(other.clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cnf(vars={self._num_vars}, clauses={len(self._clauses)})"
+
+    # ------------------------------------------------------------------
+    # Evaluation (used by tests and the AllSAT driver)
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Return True iff ``assignment`` (a total map var -> bool) satisfies
+        every clause."""
+        for clause in self._clauses:
+            for lit in clause:
+                value = assignment.get(abs(lit))
+                if value is None:
+                    raise CnfError(f"assignment missing variable {abs(lit)}")
+                if value == (lit > 0):
+                    break
+            else:
+                return False
+        return True

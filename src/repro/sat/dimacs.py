@@ -1,0 +1,71 @@
+"""DIMACS CNF reader/writer.
+
+Provided so the solver substrate is usable standalone (and testable against
+textbook instances such as pigeonhole formulas shipped with the benchmark
+suite)."""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from ..errors import DimacsError
+from .cnf import Cnf
+
+
+def parse_dimacs(text: str) -> Cnf:
+    """Parse DIMACS CNF text into a :class:`Cnf`.
+
+    >>> cnf = parse_dimacs("p cnf 2 2\\n1 2 0\\n-1 0\\n")
+    >>> cnf.num_vars, cnf.num_clauses
+    (2, 2)
+    """
+    cnf: Cnf | None = None
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"bad problem line: {line!r}")
+            try:
+                num_vars, _num_clauses = int(parts[2]), int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"bad problem line: {line!r}") from exc
+            cnf = Cnf(num_vars)
+            continue
+        if cnf is None:
+            raise DimacsError("clause before problem line")
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"bad literal token: {token!r}") from exc
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if cnf is None:
+        raise DimacsError("missing problem line")
+    if pending:
+        raise DimacsError("trailing clause without terminating 0")
+    return cnf
+
+
+def read_dimacs(stream: TextIO) -> Cnf:
+    return parse_dimacs(stream.read())
+
+
+def write_dimacs(cnf: Cnf, stream: TextIO) -> None:
+    stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def dimacs_text(cnf: Cnf) -> str:
+    lines = [f"p cnf {cnf.num_vars} {cnf.num_clauses}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"

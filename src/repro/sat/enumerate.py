@@ -1,0 +1,58 @@
+"""Model enumeration (AllSAT) on top of the CDCL solver.
+
+ELT synthesis needs *all* models of a bounded encoding, not just one.  The
+standard blocking-clause loop is used: after each model, a clause forbidding
+that model (projected onto the variables of interest) is added and the
+solver is re-run.  Because learned clauses persist across calls, successive
+models get cheaper to find.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from .cnf import Cnf
+from .solver import CdclSolver
+
+
+def iter_models(
+    cnf: Cnf,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[dict[int, bool]]:
+    """Yield models of ``cnf`` one at a time.
+
+    ``projection`` restricts enumeration to distinct assignments of the given
+    variables (other variables take arbitrary consistent values and models
+    agreeing on the projection are reported once).  ``limit`` bounds the
+    number of models yielded.
+
+    >>> cnf = Cnf()
+    >>> a, b = cnf.new_var(), cnf.new_var()
+    >>> cnf.add_clause([a, b])
+    >>> len(list(iter_models(cnf)))
+    3
+    """
+    solver = CdclSolver(cnf)
+    variables = list(projection) if projection is not None else list(
+        range(1, cnf.num_vars + 1)
+    )
+    count = 0
+    while limit is None or count < limit:
+        result = solver.solve()
+        if not result.satisfiable:
+            return
+        model = result.model
+        assert model is not None
+        yield dict(model)
+        count += 1
+        blocking = [(-var if model.get(var, False) else var) for var in variables]
+        if not blocking:
+            return  # projection empty: a single model class exists
+        if not solver.add_clause(blocking):
+            return
+
+
+def count_models(cnf: Cnf, projection: Optional[Sequence[int]] = None) -> int:
+    """Count models of ``cnf`` (projected if requested)."""
+    return sum(1 for _ in iter_models(cnf, projection=projection))

@@ -1,0 +1,33 @@
+"""Brute-force reference SAT procedures.
+
+Exponential-time but obviously-correct implementations used as oracles in
+the test suite (the CDCL solver is validated against these on small random
+formulas via hypothesis).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from .cnf import Cnf
+
+
+def brute_force_models(cnf: Cnf) -> Iterator[dict[int, bool]]:
+    """Yield every satisfying total assignment of ``cnf`` in lexicographic
+    order of the variable values (False < True)."""
+    variables = list(range(1, cnf.num_vars + 1))
+    for values in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if cnf.evaluate(assignment):
+            yield assignment
+
+
+def brute_force_satisfiable(cnf: Cnf) -> bool:
+    for _ in brute_force_models(cnf):
+        return True
+    return False
+
+
+def brute_force_count(cnf: Cnf) -> int:
+    return sum(1 for _ in brute_force_models(cnf))

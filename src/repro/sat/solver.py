@@ -1,0 +1,418 @@
+"""A CDCL SAT solver in pure Python.
+
+This is the reproduction's stand-in for MiniSat [17] in the paper's
+Alloy -> Kodkod -> SAT pipeline.  It implements the standard modern
+architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style decision heuristic with exponential decay and phase saving,
+* Luby-sequence restarts,
+* solving under assumptions (used for incremental queries such as the
+  minimality checks in the relational synthesis backend).
+
+The solver is complete: on every input it terminates with SAT (plus a total
+model) or UNSAT, which is what makes bounded-exhaustive ELT synthesis
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .cnf import Cnf
+
+_UNASSIGNED = -1
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (1-based) of the Luby sequence
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    >>> [luby(i) for i in range(1, 10)]
+    [1, 1, 2, 1, 1, 2, 4, 1, 1]
+    """
+    while True:
+        k = 1
+        while (1 << k) - 1 < index:
+            k += 1
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        # Here 2^(k-1) - 1 < index < 2^k - 1: recurse into the repeated prefix.
+        index -= (1 << (k - 1)) - 1
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for benchmarks and tests."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    max_decision_level: int = 0
+
+
+@dataclass
+class SatResult:
+    """Outcome of a :meth:`CdclSolver.solve` call."""
+
+    satisfiable: bool
+    model: Optional[dict[int, bool]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning solver over a :class:`Cnf`.
+
+    The solver copies the clauses out of the given CNF, so the CNF may keep
+    growing for other purposes afterwards; use :meth:`add_clause` to feed
+    additional clauses (e.g. AllSAT blocking clauses) to the same solver
+    instance between ``solve`` calls.
+    """
+
+    def __init__(self, cnf: Cnf) -> None:
+        self._nvars = cnf.num_vars
+        # Literal encoding: positive literal v -> 2v, negative -> 2v+1.
+        self._watches: list[list[list[int]]] = [[] for _ in range(2 * self._nvars + 2)]
+        self._clauses: list[list[int]] = []
+        self._assign: list[int] = [_UNASSIGNED] * (self._nvars + 1)
+        self._level: list[int] = [0] * (self._nvars + 1)
+        self._reason: list[Optional[list[int]]] = [None] * (self._nvars + 1)
+        self._trail: list[int] = []  # literals in assignment order
+        self._trail_lim: list[int] = []  # trail indices at each decision level
+        self._qhead = 0
+        self._activity: list[float] = [0.0] * (self._nvars + 1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._saved_phase: list[bool] = [False] * (self._nvars + 1)
+        self._ok = True
+        self.stats = SolverStats()
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        Must be called at decision level 0 (i.e. between solve calls).
+        """
+        if not self._ok:
+            return False
+        lits = sorted(set(literals), key=abs)
+        for lit in lits:
+            if -lit in lits:
+                return True  # tautology
+            self._grow_to(abs(lit))
+        # Remove literals already false at level 0; succeed early on a true one.
+        filtered: list[int] = []
+        for lit in lits:
+            value = self._value(lit)
+            if value is True and self._level[abs(lit)] == 0:
+                return True
+            if value is False and self._level[abs(lit)] == 0:
+                continue
+            filtered.append(lit)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = list(filtered)
+        self._clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _grow_to(self, var: int) -> None:
+        while self._nvars < var:
+            self._nvars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._saved_phase.append(False)
+            self._watches.append([])
+            self._watches.append([])
+        while len(self._watches) < 2 * self._nvars + 2:
+            self._watches.append([])
+
+    def _watch(self, clause: list[int]) -> None:
+        self._watches[self._lit_index(-clause[0])].append(clause)
+        self._watches[self._lit_index(-clause[1])].append(clause)
+
+    @staticmethod
+    def _lit_index(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        assigned = self._assign[abs(lit)]
+        if assigned == _UNASSIGNED:
+            return None
+        return bool(assigned) == (lit > 0)
+
+    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            watch_list = self._watches[self._lit_index(lit)]
+            index = 0
+            while index < len(watch_list):
+                clause = watch_list[index]
+                # Normalize: the false literal goes to position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for pos in range(2, len(clause)):
+                    if self._value(clause[pos]) is not False:
+                        clause[1], clause[pos] = clause[pos], clause[1]
+                        self._watches[self._lit_index(-clause[1])].append(clause)
+                        watch_list[index] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._value(first) is False:
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+                index += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        learned: list[int] = []
+        seen = [False] * (self._nvars + 1)
+        counter = 0
+        pivot: Optional[int] = None  # trail literal whose reason is expanded
+        reason: Sequence[int] = conflict
+        trail_index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        while True:
+            for q in reason:
+                if pivot is not None and q == pivot:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            pivot = self._trail[trail_index]
+            var = abs(pivot)
+            seen[var] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                break
+            clause_reason = self._reason[var]
+            assert clause_reason is not None
+            reason = clause_reason
+        learned.insert(0, -pivot)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump level = max level among the non-asserting literals.
+        back_level = max(self._level[abs(q)] for q in learned[1:])
+        # Put one literal of the backjump level in watch position 1.
+        for pos in range(1, len(learned)):
+            if self._level[abs(learned[pos])] == back_level:
+                learned[1], learned[pos] = learned[pos], learned[1]
+                break
+        return learned, back_level
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(1, self._nvars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for index in range(len(self._trail) - 1, limit - 1, -1):
+            lit = self._trail[index]
+            var = abs(lit)
+            self._saved_phase[var] = lit > 0
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decide(self) -> Optional[int]:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self._nvars + 1):
+            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_activity:
+                best_activity = self._activity[var]
+                best_var = var
+        if best_var == 0:
+            return None
+        return best_var if self._saved_phase[best_var] else -best_var
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Search for a model extending ``assumptions``.
+
+        Assumptions are literals treated as decisions; if the formula is
+        unsatisfiable only under the assumptions, the result is UNSAT but the
+        solver stays usable for further calls.
+        """
+        if not self._ok:
+            return SatResult(False, stats=self.stats)
+        for lit in assumptions:
+            self._grow_to(abs(lit))
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SatResult(False, stats=self.stats)
+
+        restart_index = 1
+        conflict_budget = 32 * luby(restart_index)
+        conflicts_here = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) == 0:
+                    self._cancel_until(0)
+                    return SatResult(False, stats=self.stats)
+                if not self._all_assumptions_hold(assumptions):
+                    # Conflict depends on assumptions only.
+                    self._cancel_until(0)
+                    return SatResult(False, stats=self.stats)
+                learned, back_level = self._analyze(conflict)
+                self._cancel_until(max(back_level, self._assumption_level(assumptions)))
+                if len(learned) == 1:
+                    self._cancel_until(0)
+                    if not self._enqueue(learned[0], None):
+                        self._ok = False
+                        return SatResult(False, stats=self.stats)
+                    if self._propagate() is not None:
+                        self._ok = False
+                        return SatResult(False, stats=self.stats)
+                    if not self._replay_assumptions(assumptions):
+                        return SatResult(False, stats=self.stats)
+                else:
+                    self._clauses.append(learned)
+                    self._watch(learned)
+                    self.stats.learned_clauses += 1
+                    self._enqueue(learned[0], learned)
+                self._decay()
+                if conflicts_here >= conflict_budget:
+                    self.stats.restarts += 1
+                    restart_index += 1
+                    conflict_budget = 32 * luby(restart_index)
+                    conflicts_here = 0
+                    self._cancel_until(0)
+                    if not self._replay_assumptions(assumptions):
+                        return SatResult(False, stats=self.stats)
+                continue
+
+            if not self._replay_assumptions(assumptions):
+                return SatResult(False, stats=self.stats)
+            if self._qhead < len(self._trail):
+                continue
+
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    var: bool(self._assign[var]) for var in range(1, self._nvars + 1)
+                }
+                self._cancel_until(0)
+                return SatResult(True, model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, len(self._trail_lim)
+            )
+            self._enqueue(decision, None)
+
+    # ------------------------------------------------------------------
+    # Assumption handling
+    # ------------------------------------------------------------------
+    def _assumption_level(self, assumptions: Sequence[int]) -> int:
+        return 0
+
+    def _all_assumptions_hold(self, assumptions: Sequence[int]) -> bool:
+        return all(self._value(lit) is not False for lit in assumptions)
+
+    def _replay_assumptions(self, assumptions: Sequence[int]) -> bool:
+        """Ensure every assumption literal is enqueued; returns False on
+        conflict with the assumptions."""
+        for lit in assumptions:
+            value = self._value(lit)
+            if value is True:
+                continue
+            if value is False:
+                self._cancel_until(0)
+                return False
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+            conflict = self._propagate()
+            if conflict is not None:
+                if len(self._trail_lim) == 0:
+                    self._ok = False
+                self._cancel_until(0)
+                return False
+        return True
+
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
+    """Convenience helper: build a solver for ``cnf`` and solve once."""
+    return CdclSolver(cnf).solve(assumptions)

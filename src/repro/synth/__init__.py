@@ -1,0 +1,69 @@
+"""The ELT synthesis engine (paper Fig 7, §IV-§V).
+
+Public surface:
+
+* :class:`SynthesisConfig` — knobs (bound, model, target axiom, modes).
+* :func:`synthesize` — one per-axiom suite at one bound.
+* :func:`synthesize_sweep` — the Fig 9 bound sweep.
+* :func:`enumerate_programs` / :func:`enumerate_witnesses` — the stages.
+* :func:`is_minimal`, :func:`removal_groups` — §IV-B minimality.
+* :func:`canonical_program_key`, :func:`canonical_execution_key` — §IV-C
+  deduplication.
+"""
+
+from .canon import (
+    canonical_execution_key,
+    canonical_program_key,
+    is_canonical_thread_order,
+)
+from .config import SynthesisConfig
+from .explore import Outcome, ProgramExploration, explore_program
+from .engine import (
+    SuiteResult,
+    SuiteStats,
+    SweepPoint,
+    SweepResult,
+    SynthesizedElt,
+    default_config,
+    synthesize,
+    synthesize_sweep,
+)
+from .relax import (
+    is_minimal,
+    relaxation_becomes_permitted,
+    relaxations,
+    relaxed_program,
+    removal_groups,
+    without_rmw_pair,
+)
+from .skeletons import enumerate_programs, enumerate_skeletons, program_cost
+from .witnesses import enumerate_witnesses, enumerate_witnesses_constrained
+
+__all__ = [
+    "SynthesisConfig",
+    "explore_program",
+    "ProgramExploration",
+    "Outcome",
+    "synthesize",
+    "synthesize_sweep",
+    "default_config",
+    "SuiteResult",
+    "SuiteStats",
+    "SweepPoint",
+    "SweepResult",
+    "SynthesizedElt",
+    "enumerate_programs",
+    "enumerate_skeletons",
+    "enumerate_witnesses",
+    "enumerate_witnesses_constrained",
+    "program_cost",
+    "is_minimal",
+    "relaxations",
+    "relaxation_becomes_permitted",
+    "relaxed_program",
+    "removal_groups",
+    "without_rmw_pair",
+    "canonical_program_key",
+    "canonical_execution_key",
+    "is_canonical_thread_order",
+]

@@ -1,0 +1,216 @@
+"""The TransForm synthesis engine (paper Fig 7 and §IV).
+
+``synthesize`` runs one per-axiom suite at one instruction bound:
+
+1. enumerate well-formed programs (skeletons → remap fan-out → TLB
+   choices), with generation-time symmetry reduction;
+2. enumerate each program's candidate executions (witnesses);
+3. prune to *interesting* executions: at least one write (enforced at the
+   program level) that violate the targeted axiom;
+4. prune to *minimal* executions (every relaxation becomes permitted);
+5. deduplicate into unique ELT programs (canonical forms).
+
+``synthesize_sweep`` reproduces the paper's Fig 9 methodology: for each
+axiom, sweep increasing bounds under a time budget (theirs: one week per
+run on a server; ours: configurable seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..models import MemoryModel, x86t_elt
+from ..mtm import Execution, Program
+from .canon import ProgramKey, canonical_execution_key, canonical_program_key
+from .config import SynthesisConfig
+from .relax import is_minimal
+from .skeletons import enumerate_programs
+from .witnesses import enumerate_witnesses
+
+
+@dataclass
+class SynthesizedElt:
+    """One unique synthesized ELT: a program plus one representative
+    forbidden (minimal, interesting) execution."""
+
+    program: Program
+    execution: Execution
+    key: ProgramKey
+    violated_axioms: tuple[str, ...]
+    outcome_count: int = 1  # distinct forbidden minimal executions found
+
+
+@dataclass
+class SuiteStats:
+    programs_enumerated: int = 0
+    executions_enumerated: int = 0
+    interesting: int = 0
+    minimal: int = 0
+    unique_programs: int = 0
+    runtime_s: float = 0.0
+    timed_out: bool = False
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one per-axiom synthesis run."""
+
+    bound: int
+    target_axiom: Optional[str]
+    elts: list[SynthesizedElt] = field(default_factory=list)
+    stats: SuiteStats = field(default_factory=SuiteStats)
+
+    @property
+    def count(self) -> int:
+        return len(self.elts)
+
+    def keys(self) -> set[ProgramKey]:
+        return {elt.key for elt in self.elts}
+
+
+def synthesize(config: SynthesisConfig) -> SuiteResult:
+    """Run the full Fig 7 pipeline for one (axiom, bound) pair."""
+    started = time.monotonic()
+    deadline = (
+        None
+        if config.time_budget_s is None
+        else started + config.time_budget_s
+    )
+    model = config.model
+    target = (
+        model.axiom(config.target_axiom)
+        if config.target_axiom is not None
+        else None
+    )
+    stats = SuiteStats()
+    result = SuiteResult(config.bound, config.target_axiom, stats=stats)
+    by_key: dict[ProgramKey, SynthesizedElt] = {}
+    seen_executions: set = set()
+
+    for program in enumerate_programs(config):
+        if deadline is not None and time.monotonic() > deadline:
+            stats.timed_out = True
+            break
+        stats.programs_enumerated += 1
+        program_key: Optional[ProgramKey] = None
+        for execution in enumerate_witnesses(program):
+            stats.executions_enumerated += 1
+            if (
+                deadline is not None
+                and stats.executions_enumerated % 64 == 0
+                and time.monotonic() > deadline
+            ):
+                stats.timed_out = True
+                break
+            if target is not None:
+                if target.holds(execution):
+                    continue
+            else:
+                if model.permits(execution):
+                    continue
+            stats.interesting += 1
+            execution_key = canonical_execution_key(execution)
+            if execution_key in seen_executions:
+                continue
+            seen_executions.add(execution_key)
+            if not is_minimal(execution, model):
+                continue
+            stats.minimal += 1
+            if program_key is None:
+                program_key = canonical_program_key(program)
+            existing = by_key.get(program_key)
+            if existing is None:
+                verdict = model.check(execution)
+                by_key[program_key] = SynthesizedElt(
+                    program=program,
+                    execution=execution,
+                    key=program_key,
+                    violated_axioms=verdict.violated,
+                )
+            else:
+                existing.outcome_count += 1
+        if deadline is not None and time.monotonic() > deadline:
+            stats.timed_out = True
+            break
+
+    result.elts = sorted(by_key.values(), key=lambda e: e.key)
+    stats.unique_programs = len(result.elts)
+    stats.runtime_s = time.monotonic() - started
+    return result
+
+
+@dataclass
+class SweepPoint:
+    axiom: str
+    bound: int
+    result: SuiteResult
+
+
+@dataclass
+class SweepResult:
+    """A Fig 9-style sweep: per-axiom suites across increasing bounds."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def counts(self) -> dict[str, dict[int, int]]:
+        out: dict[str, dict[int, int]] = {}
+        for point in self.points:
+            out.setdefault(point.axiom, {})[point.bound] = point.result.count
+        return out
+
+    def runtimes(self) -> dict[str, dict[int, float]]:
+        out: dict[str, dict[int, float]] = {}
+        for point in self.points:
+            out.setdefault(point.axiom, {})[point.bound] = (
+                point.result.stats.runtime_s
+            )
+        return out
+
+    def unique_elts(self) -> dict[ProgramKey, SynthesizedElt]:
+        """Union of all per-axiom suites, deduplicated (the paper's "140
+        unique ELTs across all per-axiom suites")."""
+        out: dict[ProgramKey, SynthesizedElt] = {}
+        for point in self.points:
+            for elt in point.result.elts:
+                out.setdefault(elt.key, elt)
+        return out
+
+
+def synthesize_sweep(
+    base_config: SynthesisConfig,
+    axioms: Optional[list[str]] = None,
+    min_bound: int = 4,
+    max_bound: Optional[int] = None,
+    time_budget_per_run_s: Optional[float] = None,
+) -> SweepResult:
+    """Per-axiom bound sweep (the §VI methodology).
+
+    For each axiom, bounds increase from ``min_bound``; a run that exceeds
+    the time budget marks its suite complete-up-to-timeout and stops the
+    sweep for that axiom (mirroring the paper's one-week cutoff).
+    """
+    model = base_config.model
+    if axioms is None:
+        axioms = [a.name for a in model.axioms]
+    top = max_bound if max_bound is not None else base_config.bound
+    sweep = SweepResult()
+    for axiom in axioms:
+        for bound in range(min_bound, top + 1):
+            config = replace(
+                base_config,
+                bound=bound,
+                target_axiom=axiom,
+                time_budget_s=time_budget_per_run_s,
+            )
+            result = synthesize(config)
+            sweep.points.append(SweepPoint(axiom, bound, result))
+            if result.stats.timed_out:
+                break
+    return sweep
+
+
+def default_config(bound: int, **overrides) -> SynthesisConfig:
+    """Convenience: an x86t_elt synthesis config at the given bound."""
+    return SynthesisConfig(bound=bound, model=x86t_elt(), **overrides)

@@ -1,0 +1,82 @@
+"""Program exploration: every candidate execution of one ELT program,
+bucketed by verdict.
+
+This is the checking-direction workflow TransForm enables (§II-B2): given
+a program (e.g. parsed from a hand-written .elt file), enumerate its
+outcomes under an MTM, so a validation flow knows which outcomes hardware
+may exhibit and which must never appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..models import MemoryModel, Verdict
+from ..mtm import Execution, Program
+from .witnesses import enumerate_witnesses
+
+
+@dataclass
+class Outcome:
+    execution: Execution
+    verdict: Verdict
+
+
+@dataclass
+class ProgramExploration:
+    """All outcomes of one program under one model."""
+
+    program: Program
+    model_name: str
+    outcomes: list[Outcome] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def permitted(self) -> list[Outcome]:
+        return [o for o in self.outcomes if o.verdict.permitted]
+
+    @property
+    def forbidden(self) -> list[Outcome]:
+        return [o for o in self.outcomes if o.verdict.forbidden]
+
+    @property
+    def can_violate(self) -> bool:
+        """Spanning-set criterion 2 (§IV-B): some outcome is forbidden."""
+        return bool(self.forbidden)
+
+    def violated_axiom_histogram(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.forbidden:
+            for axiom in outcome.verdict.violated:
+                counts[axiom] = counts.get(axiom, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.outcomes)} candidate executions"
+            f"{' (truncated)' if self.truncated else ''} under "
+            f"{self.model_name}:",
+            f"  permitted: {len(self.permitted)}",
+            f"  forbidden: {len(self.forbidden)}",
+        ]
+        for axiom, count in sorted(self.violated_axiom_histogram().items()):
+            lines.append(f"    violating {axiom}: {count}")
+        return "\n".join(lines)
+
+
+def explore_program(
+    program: Program,
+    model: MemoryModel,
+    limit: Optional[int] = None,
+) -> ProgramExploration:
+    """Enumerate and classify every candidate execution of ``program``."""
+    exploration = ProgramExploration(program, model.name)
+    for index, execution in enumerate(enumerate_witnesses(program)):
+        if limit is not None and index >= limit:
+            exploration.truncated = True
+            break
+        exploration.outcomes.append(
+            Outcome(execution, model.check(execution))
+        )
+    return exploration

@@ -1,0 +1,193 @@
+"""Relaxations and the minimality criterion (§IV-B).
+
+A synthesized ELT execution must be forbidden *and minimal*: under every
+possible isolated relaxation the execution must become permitted by the
+full transistency predicate.  Relaxations are:
+
+* removal of a **closed event group** — removing a single event drags
+  along whatever the placement rules force (§IV-B):
+
+  - a user-facing event takes its ghost instructions with it;
+  - a removed walk strands its rf_ptw users, which are removed too
+    (recursively) — an access without a translation is not a legal ELT;
+  - a PTE write and its remap INVLPGs are removed together (either
+    direction); spurious INVLPGs are removable in isolation;
+
+* removal of an **rmw dependency** (footnote 4: the only dependency kind
+  evaluated), splitting an atomic RMW into a plain Read and Write.
+
+The relaxed execution keeps every surviving witness edge; reads whose
+source vanished read the initial value; coherence orders are re-completed
+when the value flow changed (see witnesses.enumerate_witnesses_constrained)
+and the relaxation counts as "became permitted" if *some* completion is.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..models import MemoryModel
+from ..mtm import EventKind, Execution, Program
+from ..mtm.execution import derive_rf_ptw
+from .witnesses import enumerate_witnesses_constrained
+
+Pair = tuple[str, str]
+
+
+def removal_groups(program: Program) -> list[frozenset[str]]:
+    """All distinct closed removal groups, seeded at each non-ghost event."""
+    rf_ptw = derive_rf_ptw(program)
+    users_of_walk: dict[str, set[str]] = {}
+    for walk, user in rf_ptw:
+        users_of_walk.setdefault(walk, set()).add(user)
+    remap_of_pte: dict[str, set[str]] = {}
+    pte_of_invlpg: dict[str, str] = {}
+    for pte, inv in program.remap:
+        remap_of_pte.setdefault(pte, set()).add(inv)
+        pte_of_invlpg[inv] = pte
+
+    def close(seed: str) -> frozenset[str]:
+        group: set[str] = set()
+        queue = [seed]
+        while queue:
+            eid = queue.pop()
+            if eid in group:
+                continue
+            group.add(eid)
+            event = program.events[eid]
+            if event.is_user and event.is_memory_event:
+                for ghost in program.ghosts.get(eid, ()):
+                    queue.append(ghost)
+            if event.kind is EventKind.PT_WALK:
+                queue.extend(users_of_walk.get(eid, ()))
+            if event.kind is EventKind.PTE_WRITE:
+                queue.extend(remap_of_pte.get(eid, ()))
+            if event.kind is EventKind.INVLPG and eid in pte_of_invlpg:
+                queue.append(pte_of_invlpg[eid])
+        return frozenset(group)
+
+    groups: set[frozenset[str]] = set()
+    for eid, event in program.events.items():
+        if event.is_ghost:
+            continue  # ghosts are not removable in isolation (§IV-B)
+        groups.add(close(eid))
+    return sorted(groups, key=lambda g: (len(g), sorted(g)))
+
+
+def relaxed_program(program: Program, removed: frozenset[str]) -> Program:
+    """The program with a closed group removed (threads keep their cores)."""
+    surviving = {
+        eid: ev for eid, ev in program.events.items() if eid not in removed
+    }
+    return Program(
+        events=surviving,
+        threads=tuple(
+            tuple(eid for eid in thread if eid not in removed)
+            for thread in program.threads
+        ),
+        ghosts={
+            parent: tuple(g for g in ghosts if g not in removed)
+            for parent, ghosts in program.ghosts.items()
+            if parent not in removed
+        },
+        remap=frozenset(
+            (p, i) for p, i in program.remap if p not in removed and i not in removed
+        ),
+        rmw=frozenset(
+            (r, w) for r, w in program.rmw if r not in removed and w not in removed
+        ),
+        initial_map=program.initial_map,
+        mcm_mode=program.mcm_mode,
+    )
+
+
+def without_rmw_pair(program: Program, pair: Pair) -> Program:
+    return Program(
+        events=dict(program.events),
+        threads=program.threads,
+        ghosts=dict(program.ghosts),
+        remap=program.remap,
+        rmw=frozenset(p for p in program.rmw if p != pair),
+        initial_map=program.initial_map,
+        mcm_mode=program.mcm_mode,
+    )
+
+
+def _surviving_witness(
+    execution: Execution, removed: frozenset[str]
+) -> tuple[dict[str, Optional[str]], set[Pair], set[Pair], set[Pair]]:
+    """Project the witness onto surviving events.
+
+    Returns (walk_sources, data_rf, co_pairs, co_pa_pairs) where
+    walk_sources pins every surviving walk to its surviving source (or the
+    initial value if the source was removed).
+    """
+    program = execution.program
+    walk_sources: dict[str, Optional[str]] = {}
+    for eid, event in program.events.items():
+        if event.kind is EventKind.PT_WALK and eid not in removed:
+            source = execution._walk_source.get(eid)
+            walk_sources[eid] = source if source not in removed else None
+    data_rf = {
+        (a, b)
+        for a, b in execution._rf
+        if a not in removed
+        and b not in removed
+        and program.events[b].kind is EventKind.READ
+    }
+    co = {
+        (a, b) for a, b in execution.co if a not in removed and b not in removed
+    }
+    co_pa = {
+        (a, b)
+        for a, b in execution.co_pa
+        if a not in removed and b not in removed
+    }
+    return walk_sources, data_rf, co, co_pa
+
+
+def relaxation_becomes_permitted(
+    execution: Execution,
+    model: MemoryModel,
+    removed: frozenset[str] = frozenset(),
+    dropped_rmw: Optional[Pair] = None,
+) -> bool:
+    """Apply one relaxation and check the §IV-B condition: some completion
+    of the surviving outcome is permitted by the full predicate."""
+    program = execution.program
+    if dropped_rmw is not None:
+        target = without_rmw_pair(program, dropped_rmw)
+    else:
+        target = relaxed_program(program, removed)
+    if not target.events:
+        return True  # the empty execution is trivially permitted
+    walk_sources, data_rf, co, co_pa = _surviving_witness(execution, removed)
+    for candidate in enumerate_witnesses_constrained(
+        target,
+        walk_sources=walk_sources,
+        data_rf=data_rf,
+        co_must=co,
+        co_pa_must=co_pa,
+    ):
+        if model.permits(candidate):
+            return True
+    return False
+
+
+def relaxations(program: Program) -> Iterator[tuple[frozenset[str], Optional[Pair]]]:
+    """All relaxations of a program as (removed_group, dropped_rmw) pairs
+    (exactly one of the two is active per item)."""
+    for group in removal_groups(program):
+        yield group, None
+    for pair in sorted(program.rmw):
+        yield frozenset(), pair
+
+
+def is_minimal(execution: Execution, model: MemoryModel) -> bool:
+    """§IV-B minimality: every relaxation yields a permitted execution."""
+    for group, dropped in relaxations(execution.program):
+        if not relaxation_becomes_permitted(
+            execution, model, removed=group, dropped_rmw=dropped
+        ):
+            return False
+    return True

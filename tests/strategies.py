@@ -1,0 +1,121 @@
+"""Hypothesis strategies for random valid ELT programs and executions.
+
+The generator mirrors the legality rules the builder enforces (TLB hits
+only on live entries, remap IPI fan-out to every core, one dirty-bit ghost
+per write), so every drawn program is well-formed by construction and the
+property tests exercise the *semantics*, not input validation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.mtm import Event, Execution, Program, ProgramBuilder
+
+VAS = ("x", "y")
+INITIAL = {"x": "pa_x", "y": "pa_y"}
+
+
+def _event_cost(op: str, hit: bool, num_threads: int, mcm: bool) -> int:
+    if op == "r":
+        return 1 if (hit or mcm) else 2
+    if op == "w":
+        return 2 if (hit or mcm) else 3
+    if op == "rmw":
+        return (3 if not mcm else 2) + (0 if hit else 1 if not mcm else 0)
+    if op == "wpte":
+        return 1 + num_threads
+    return 1  # inv, fence
+
+
+@st.composite
+def programs(
+    draw,
+    max_threads: int = 2,
+    max_events: int = 8,
+    mcm: bool = False,
+    allow_vm: bool = True,
+) -> Program:
+    num_threads = draw(st.integers(min_value=1, max_value=max_threads))
+    builder = ProgramBuilder(initial_map=dict(INITIAL), mcm_mode=mcm)
+    threads = [builder.thread() for _ in range(num_threads)]
+    # Shadow TLB: (thread index, va) -> walk event for hit decisions.
+    live: dict[tuple[int, str], Event] = {}
+    budget = max_events
+
+    ops = ["r", "w"]
+    if not mcm:
+        ops.append("rmw")
+        if allow_vm:
+            ops.extend(["inv", "wpte"])
+
+    num_ops = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(num_ops):
+        tid = draw(st.integers(min_value=0, max_value=num_threads - 1))
+        op = draw(st.sampled_from(ops))
+        va = draw(st.sampled_from(VAS))
+        want_hit = draw(st.booleans())
+        hit = want_hit and (tid, va) in live and not mcm
+        cost = _event_cost(op, hit, num_threads, mcm)
+        if cost > budget:
+            continue
+        thread = threads[tid]
+        if op == "r" or op == "w":
+            walk = live[(tid, va)] if hit else None
+            event = (
+                thread.read(va, walk=walk)
+                if op == "r"
+                else thread.write(va, walk=walk)
+            )
+            if not mcm and not hit:
+                live[(tid, va)] = builder.walk_of(event)
+        elif op == "rmw":
+            walk = live[(tid, va)] if hit else None
+            read, _write = thread.rmw(va, walk=walk)
+            if not mcm and not hit:
+                live[(tid, va)] = builder.walk_of(read)
+        elif op == "inv":
+            # Spurious INVLPG: only useful surrounded by accesses, but
+            # structurally legal anywhere.
+            thread.invlpg(va)
+            live.pop((tid, va), None)
+        elif op == "wpte":
+            target = draw(
+                st.sampled_from(
+                    ["pa_fresh"] + [INITIAL[v] for v in VAS if v != va]
+                )
+            )
+            wpte = thread.pte_write(va, target)
+            live.pop((tid, va), None)
+            for other_tid, other in enumerate(threads):
+                if other is not thread:
+                    other.invlpg_for(wpte)
+                    live.pop((other_tid, va), None)
+            cost += 0  # IPI costs were charged up front
+        budget -= cost
+        if budget <= 0:
+            break
+    # Ensure at least one event exists.
+    if not any(builder.build().threads for _ in [0]):  # pragma: no cover
+        threads[0].read("x")
+    program = builder.build()
+    if program.size == 0:  # pragma: no cover - defensive
+        threads[0].read("x")
+        program = builder.build()
+    return program
+
+
+@st.composite
+def executions(draw, **program_kwargs) -> Execution:
+    """A random candidate execution: random program, random witness."""
+    from repro.synth import enumerate_witnesses
+
+    program = draw(programs(**program_kwargs))
+    witnesses = []
+    for index, witness in enumerate(enumerate_witnesses(program)):
+        witnesses.append(witness)
+        if index >= 40:
+            break
+    if not witnesses:  # pragma: no cover - every valid program has some
+        return Execution(program)
+    return draw(st.sampled_from(witnesses))

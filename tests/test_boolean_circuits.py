@@ -1,0 +1,148 @@
+"""Unit + property tests for the hash-consed boolean circuit builder.
+
+The builder's simplifications (constant folding, negation involution,
+flattening, complement detection) must never change a circuit's semantics
+— checked against a naive evaluator over random circuits.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.boolean import (
+    FALSE,
+    TRUE,
+    BAnd,
+    BNot,
+    BOr,
+    BoolBuilder,
+    BVar,
+    evaluate_node,
+)
+
+
+class TestSimplifications:
+    def setup_method(self) -> None:
+        self.b = BoolBuilder()
+
+    def test_constant_folding(self) -> None:
+        v = self.b.var(1)
+        assert self.b.and_([TRUE, v]) is v
+        assert self.b.and_([FALSE, v]) is FALSE
+        assert self.b.or_([FALSE, v]) is v
+        assert self.b.or_([TRUE, v]) is TRUE
+
+    def test_empty_operands(self) -> None:
+        assert self.b.and_([]) is TRUE
+        assert self.b.or_([]) is FALSE
+
+    def test_negation_involution(self) -> None:
+        v = self.b.var(1)
+        assert self.b.not_(self.b.not_(v)) is v
+        assert self.b.not_(TRUE) is FALSE
+        assert self.b.not_(FALSE) is TRUE
+
+    def test_complement_detection(self) -> None:
+        v = self.b.var(1)
+        assert self.b.and_([v, self.b.not_(v)]) is FALSE
+        assert self.b.or_([v, self.b.not_(v)]) is TRUE
+
+    def test_flattening(self) -> None:
+        a, b, c = (self.b.var(i) for i in (1, 2, 3))
+        nested = self.b.and_([self.b.and_([a, b]), c])
+        assert isinstance(nested, BAnd)
+        assert set(nested.args) == {a, b, c}
+
+    def test_duplicates_collapsed(self) -> None:
+        v = self.b.var(1)
+        assert self.b.and_([v, v]) is v
+        assert self.b.or_([v, v, v]) is v
+
+    def test_interning(self) -> None:
+        a, b = self.b.var(1), self.b.var(2)
+        first = self.b.and_([a, b])
+        second = self.b.and_([a, b])
+        assert first is second
+
+    def test_implies_and_iff(self) -> None:
+        a, b = self.b.var(1), self.b.var(2)
+        assignment = {1: True, 2: False}
+        assert evaluate_node(self.b.implies(a, b), assignment) is False
+        assert evaluate_node(self.b.iff(a, a), assignment) is True
+
+
+# ----------------------------------------------------------------------
+# Property: builder output is semantically equal to the naive formula.
+# ----------------------------------------------------------------------
+NUM_VARS = 4
+
+
+@st.composite
+def circuits(draw, depth: int = 3):
+    """Returns (node-description) trees independent of any builder."""
+    if depth == 0 or draw(st.booleans()):
+        return ("var", draw(st.integers(min_value=1, max_value=NUM_VARS)))
+    kind = draw(st.sampled_from(["and", "or", "not", "const"]))
+    if kind == "const":
+        return ("const", draw(st.booleans()))
+    if kind == "not":
+        return ("not", draw(circuits(depth=depth - 1)))
+    children = draw(
+        st.lists(circuits(depth=depth - 1), min_size=0, max_size=3)
+    )
+    return (kind, children)
+
+
+def build(tree, builder: BoolBuilder):
+    tag = tree[0]
+    if tag == "var":
+        return builder.var(tree[1])
+    if tag == "const":
+        return TRUE if tree[1] else FALSE
+    if tag == "not":
+        return builder.not_(build(tree[1], builder))
+    children = [build(c, builder) for c in tree[1]]
+    return builder.and_(children) if tag == "and" else builder.or_(children)
+
+
+def naive_eval(tree, assignment) -> bool:
+    tag = tree[0]
+    if tag == "var":
+        return assignment[tree[1]]
+    if tag == "const":
+        return tree[1]
+    if tag == "not":
+        return not naive_eval(tree[1], assignment)
+    values = [naive_eval(c, assignment) for c in tree[1]]
+    return all(values) if tag == "and" else any(values)
+
+
+@given(circuits(), st.lists(st.booleans(), min_size=NUM_VARS, max_size=NUM_VARS))
+@settings(max_examples=200, deadline=None)
+def test_builder_preserves_semantics(tree, values) -> None:
+    assignment = {i + 1: v for i, v in enumerate(values)}
+    node = build(tree, BoolBuilder())
+    assert evaluate_node(node, assignment) == naive_eval(tree, assignment)
+
+
+@given(circuits())
+@settings(max_examples=100, deadline=None)
+def test_no_nested_same_kind_nodes(tree) -> None:
+    # Flattening invariant: an AND never directly contains an AND, etc.
+    node = build(tree, BoolBuilder())
+
+    def check(n) -> None:
+        if isinstance(n, BAnd):
+            assert all(not isinstance(a, BAnd) for a in n.args)
+            for a in n.args:
+                check(a)
+        elif isinstance(n, BOr):
+            assert all(not isinstance(a, BOr) for a in n.args)
+            for a in n.args:
+                check(a)
+        elif isinstance(n, BNot):
+            assert not isinstance(n.arg, BNot)
+            check(n.arg)
+
+    check(node)

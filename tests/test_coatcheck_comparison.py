@@ -1,0 +1,117 @@
+"""The §VI-B comparison experiment as a test: the reconstructed COATCheck
+suite classified against a synthesized corpus must reproduce the paper's
+arithmetic — 40 tests = 9 unsupported + 9 non-spanning + 22 relevant, with
+7 category-1 ELTs matching 4 distinct synthesized programs and 15
+category-2 reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.litmus import Category, classify_test, coatcheck_suite, compare_suite
+from repro.models import x86t_elt
+from repro.synth import SynthesisConfig, synthesize
+
+CORPUS_BOUNDS = {
+    "sc_per_loc": 6,
+    "rmw_atomicity": 7,
+    "causality": 6,
+    "invlpg": 5,
+    "tlb_causality": 4,
+}
+
+
+@pytest.fixture(scope="module")
+def corpus_keys():
+    model = x86t_elt()
+    keys = set()
+    for axiom, bound in CORPUS_BOUNDS.items():
+        result = synthesize(
+            SynthesisConfig(bound=bound, model=model, target_axiom=axiom)
+        )
+        keys |= result.keys()
+    return keys
+
+
+@pytest.fixture(scope="module")
+def report(corpus_keys):
+    return compare_suite(coatcheck_suite(), corpus_keys, x86t_elt())
+
+
+class TestSuiteComposition:
+    def test_forty_tests(self) -> None:
+        assert len(coatcheck_suite()) == 40
+
+    def test_nine_unsupported(self, report) -> None:
+        assert report.count(Category.UNSUPPORTED) == 9
+
+    def test_nine_not_spanning(self, report) -> None:
+        assert report.count(Category.NOT_SPANNING) == 9
+
+    def test_twenty_two_relevant(self, report) -> None:
+        assert report.relevant == 22
+
+
+class TestCategory1:
+    def test_seven_category1(self, report) -> None:
+        assert report.count(Category.CATEGORY_1) == 7
+
+    def test_category1_matches_four_programs(self, report) -> None:
+        assert len(report.category1_matched_programs()) == 4
+
+    def test_ptwalk2_is_category1(self, report) -> None:
+        by_name = {c.name: c for c in report.classifications}
+        assert by_name["ptwalk2"].category is Category.CATEGORY_1
+
+
+class TestCategory2:
+    def test_fifteen_category2(self, report) -> None:
+        assert report.count(Category.CATEGORY_2) == 15
+
+    def test_nothing_unmatched(self, report) -> None:
+        assert report.count(Category.UNMATCHED) == 0
+
+    def test_dirtybit3_is_category2(self, report, corpus_keys) -> None:
+        by_name = {c.name: c for c in report.classifications}
+        dirtybit3 = by_name["dirtybit3"]
+        assert dirtybit3.category is Category.CATEGORY_2
+        assert dirtybit3.matched_key in corpus_keys
+        assert dirtybit3.removed_events  # a real reduction was found
+
+    def test_dirtybit3_w3_removal_yields_ptwalk2(self, corpus_keys) -> None:
+        # §VI-C names one specific reduction: removing {W3} (with its
+        # ghosts) from dirtybit3 exposes exactly the ptwalk2 program.  The
+        # tool may report a different valid reduction, so check this one
+        # directly.
+        from repro.litmus.figures import fig10a_ptwalk2, fig10b_dirtybit3
+        from repro.mtm import EventKind
+        from repro.synth import canonical_program_key, relaxed_program, removal_groups
+
+        example = fig10b_dirtybit3()
+        program = example.execution.program
+        w3_group = next(
+            g for g in removal_groups(program) if example.eid("W3") in g
+        )
+        kinds = sorted(str(program.events[e].kind) for e in w3_group)
+        assert kinds == ["Rptw", "W", "Wdb"]
+        reduced = relaxed_program(program, w3_group)
+        ptwalk2_key = canonical_program_key(fig10a_ptwalk2().execution.program)
+        assert canonical_program_key(reduced) == ptwalk2_key
+        assert ptwalk2_key in corpus_keys
+
+
+class TestClassifierBehavior:
+    def test_empty_corpus_leaves_relevant_unmatched(self) -> None:
+        suite = coatcheck_suite()
+        report = compare_suite(suite, set(), x86t_elt())
+        assert report.count(Category.CATEGORY_1) == 0
+        assert report.count(Category.CATEGORY_2) == 0
+        assert report.count(Category.UNMATCHED) == 22
+        # Unsupported/non-spanning classification is corpus-independent.
+        assert report.count(Category.UNSUPPORTED) == 9
+        assert report.count(Category.NOT_SPANNING) == 9
+
+    def test_read_only_test_is_not_spanning(self, corpus_keys) -> None:
+        suite = {t.name: t for t in coatcheck_suite()}
+        result = classify_test(suite["ro_share"], corpus_keys, x86t_elt())
+        assert result.category is Category.NOT_SPANNING

@@ -1,0 +1,112 @@
+"""Tests for violation diagnostics (labeled cycle extraction) and DOT
+export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.litmus.classics import co_rr, rmw_intervene, sb
+from repro.litmus.dot import execution_to_dot
+from repro.litmus.figures import (
+    fig2c_sb_aliased,
+    fig10a_ptwalk2,
+    fig11_stale_mapping_after_ipi,
+)
+from repro.models import (
+    explain_axiom_violation,
+    explain_verdict,
+    render_explanations,
+    x86t_elt,
+)
+from repro.mtm import names
+
+
+class TestCycleExtraction:
+    def test_fig11_invlpg_cycle(self) -> None:
+        ex = fig11_stale_mapping_after_ipi()
+        explanation = explain_axiom_violation(ex.execution, "invlpg")
+        assert explanation is not None
+        label_sets = {label for e in explanation.edges for label in e.labels}
+        # The paper's cycle: remap + ^po + fr_va.
+        assert names.REMAP in label_sets
+        assert names.FR_VA in label_sets
+        assert names.PO in label_sets
+        # It is a genuine cycle through the three key events.
+        assert explanation.edges[0].source == explanation.edges[-1].target
+
+    def test_ptwalk2_sc_per_loc_cycle_is_two_edges(self) -> None:
+        ex = fig10a_ptwalk2()
+        explanation = explain_axiom_violation(ex.execution, "sc_per_loc")
+        assert explanation is not None
+        assert len(explanation.edges) == 2
+        labels = {label for e in explanation.edges for label in e.labels}
+        assert names.FR in labels
+        assert names.PO_LOC in labels
+
+    def test_satisfied_axiom_has_no_cycle(self) -> None:
+        ex = fig10a_ptwalk2()
+        assert explain_axiom_violation(ex.execution, "causality") is None
+
+    def test_unknown_axiom_raises(self) -> None:
+        ex = fig10a_ptwalk2()
+        with pytest.raises(SynthesisError):
+            explain_axiom_violation(ex.execution, "bogus")
+
+    def test_corr_causality_cycle_uses_rfe(self) -> None:
+        explanation = explain_axiom_violation(co_rr().execution, "causality")
+        assert explanation is not None
+        labels = {label for e in explanation.edges for label in e.labels}
+        assert names.RFE in labels
+
+
+class TestVerdictExplanation:
+    def test_explanations_cover_acyclicity_violations(self) -> None:
+        model = x86t_elt()
+        ex = fig2c_sb_aliased()
+        explanations = explain_verdict(ex.execution, model)
+        axioms = {e.axiom for e in explanations}
+        assert "sc_per_loc" in axioms
+
+    def test_rmw_violation_reported_as_non_acyclicity(self) -> None:
+        model = x86t_elt()
+        text = render_explanations(rmw_intervene().execution, model)
+        assert "rmw_atomicity: violated (non-acyclicity axiom)" in text
+
+    def test_permitted_execution(self) -> None:
+        model = x86t_elt()
+        text = render_explanations(sb().execution, model)
+        assert "permitted" in text
+
+    def test_render_contains_cycle_chain(self) -> None:
+        model = x86t_elt()
+        text = render_explanations(
+            fig11_stale_mapping_after_ipi().execution, model
+        )
+        assert "invlpg cycle:" in text
+        assert "-[" in text
+
+
+class TestDotExport:
+    def test_dot_structure(self) -> None:
+        ex = fig10a_ptwalk2()
+        dot = execution_to_dot(ex.execution, name="ptwalk2")
+        assert dot.startswith('digraph "ptwalk2"')
+        assert "cluster_core0" in dot
+        assert "WPTE x -> pa_b" in dot
+        assert "Rptw pte(x)" in dot
+        assert 'label="po"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_selected_relations_only(self) -> None:
+        ex = fig11_stale_mapping_after_ipi()
+        dot = execution_to_dot(ex.execution, relations=[names.FR_VA])
+        assert names.FR_VA in dot
+        assert '"rf_ptw"' not in dot
+
+    def test_all_figures_export(self) -> None:
+        from repro.litmus import ALL_FIGURES
+
+        for make in ALL_FIGURES.values():
+            dot = execution_to_dot(make().execution)
+            assert dot.count("digraph") == 1

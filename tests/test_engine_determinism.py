@@ -1,0 +1,76 @@
+"""Engine determinism and stability guarantees.
+
+Bounded-exhaustive synthesis must be a *function* of its configuration:
+same config, same suite (the paper's completeness-up-to-bound framing
+depends on it).  Canonical keys must likewise be stable across process
+randomization (dict ordering, hash seeds) — these tests lock that in.
+"""
+
+from __future__ import annotations
+
+from repro.litmus import serialize_elt
+from repro.models import x86t_elt
+from repro.synth import (
+    SynthesisConfig,
+    canonical_program_key,
+    enumerate_programs,
+    synthesize,
+)
+
+
+def run(axiom: str, bound: int):
+    return synthesize(
+        SynthesisConfig(bound=bound, model=x86t_elt(), target_axiom=axiom)
+    )
+
+
+class TestDeterminism:
+    def test_same_config_same_suite(self) -> None:
+        first = run("invlpg", 5)
+        second = run("invlpg", 5)
+        assert first.keys() == second.keys()
+        assert [e.key for e in first.elts] == [e.key for e in second.elts]
+
+    def test_stats_are_reproducible(self) -> None:
+        first = run("tlb_causality", 4)
+        second = run("tlb_causality", 4)
+        assert (
+            first.stats.programs_enumerated == second.stats.programs_enumerated
+        )
+        assert (
+            first.stats.executions_enumerated
+            == second.stats.executions_enumerated
+        )
+        assert first.stats.interesting == second.stats.interesting
+        assert first.stats.minimal == second.stats.minimal
+
+    def test_program_enumeration_order_is_stable(self) -> None:
+        config = SynthesisConfig(bound=5, model=x86t_elt())
+        first = [canonical_program_key(p) for p in enumerate_programs(config)]
+        second = [canonical_program_key(p) for p in enumerate_programs(config)]
+        assert first == second
+
+    def test_serializations_are_stable(self) -> None:
+        result = run("sc_per_loc", 4)
+        texts_a = [serialize_elt(e.execution) for e in result.elts]
+        texts_b = [
+            serialize_elt(e.execution) for e in run("sc_per_loc", 4).elts
+        ]
+        assert texts_a == texts_b
+
+
+class TestRepresentativeExecutions:
+    def test_representative_violates_its_axioms(self) -> None:
+        model = x86t_elt()
+        result = run("invlpg", 5)
+        for elt in result.elts:
+            verdict = model.check(elt.execution)
+            assert verdict.violated == elt.violated_axioms
+
+    def test_outcome_counts_positive(self) -> None:
+        for elt in run("sc_per_loc", 5).elts:
+            assert elt.outcome_count >= 1
+
+    def test_representative_program_matches_key(self) -> None:
+        for elt in run("invlpg", 5).elts:
+            assert canonical_program_key(elt.program) == elt.key

@@ -1,0 +1,121 @@
+"""Tests for program exploration (outcome enumeration) and for
+fence-enabled synthesis."""
+
+from __future__ import annotations
+
+from repro.litmus.figures import fig10a_ptwalk2, fig11_stale_mapping_after_ipi
+from repro.models import x86t_elt, x86tso
+from repro.mtm import EventKind, ProgramBuilder
+from repro.synth import SynthesisConfig, explore_program, synthesize
+
+
+class TestExploreProgram:
+    def test_ptwalk2_outcomes(self) -> None:
+        program = fig10a_ptwalk2().execution.program
+        exploration = explore_program(program, x86t_elt())
+        assert len(exploration.outcomes) == 2
+        assert len(exploration.permitted) == 1
+        assert len(exploration.forbidden) == 1
+        assert exploration.can_violate
+
+    def test_histogram(self) -> None:
+        program = fig10a_ptwalk2().execution.program
+        exploration = explore_program(program, x86t_elt())
+        histogram = exploration.violated_axiom_histogram()
+        assert histogram == {"sc_per_loc": 1, "invlpg": 1}
+
+    def test_summary_text(self) -> None:
+        program = fig11_stale_mapping_after_ipi().execution.program
+        text = explore_program(program, x86t_elt()).summary()
+        assert "permitted: 1" in text
+        assert "forbidden: 1" in text
+        assert "violating invlpg: 1" in text
+
+    def test_limit_truncates(self) -> None:
+        b = ProgramBuilder()
+        c0, c1 = b.thread(), b.thread()
+        c0.write("x")
+        c1.write("x")
+        c1.read("x")
+        # Provide required co by exploring (the enumerator supplies co).
+        program = b.build()
+        exploration = explore_program(program, x86t_elt(), limit=1)
+        assert exploration.truncated
+        assert len(exploration.outcomes) == 1
+
+    def test_read_only_program_cannot_violate(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.read("x")
+        exploration = explore_program(b.build(), x86t_elt())
+        assert not exploration.can_violate
+
+
+class TestFenceSynthesisQualification:
+    """sb+mfence is the canonical fence test.  Running full fence-enabled
+    synthesis to bound 6 takes minutes in pure Python (benchmarks cover
+    sweeps), so these tests apply the engine's *filters* directly: the
+    sb+mfence execution must qualify for the causality suite — forbidden
+    via causality, minimal under every relaxation — while plain sb must
+    not (its outcome is permitted)."""
+
+    def test_sb_fence_qualifies_for_the_causality_suite(self) -> None:
+        from repro.litmus.classics import sb_fence
+        from repro.synth import is_minimal
+
+        model = x86tso()
+        execution = sb_fence().execution
+        verdict = model.check(execution)
+        assert "causality" in verdict.violated
+        assert is_minimal(execution, model)
+        # Fences are removable in isolation; removing either must legalize
+        # the outcome (that is what makes the test minimal).
+        from repro.synth import relaxation_becomes_permitted, removal_groups
+
+        fence_groups = [
+            g
+            for g in removal_groups(execution.program)
+            if any(
+                execution.program.events[e].kind is EventKind.FENCE
+                for e in g
+            )
+        ]
+        assert len(fence_groups) == 2
+        for group in fence_groups:
+            assert relaxation_becomes_permitted(
+                execution, model, removed=group
+            )
+
+    def test_plain_sb_does_not_qualify(self) -> None:
+        from repro.litmus.classics import sb
+
+        assert x86tso().permits(sb().execution)
+
+    def test_fenceless_synthesis_contains_no_fences(self) -> None:
+        result = synthesize(
+            SynthesisConfig(
+                bound=4,
+                model=x86tso(),
+                target_axiom="causality",
+                mcm_mode=True,
+                enable_fences=False,
+                enable_rmw=False,
+            )
+        )
+        for elt in result.elts:
+            kinds = {e.kind for e in elt.program.events.values()}
+            assert EventKind.FENCE not in kinds
+
+
+class TestExploreCli:
+    def test_cli_explore(self, tmp_path, capsys) -> None:
+        from repro.cli import main
+
+        path = tmp_path / "t.elt"
+        path.write_text(
+            "elt\nmap x pa_a\nthread 0\n  wpte x pa_b\n  ipi 0\n  r x miss\n"
+        )
+        assert main(["explore", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 candidate executions" in out
+        assert "forbidden: 1" in out

@@ -1,0 +1,107 @@
+"""Tests for ELT text formats: rendering and round-trip parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LitmusFormatError
+from repro.litmus import (
+    ALL_CLASSICS,
+    ALL_FIGURES,
+    format_execution,
+    format_program,
+    parse_elt,
+    serialize_elt,
+)
+from repro.mtm import Execution, names
+
+
+def roundtrip(execution: Execution) -> Execution:
+    return parse_elt(serialize_elt(execution))
+
+
+def assert_equivalent(a: Execution, b: Execution) -> None:
+    from repro.synth import canonical_execution_key
+
+    assert canonical_execution_key(a) == canonical_execution_key(b)
+
+
+class TestRendering:
+    def test_format_program_mentions_all_instructions(self) -> None:
+        example = ALL_FIGURES["fig10a"]()
+        text = format_program(example.execution.program)
+        assert "WPTE x -> pa_b" in text
+        assert "INVLPG x" in text
+        assert "R x" in text
+        assert "Rptw pte(x)" in text
+
+    def test_format_execution_lists_witness(self) -> None:
+        example = ALL_FIGURES["fig2b"]()
+        text = format_execution(example.execution)
+        assert "witness:" in text
+        assert "rf:" in text
+        assert "reads:" in text
+
+    def test_remap_annotated(self) -> None:
+        example = ALL_FIGURES["fig11"]()
+        text = format_program(example.execution.program)
+        assert "remap of" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+    def test_figures_roundtrip(self, name: str) -> None:
+        execution = ALL_FIGURES[name]().execution
+        assert_equivalent(execution, roundtrip(execution))
+
+    @pytest.mark.parametrize("name", sorted(ALL_CLASSICS))
+    def test_classics_roundtrip(self, name: str) -> None:
+        execution = ALL_CLASSICS[name]().execution
+        assert_equivalent(execution, roundtrip(execution))
+
+    def test_roundtrip_preserves_verdict(self) -> None:
+        from repro.models import x86t_elt
+
+        model = x86t_elt()
+        for name in ("fig10a", "fig11", "fig2b", "fig2c"):
+            original = ALL_FIGURES[name]().execution
+            parsed = roundtrip(original)
+            assert model.check(parsed).violated == model.check(original).violated
+
+    def test_roundtrip_preserves_relations(self) -> None:
+        original = ALL_FIGURES["fig6d"]().execution
+        parsed = roundtrip(original)
+        for relation in (names.RF_PA, names.FR_VA, names.REMAP):
+            assert len(parsed.relation(relation)) == len(
+                original.relation(relation)
+            )
+
+
+class TestParserErrors:
+    def test_missing_header(self) -> None:
+        with pytest.raises(LitmusFormatError):
+            parse_elt("thread 0\n  r x miss\n")
+
+    def test_unknown_line(self) -> None:
+        with pytest.raises(LitmusFormatError):
+            parse_elt("elt\nfrobnicate\n")
+
+    def test_instruction_before_thread(self) -> None:
+        with pytest.raises(LitmusFormatError):
+            parse_elt("elt\nr x miss\n")
+
+    def test_bad_ipi_reference(self) -> None:
+        with pytest.raises(LitmusFormatError):
+            parse_elt("elt\nmap x pa_a\nthread 0\n  ipi 3\n")
+
+    def test_bad_edge_reference(self) -> None:
+        text = "elt\nmap x pa_a\nthread 0\n  r x miss\nrf 0.9 0.0\n"
+        with pytest.raises(LitmusFormatError):
+            parse_elt(text)
+
+    def test_comments_and_blanks_ignored(self) -> None:
+        text = (
+            "elt\n\n# a comment\nmap x pa_a\nthread 0\n  r x miss\n"
+        )
+        execution = parse_elt(text)
+        assert execution.program.size == 2

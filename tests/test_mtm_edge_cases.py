@@ -1,0 +1,183 @@
+"""Execution-semantics edge cases beyond the paper figures: multi-remap
+aliasing, co_pa validation, dirty-bit forwarding chains, and position
+bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.mtm import Execution, ProgramBuilder, names
+
+
+class TestMultiRemapAliasing:
+    def build(self):
+        # Two remaps point x and y at the same fresh PA; a write through
+        # each VA then hits the same location.
+        b = ProgramBuilder()
+        b.map("x", "pa_a").map("y", "pa_b")
+        c0 = b.thread()
+        wpte_x = c0.pte_write("x", "pa_c")
+        wpte_y = c0.pte_write("y", "pa_c")
+        w1 = c0.write("x")
+        w2 = c0.write("y")
+        return b, wpte_x, wpte_y, w1, w2
+
+    def test_aliased_writes_need_co(self) -> None:
+        b, wpte_x, wpte_y, w1, w2 = self.build()
+        program = b.build()
+        with pytest.raises(WellFormednessError, match="not total"):
+            Execution(
+                program,
+                rf=[
+                    (wpte_x.eid, b.walk_of(w1).eid),
+                    (wpte_y.eid, b.walk_of(w2).eid),
+                ],
+                co_pa=[(wpte_x.eid, wpte_y.eid)],
+            )
+
+    def test_full_witness_accepted(self) -> None:
+        b, wpte_x, wpte_y, w1, w2 = self.build()
+        program = b.build()
+        execution = Execution(
+            program,
+            rf=[
+                (wpte_x.eid, b.walk_of(w1).eid),
+                (wpte_y.eid, b.walk_of(w2).eid),
+            ],
+            co=[
+                (w1.eid, w2.eid),
+                # PTE-location coherence: each remap vs the dirty bit of
+                # the write translating through it.
+                (wpte_x.eid, b.dirty_of(w1).eid),
+                (wpte_y.eid, b.dirty_of(w2).eid),
+            ],
+            co_pa=[(wpte_x.eid, wpte_y.eid)],
+        )
+        assert execution.pa_of[w1.eid] == "pa_c"
+        assert execution.pa_of[w2.eid] == "pa_c"
+        # co_pa drives fr_pa: w1 read x's mapping from wpte_x, whose
+        # co_pa-successor is wpte_y.
+        assert (w1.eid, wpte_y.eid) in execution.relation(names.FR_PA)
+
+    def test_co_pa_requires_same_target(self) -> None:
+        b = ProgramBuilder()
+        b.map("x", "pa_a").map("y", "pa_b")
+        c0 = b.thread()
+        wpte_x = c0.pte_write("x", "pa_c")
+        wpte_y = c0.pte_write("y", "pa_d")
+        program = b.build()
+        with pytest.raises(WellFormednessError, match="same PA"):
+            Execution(program, co_pa=[(wpte_x.eid, wpte_y.eid)])
+
+    def test_co_pa_cycle_rejected(self) -> None:
+        b, wpte_x, wpte_y, w1, w2 = self.build()
+        program = b.build()
+        with pytest.raises(WellFormednessError, match="cycle"):
+            Execution(
+                program,
+                rf=[
+                    (wpte_x.eid, b.walk_of(w1).eid),
+                    (wpte_y.eid, b.walk_of(w2).eid),
+                ],
+                co=[
+                    (w1.eid, w2.eid),
+                    (wpte_x.eid, b.dirty_of(w1).eid),
+                    (wpte_y.eid, b.dirty_of(w2).eid),
+                ],
+                co_pa=[
+                    (wpte_x.eid, wpte_y.eid),
+                    (wpte_y.eid, wpte_x.eid),
+                ],
+            )
+
+    def test_co_pa_must_agree_with_co_on_shared_location(self) -> None:
+        # Two remaps of the SAME va to the same target share a PTE
+        # location: co and co_pa must order them consistently.
+        b = ProgramBuilder()
+        b.map("x", "pa_a")
+        c0 = b.thread()
+        wpte1 = c0.pte_write("x", "pa_c")
+        wpte2 = c0.pte_write("x", "pa_c")
+        program = b.build()
+        with pytest.raises(WellFormednessError, match="contradicts"):
+            Execution(
+                program,
+                co=[(wpte1.eid, wpte2.eid)],
+                co_pa=[(wpte2.eid, wpte1.eid)],
+            )
+
+
+class TestDirtyBitForwardingChains:
+    def test_two_step_chain(self) -> None:
+        # W0 misses (initial mapping); W1 re-walks reading W0's dirty bit;
+        # R2 re-walks reading W1's dirty bit: mapping forwards twice.
+        b = ProgramBuilder()
+        b.map("x", "pa_a")
+        c0 = b.thread()
+        w0 = c0.write("x")
+        w1 = c0.write("x")  # capacity re-walk
+        r2 = c0.read("x")  # capacity re-walk
+        program = b.build()
+        wdb0, wdb1 = b.dirty_of(w0), b.dirty_of(w1)
+        execution = Execution(
+            program,
+            rf=[
+                (wdb0.eid, b.walk_of(w1).eid),
+                (wdb1.eid, b.walk_of(r2).eid),
+            ],
+            co=[(wdb0.eid, wdb1.eid), (w0.eid, w1.eid)],
+        )
+        assert execution.pa_of[r2.eid] == "pa_a"
+        assert execution.origin_of_walk[b.walk_of(r2).eid] is None
+
+    def test_chain_through_remap_preserves_origin(self) -> None:
+        # The walk reads a dirty bit whose parent used a remapped PTE:
+        # the origin (and rf_pa) must point at the remap.
+        b = ProgramBuilder()
+        b.map("x", "pa_a")
+        c0 = b.thread()
+        wpte = c0.pte_write("x", "pa_b")
+        w1 = c0.write("x")
+        r2 = c0.read("x")  # capacity re-walk
+        program = b.build()
+        wdb1 = b.dirty_of(w1)
+        execution = Execution(
+            program,
+            rf=[
+                (wpte.eid, b.walk_of(w1).eid),
+                (wdb1.eid, b.walk_of(r2).eid),
+            ],
+            co=[(wpte.eid, wdb1.eid)],
+        )
+        assert execution.pa_of[r2.eid] == "pa_b"
+        assert (wpte.eid, r2.eid) in execution.relation(names.RF_PA)
+
+
+class TestPositions:
+    def test_apo_orders_ghosts_with_parents(self) -> None:
+        b = ProgramBuilder()
+        b.map("x", "pa_a")
+        c0 = b.thread()
+        w0 = c0.write("x")
+        r1 = c0.read("x", walk=b.walk_of(w0))
+        program = b.build()
+        execution = Execution(program, rf=[(w0.eid, r1.eid)])
+        apo = execution.relation(names.APO)
+        walk = b.walk_of(w0)
+        # The walk (slot 0) precedes r1 (slot 1) but not its own parent.
+        assert (walk.eid, r1.eid) in apo
+        assert (walk.eid, w0.eid) not in apo
+        assert (w0.eid, walk.eid) not in apo
+
+    def test_po_excludes_ghosts(self) -> None:
+        b = ProgramBuilder()
+        b.map("x", "pa_a")
+        c0 = b.thread()
+        w0 = c0.write("x")
+        c0.read("x", walk=b.walk_of(w0))
+        execution = Execution(b.build(), rf=[])
+        po = execution.relation(names.PO)
+        for a, b_ in po:
+            assert not execution.program.events[a].is_ghost
+            assert not execution.program.events[b_].is_ghost

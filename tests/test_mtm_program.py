@@ -1,0 +1,242 @@
+"""Unit tests for ELT programs (structure + placement rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VocabularyError, WellFormednessError
+from repro.mtm import Event, EventKind, Program, ProgramBuilder
+
+
+class TestEvent:
+    def test_fence_takes_no_address(self) -> None:
+        with pytest.raises(VocabularyError):
+            Event("e0", EventKind.FENCE, 0, va="x")
+
+    def test_memory_event_requires_va(self) -> None:
+        with pytest.raises(VocabularyError):
+            Event("e0", EventKind.READ, 0)
+
+    def test_pte_write_requires_target(self) -> None:
+        with pytest.raises(VocabularyError):
+            Event("e0", EventKind.PTE_WRITE, 0, va="x")
+
+    def test_only_pte_write_carries_target(self) -> None:
+        with pytest.raises(VocabularyError):
+            Event("e0", EventKind.READ, 0, va="x", pa="pa_b")
+
+    def test_classification(self) -> None:
+        read = Event("e0", EventKind.READ, 0, va="x")
+        walk = Event("e1", EventKind.PT_WALK, 0, va="x")
+        inv = Event("e2", EventKind.INVLPG, 0, va="x")
+        assert read.is_user and read.is_memory_event and read.is_read_like
+        assert walk.is_ghost and walk.is_memory_event and walk.accesses_pte
+        assert inv.is_support and not inv.is_memory_event
+
+
+class TestBuilderBasics:
+    def test_read_invokes_walk(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.read("x")
+        program = b.build()
+        assert program.size == 2
+        kinds = sorted(e.kind.value for e in program.events.values())
+        assert kinds == ["R", "Rptw"]
+
+    def test_write_invokes_walk_and_dirty_bit(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.write("x")
+        program = b.build()
+        assert program.size == 3
+        kinds = sorted(e.kind.value for e in program.events.values())
+        assert kinds == ["Rptw", "W", "Wdb"]
+
+    def test_autofill_gives_unique_pas(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.read("x")
+        c0.read("y")
+        program = b.build()
+        pas = set(program.initial_map.values())
+        assert len(pas) == 2
+
+    def test_walk_sharing(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        r0 = c0.read("x")
+        c0.read("x", walk=b.walk_of(r0))
+        program = b.build()
+        # 2 reads share 1 walk.
+        assert program.size == 3
+
+    def test_hit_on_evicted_entry_rejected(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        r0 = c0.read("x")
+        walk = b.walk_of(r0)
+        c0.invlpg("x")
+        with pytest.raises(WellFormednessError):
+            c0.read("x", walk=walk)
+
+    def test_hit_on_replaced_entry_rejected(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        r0 = c0.read("x")
+        old_walk = b.walk_of(r0)
+        c0.read("x")  # capacity-evicts and re-walks
+        with pytest.raises(WellFormednessError):
+            c0.read("x", walk=old_walk)
+
+    def test_cross_core_hit_rejected(self) -> None:
+        b = ProgramBuilder()
+        c0, c1 = b.thread(), b.thread()
+        r0 = c0.read("x")
+        with pytest.raises(WellFormednessError):
+            c1.read("x", walk=b.walk_of(r0))
+
+    def test_pte_write_appends_local_invlpg(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        wpte = c0.pte_write("x", "pa_b")
+        program = b.build()
+        thread = program.threads[0]
+        assert program.events[thread[0]].kind is EventKind.PTE_WRITE
+        assert program.events[thread[1]].kind is EventKind.INVLPG
+        assert (wpte.eid, thread[1]) in program.remap
+
+    def test_remap_requires_invlpg_on_every_core(self) -> None:
+        b = ProgramBuilder()
+        c0, c1 = b.thread(), b.thread()
+        c0.pte_write("x", "pa_b")
+        c1.read("y")
+        # Missing invlpg_for on c1.
+        with pytest.raises(WellFormednessError):
+            b.build()
+
+    def test_remap_complete_with_remote_invlpg(self) -> None:
+        b = ProgramBuilder()
+        c0, c1 = b.thread(), b.thread()
+        wpte = c0.pte_write("x", "pa_b")
+        c1.invlpg_for(wpte)
+        program = b.build()
+        assert len(program.remap) == 2
+
+    def test_rmw_shares_walk(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        read, write = c0.rmw("x")
+        program = b.build()
+        assert (read.eid, write.eid) in program.rmw
+        # R + W + Wdb + one shared walk.
+        assert program.size == 4
+
+    def test_positions_ghosts_inherit_parent_slot(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        w0 = c0.write("x")
+        r1 = c0.read("y")
+        program = b.build()
+        assert program.position(b.walk_of(w0).eid) == program.position(w0.eid)
+        assert program.position(w0.eid) < program.position(r1.eid)
+
+
+class TestProgramValidation:
+    def test_ghost_in_thread_rejected(self) -> None:
+        events = {
+            "r": Event("r", EventKind.READ, 0, va="x"),
+            "w": Event("w", EventKind.PT_WALK, 0, va="x"),
+        }
+        with pytest.raises(WellFormednessError):
+            Program(
+                events=events,
+                threads=(("r", "w"),),
+                ghosts={"r": ("w",)},
+                initial_map={"x": "pa_a"},
+            )
+
+    def test_orphan_ghost_rejected(self) -> None:
+        events = {
+            "r": Event("r", EventKind.READ, 0, va="x"),
+            "w": Event("w", EventKind.PT_WALK, 0, va="x"),
+            "w2": Event("w2", EventKind.PT_WALK, 0, va="x"),
+        }
+        with pytest.raises(WellFormednessError):
+            Program(
+                events=events,
+                threads=(("r",),),
+                ghosts={"r": ("w",)},
+                initial_map={"x": "pa_a"},
+            )
+
+    def test_write_without_dirty_bit_rejected(self) -> None:
+        events = {
+            "w": Event("w", EventKind.WRITE, 0, va="x"),
+            "pw": Event("pw", EventKind.PT_WALK, 0, va="x"),
+        }
+        with pytest.raises(WellFormednessError):
+            Program(
+                events=events,
+                threads=(("w",),),
+                ghosts={"w": ("pw",)},
+                initial_map={"x": "pa_a"},
+            )
+
+    def test_ghost_wrong_core_rejected(self) -> None:
+        events = {
+            "r": Event("r", EventKind.READ, 0, va="x"),
+            "pw": Event("pw", EventKind.PT_WALK, 1, va="x"),
+        }
+        with pytest.raises(WellFormednessError):
+            Program(
+                events=events,
+                threads=(("r",), ()),
+                ghosts={"r": ("pw",)},
+                initial_map={"x": "pa_a"},
+            )
+
+    def test_non_injective_initial_map_rejected(self) -> None:
+        b = ProgramBuilder()
+        b.map("x", "pa_a").map("y", "pa_a")
+        c0 = b.thread()
+        c0.read("x")
+        c0.read("y")
+        with pytest.raises(WellFormednessError):
+            b.build()
+
+    def test_missing_mapping_autofilled_by_builder(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.read("x")
+        program = b.build()
+        assert "x" in program.initial_map
+
+    def test_rmw_must_be_adjacent(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        r, w = c0.rmw("x")
+        program = b.build()
+        # Rebuild with an interloper between r and w.
+        events = dict(program.events)
+        inv = Event("spur", EventKind.INVLPG, 0, va="x")
+        events["spur"] = inv
+        thread = list(program.threads[0])
+        thread.insert(thread.index(w.eid), "spur")
+        with pytest.raises(WellFormednessError):
+            Program(
+                events=events,
+                threads=(tuple(thread),),
+                ghosts=program.ghosts,
+                rmw=program.rmw,
+                initial_map=program.initial_map,
+            )
+
+    def test_size_counts_ghosts(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.write("x")
+        c0.read("x", walk=None)
+        program = b.build()
+        # W + Wdb + walk + R + walk = 5 (instruction bound counts ghosts).
+        assert program.size == 5

@@ -1,0 +1,42 @@
+"""The documented top-level API surface must stay importable."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_version() -> None:
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+def test_top_level_exports(name: str) -> None:
+    assert getattr(repro, name) is not None
+
+
+def test_unknown_attribute_raises() -> None:
+    with pytest.raises(AttributeError):
+        repro.not_a_thing
+
+
+def test_readme_quickstart_snippet_runs() -> None:
+    from repro import Execution, ProgramBuilder, SynthesisConfig, synthesize, x86t_elt
+
+    b = ProgramBuilder()
+    b.map("x", "pa_a")
+    core = b.thread()
+    core.pte_write("x", "pa_b")
+    core.read("x")
+    stale = Execution(b.build())
+
+    model = x86t_elt()
+    verdict = model.check(stale)
+    assert verdict.forbidden
+    assert set(verdict.violated) == {"sc_per_loc", "invlpg"}
+
+    suite = synthesize(
+        SynthesisConfig(bound=5, model=model, target_axiom="invlpg")
+    )
+    assert suite.count == 3

@@ -1,0 +1,140 @@
+"""Property-based tests of the execution semantics on random ELTs.
+
+Invariants checked on arbitrary well-formed programs and witnesses:
+
+* communication edges only relate same-location events;
+* reads have at most one rf source; from-reads agrees with rf/co;
+* rf_ptw is same-core, same-VA, and covers every user-facing access;
+* effective PAs come from the walk value flow;
+* the transistency predicate refines the consistency predicate
+  (x86t_elt permits => x86tso permits);
+* every synthesized-suite invariant holds for random witnesses too.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import x86t_elt, x86tso
+from repro.mtm import EventKind, names
+from repro.synth import enumerate_witnesses
+
+from .strategies import executions, programs
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_com_is_same_location(execution) -> None:
+    sloc = execution.relation(names.SLOC)
+    for edge in execution.relation(names.COM):
+        assert edge in sloc
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_reads_have_at_most_one_source(execution) -> None:
+    seen: set[str] = set()
+    for _src, dst in execution._rf:
+        assert dst not in seen
+        seen.add(dst)
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_fr_agrees_with_rf_and_co(execution) -> None:
+    rf_source = {dst: src for src, dst in execution._rf}
+    fr = execution.relation(names.FR)
+    co = execution.relation(names.CO)
+    sloc = execution.relation(names.SLOC)
+    for r, w in fr:
+        source = rf_source.get(r)
+        if source is None:
+            # Initial-value read: fr to every same-location writer.
+            assert (r, w) in sloc
+        else:
+            assert (source, w) in co
+    # Completeness: every co-successor of a read's source is fr-reachable.
+    for r, source in rf_source.items():
+        for a, b in co:
+            if a == source:
+                assert (r, b) in fr
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_rf_ptw_is_same_core_same_va_and_total_on_users(execution) -> None:
+    program = execution.program
+    sourced = set()
+    for walk, user in execution.rf_ptw:
+        walk_event = program.events[walk]
+        user_event = program.events[user]
+        assert walk_event.kind is EventKind.PT_WALK
+        assert walk_event.core == user_event.core
+        assert walk_event.va == user_event.va
+        sourced.add(user)
+    expected = {
+        eid
+        for eid, event in program.events.items()
+        if event.is_user and event.is_memory_event
+    }
+    if program.mcm_mode:
+        assert not sourced
+    else:
+        assert sourced == expected
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_effective_pas_follow_walk_values(execution) -> None:
+    if execution.program.mcm_mode:
+        return
+    for walk, user in execution.rf_ptw:
+        assert execution.pa_of[user] == execution.mapping_of_walk[walk][1]
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_transistency_refines_consistency(execution) -> None:
+    # x86t_elt = x86tso + extra axioms, so permitting implies permitting.
+    if x86t_elt().permits(execution):
+        assert x86tso().permits(execution)
+
+
+@given(executions(max_events=7))
+@settings(**SETTINGS)
+def test_verdict_is_deterministic(execution) -> None:
+    model = x86t_elt()
+    assert model.check(execution).results == model.check(execution).results
+
+
+@given(programs(max_events=6))
+@settings(**SETTINGS)
+def test_every_witness_is_wellformed_and_checkable(program) -> None:
+    model = x86t_elt()
+    count = 0
+    for witness in enumerate_witnesses(program):
+        model.check(witness)
+        count += 1
+        if count >= 30:
+            break
+    assert count >= 1  # at least the all-initial execution exists
+
+
+@given(programs(max_events=6), st.integers(min_value=0, max_value=10))
+@settings(**SETTINGS)
+def test_relaxations_preserve_wellformedness(program, seed) -> None:
+    from repro.synth import relaxed_program, removal_groups
+
+    groups = removal_groups(program)
+    if not groups:
+        return
+    group = groups[seed % len(groups)]
+    reduced = relaxed_program(program, group)
+    # The reduced program must validate and have enumerable witnesses.
+    assert reduced.size == program.size - len(group)
+    for index, _ in enumerate(enumerate_witnesses(reduced)):
+        if index >= 5:
+            break

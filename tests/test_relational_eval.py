@@ -1,0 +1,125 @@
+"""Unit tests for the reference relational evaluator (error paths and
+constructs not already covered by the exhaustive property cross-check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import (
+    Iden,
+    Instance,
+    Rel,
+    TupleSet,
+    Univ,
+    eval_expr,
+    eval_formula,
+    exists,
+    forall,
+)
+from repro.relational.ast import Literal, VarRef
+
+
+@pytest.fixture()
+def instance() -> Instance:
+    return Instance(
+        ["a", "b", "c"],
+        {
+            "r": TupleSet.pairs([("a", "b"), ("b", "c")]),
+            "s": TupleSet.unary(["a", "b"]),
+        },
+    )
+
+
+R = Rel("r", 2)
+S = Rel("s", 1)
+
+
+class TestExpressions:
+    def test_rel_lookup(self, instance) -> None:
+        assert eval_expr(R, instance) == instance.relation("r")
+
+    def test_unknown_relation(self, instance) -> None:
+        with pytest.raises(RelationalError):
+            eval_expr(Rel("nope", 2), instance)
+
+    def test_iden_and_univ(self, instance) -> None:
+        assert eval_expr(Iden(), instance) == TupleSet.identity(["a", "b", "c"])
+        assert eval_expr(Univ(), instance) == TupleSet.unary(["a", "b", "c"])
+
+    def test_literal(self, instance) -> None:
+        ts = TupleSet.pairs([("c", "c")])
+        assert eval_expr(Literal(ts), instance) == ts
+
+    def test_unbound_variable(self, instance) -> None:
+        with pytest.raises(RelationalError, match="unbound"):
+            eval_expr(VarRef("x"), instance)
+
+    def test_join_and_closure(self, instance) -> None:
+        image = eval_expr(S.dot(R), instance)
+        assert image == TupleSet.unary(["b", "c"])
+        closed = eval_expr(R.plus(), instance)
+        assert ("a", "c") in closed
+
+    def test_star_includes_identity(self, instance) -> None:
+        starred = eval_expr(R.star(), instance)
+        assert ("c", "c") in starred
+
+    def test_transpose(self, instance) -> None:
+        assert ("b", "a") in eval_expr(R.t(), instance)
+
+    def test_difference_and_product(self, instance) -> None:
+        diff = eval_expr(R - R, instance)
+        assert diff.is_empty()
+        prod = eval_expr(S.product(S), instance)
+        assert len(prod) == 4
+
+
+class TestFormulas:
+    def test_subset_and_eq(self, instance) -> None:
+        assert eval_formula(R.in_(R.plus()), instance)
+        assert not eval_formula(R.plus().in_(R), instance)
+        assert eval_formula(R.eq(R), instance)
+
+    def test_cardinalities(self, instance) -> None:
+        assert not eval_formula(S.one(), instance)
+        assert not eval_formula(S.lone(), instance)
+        single = Instance(["a"], {"s": TupleSet.unary(["a"])})
+        assert eval_formula(Rel("s", 1).one(), single)
+
+    def test_quantifiers(self, instance) -> None:
+        # all x in s | some x.r  — a->b, b->c both exist.
+        assert eval_formula(forall("x", S, lambda x: x.dot(R).some()), instance)
+        # some x in s | no x.r — neither a nor b lacks a successor.
+        assert not eval_formula(
+            exists("x", S, lambda x: x.dot(R).no_()), instance
+        )
+
+    def test_quantifier_domain_must_be_unary(self, instance) -> None:
+        with pytest.raises(RelationalError):
+            eval_formula(forall("x", R, lambda x: x.some()), instance)
+
+    def test_boolean_connectives(self, instance) -> None:
+        t = R.in_(R)
+        f = R.plus().in_(R)
+        assert eval_formula(t.and_(t), instance)
+        assert not eval_formula(t.and_(f), instance)
+        assert eval_formula(t.or_(f), instance)
+        assert eval_formula(f.implies(f), instance)
+        assert eval_formula(f.not_(), instance)
+
+
+class TestInstance:
+    def test_stray_atoms_rejected(self) -> None:
+        with pytest.raises(RelationalError):
+            Instance(["a"], {"r": TupleSet.pairs([("a", "zz")])})
+
+    def test_with_relation(self, instance) -> None:
+        updated = instance.with_relation("r", TupleSet.empty(2))
+        assert updated.relation("r").is_empty()
+        assert not instance.relation("r").is_empty()
+
+    def test_equality(self) -> None:
+        a = Instance(["a"], {"s": TupleSet.unary(["a"])})
+        b = Instance(["a"], {"s": TupleSet.unary(["a"])})
+        assert a == b

@@ -1,0 +1,180 @@
+"""Tests for the SAT-backed relational model finder (Problem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import (
+    Iden,
+    Problem,
+    TupleSet,
+    acyclic,
+    conj,
+    eval_formula,
+    exists,
+    forall,
+    no,
+    some,
+    subset,
+)
+
+
+class TestDeclaration:
+    def test_duplicate_declaration_rejected(self) -> None:
+        problem = Problem(["a"])
+        problem.declare("r", 2)
+        with pytest.raises(RelationalError):
+            problem.declare("r", 2)
+
+    def test_bounds_must_use_known_atoms(self) -> None:
+        problem = Problem(["a"])
+        with pytest.raises(RelationalError):
+            problem.declare("r", 2, upper=[("a", "zz")])
+
+    def test_lower_within_upper(self) -> None:
+        problem = Problem(["a", "b"])
+        with pytest.raises(RelationalError):
+            problem.declare("r", 2, upper=[("a", "a")], lower=[("a", "b")])
+
+    def test_empty_universe_rejected(self) -> None:
+        with pytest.raises(RelationalError):
+            Problem([])
+
+
+class TestSolving:
+    def test_unconstrained_relation_enumerates_powerset(self) -> None:
+        problem = Problem(["a", "b"])
+        problem.declare("r", 2)  # 4 potential tuples
+        instances = list(problem.iter_instances())
+        assert len(instances) == 16
+
+    def test_lower_bound_forces_tuples(self) -> None:
+        problem = Problem(["a", "b"])
+        problem.declare("r", 2, upper=[("a", "b"), ("b", "a")], lower=[("a", "b")])
+        for instance in problem.iter_instances():
+            assert ("a", "b") in instance.relation("r")
+
+    def test_no_constraint(self) -> None:
+        problem = Problem(["a", "b"])
+        r = problem.declare("r", 2)
+        problem.constrain(no(r))
+        instances = list(problem.iter_instances())
+        assert len(instances) == 1
+        assert instances[0].relation("r").is_empty()
+
+    def test_some_constraint(self) -> None:
+        problem = Problem(["a"])
+        r = problem.declare("r", 1)
+        problem.constrain(some(r))
+        instance = problem.solve()
+        assert instance is not None
+        assert instance.relation("r").tuples == {("a",)}
+
+    def test_unsat_returns_none(self) -> None:
+        problem = Problem(["a"])
+        r = problem.declare("r", 1)
+        problem.constrain(some(r))
+        problem.constrain(no(r))
+        assert problem.solve() is None
+
+    def test_acyclic_total_orders_count(self) -> None:
+        # Strict total orders over 3 atoms = 3! = 6: acyclic + transitive +
+        # totality.
+        atoms = ["a", "b", "c"]
+        problem = Problem(atoms)
+        r = problem.declare("ord", 2)
+        problem.constrain(acyclic(r))
+        # transitive: ord.ord in ord
+        problem.constrain(subset(r.dot(r), r))
+        # total: all distinct pairs related one way or the other
+        univ_pairs = [
+            (x, y) for x in atoms for y in atoms if x != y
+        ]
+        for x, y in univ_pairs:
+            pair = TupleSet.pairs([(x, y)])
+            rev = TupleSet.pairs([(y, x)])
+            problem.constrain(some((r & pair) + (r & rev)))
+        instances = list(problem.iter_instances())
+        assert len(instances) == 6
+        for instance in instances:
+            assert instance.relation("ord").is_total_order_on(atoms)
+
+    def test_quantifiers(self) -> None:
+        # every node has an outgoing edge; 2 atoms; count models of r ⊆ 2x2
+        # with no empty rows: (2^2-1)^2 = 9
+        problem = Problem(["a", "b"])
+        r = problem.declare("r", 2)
+        from repro.relational import Univ
+
+        problem.constrain(forall("x", Univ(), lambda x: some(x.dot(r))))
+        assert len(list(problem.iter_instances())) == 9
+
+    def test_exists_constraint(self) -> None:
+        problem = Problem(["a", "b"])
+        r = problem.declare("r", 2)
+        from repro.relational import Univ
+
+        problem.constrain(exists("x", Univ(), lambda x: some(x.dot(r) & x)))
+        for instance in problem.iter_instances():
+            rel = instance.relation("r")
+            assert any(a == b for a, b in rel)
+
+    def test_one_and_lone(self) -> None:
+        problem = Problem(["a", "b", "c"])
+        r = problem.declare("r", 1)
+        problem.constrain(r.one())
+        instances = list(problem.iter_instances())
+        assert len(instances) == 3
+        for instance in instances:
+            assert len(instance.relation("r")) == 1
+
+    def test_transpose_symmetric(self) -> None:
+        problem = Problem(["a", "b"])
+        r = problem.declare("r", 2)
+        problem.constrain(r.eq(r.t()))
+        # symmetric relations over 2 atoms: choices for (a,a),(b,b) free and
+        # (a,b)<->(b,a) tied: 2*2*2 = 8
+        assert len(list(problem.iter_instances())) == 8
+
+    def test_closure_constraint(self) -> None:
+        # r is a cycle a->b->c->a; ^r must contain (a, a).
+        problem = Problem(["a", "b", "c"])
+        cycle = TupleSet.pairs([("a", "b"), ("b", "c"), ("c", "a")])
+        r = problem.declare("r", 2, upper=cycle.tuples, lower=cycle.tuples)
+        problem.constrain(subset(TupleSet.pairs([("a", "a")]), r.plus()))
+        assert problem.solve() is not None
+
+    def test_acyclic_rejects_forced_cycle(self) -> None:
+        problem = Problem(["a", "b"])
+        cycle = TupleSet.pairs([("a", "b"), ("b", "a")])
+        r = problem.declare("r", 2, upper=cycle.tuples, lower=cycle.tuples)
+        problem.constrain(acyclic(r))
+        assert problem.solve() is None
+
+    def test_solutions_satisfy_formula_via_evaluator(self) -> None:
+        problem = Problem(["a", "b", "c"])
+        r = problem.declare("r", 2)
+        s = problem.declare("s", 2)
+        formula = conj(
+            [
+                acyclic(r),
+                subset(s, r.plus()),
+                some(s),
+            ]
+        )
+        problem.constrain(formula)
+        count = 0
+        for instance in problem.iter_instances(limit=40):
+            assert eval_formula(formula, instance)
+            count += 1
+        assert count == 40
+
+    def test_iden_membership(self) -> None:
+        problem = Problem(["a", "b"])
+        r = problem.declare("r", 2)
+        problem.constrain(subset(r, Iden()))
+        problem.constrain(some(r))
+        for instance in problem.iter_instances():
+            for x, y in instance.relation("r"):
+                assert x == y

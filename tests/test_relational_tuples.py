@@ -1,0 +1,133 @@
+"""Unit tests for concrete relations (TupleSet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArityError
+from repro.relational import TupleSet
+
+
+class TestConstruction:
+    def test_arity_validation(self) -> None:
+        with pytest.raises(ArityError):
+            TupleSet(2, [("a",)])
+
+    def test_zero_arity_rejected(self) -> None:
+        with pytest.raises(ArityError):
+            TupleSet(0)
+
+    def test_unary_helper(self) -> None:
+        ts = TupleSet.unary(["a", "b"])
+        assert ("a",) in ts and ("b",) in ts
+        assert ts.arity == 1
+
+    def test_identity(self) -> None:
+        ts = TupleSet.identity(["a", "b"])
+        assert ts.tuples == {("a", "a"), ("b", "b")}
+
+    def test_total_order(self) -> None:
+        ts = TupleSet.total_order(["a", "b", "c"])
+        assert ts.tuples == {("a", "b"), ("a", "c"), ("b", "c")}
+        assert ts.is_total_order_on(["a", "b", "c"])
+
+    def test_atoms(self) -> None:
+        ts = TupleSet.pairs([("a", "b"), ("c", "b")])
+        assert ts.atoms() == {"a", "b", "c"}
+
+
+class TestAlgebra:
+    def test_union_intersection_difference(self) -> None:
+        a = TupleSet.pairs([("x", "y"), ("y", "z")])
+        b = TupleSet.pairs([("y", "z"), ("z", "x")])
+        assert (a + b).tuples == {("x", "y"), ("y", "z"), ("z", "x")}
+        assert (a & b).tuples == {("y", "z")}
+        assert (a - b).tuples == {("x", "y")}
+
+    def test_arity_mismatch_raises(self) -> None:
+        with pytest.raises(ArityError):
+            TupleSet.unary(["a"]) + TupleSet.pairs([("a", "b")])
+
+    def test_join_binary_binary(self) -> None:
+        a = TupleSet.pairs([("1", "2"), ("2", "3")])
+        b = TupleSet.pairs([("2", "9"), ("3", "9")])
+        assert a.dot(b).tuples == {("1", "9"), ("2", "9")}
+
+    def test_join_unary_binary_is_image(self) -> None:
+        points = TupleSet.unary(["1"])
+        edges = TupleSet.pairs([("1", "2"), ("1", "3"), ("2", "4")])
+        assert points.dot(edges).tuples == {("2",), ("3",)}
+
+    def test_join_unary_unary_rejected(self) -> None:
+        with pytest.raises(ArityError):
+            TupleSet.unary(["a"]).dot(TupleSet.unary(["a"]))
+
+    def test_product(self) -> None:
+        a = TupleSet.unary(["x"])
+        b = TupleSet.unary(["y", "z"])
+        assert a.product(b).tuples == {("x", "y"), ("x", "z")}
+
+    def test_transpose(self) -> None:
+        a = TupleSet.pairs([("p", "q")])
+        assert a.t().tuples == {("q", "p")}
+
+    def test_transpose_requires_binary(self) -> None:
+        with pytest.raises(ArityError):
+            TupleSet.unary(["a"]).t()
+
+    def test_closure_chain(self) -> None:
+        chain = TupleSet.pairs([("a", "b"), ("b", "c"), ("c", "d")])
+        closed = chain.plus()
+        assert ("a", "d") in closed
+        assert ("a", "c") in closed
+        assert ("d", "a") not in closed
+        assert len(closed) == 6
+
+    def test_closure_cycle_includes_self_pairs(self) -> None:
+        cycle = TupleSet.pairs([("a", "b"), ("b", "a")])
+        closed = cycle.plus()
+        assert ("a", "a") in closed and ("b", "b") in closed
+
+    def test_star_adds_identity(self) -> None:
+        chain = TupleSet.pairs([("a", "b")])
+        starred = chain.star(["a", "b", "c"])
+        assert ("c", "c") in starred
+        assert ("a", "b") in starred
+
+
+class TestPredicates:
+    def test_acyclic_dag(self) -> None:
+        dag = TupleSet.pairs([("a", "b"), ("a", "c"), ("b", "c")])
+        assert dag.is_acyclic()
+
+    def test_cycle_detected(self) -> None:
+        cyc = TupleSet.pairs([("a", "b"), ("b", "c"), ("c", "a")])
+        assert not cyc.is_acyclic()
+
+    def test_self_loop_is_cycle(self) -> None:
+        assert not TupleSet.pairs([("a", "a")]).is_acyclic()
+
+    def test_empty_is_acyclic(self) -> None:
+        assert TupleSet.empty(2).is_acyclic()
+
+    def test_irreflexive(self) -> None:
+        assert TupleSet.pairs([("a", "b")]).is_irreflexive()
+        assert not TupleSet.pairs([("a", "a")]).is_irreflexive()
+
+    def test_subset(self) -> None:
+        small = TupleSet.pairs([("a", "b")])
+        big = TupleSet.pairs([("a", "b"), ("b", "c")])
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_total_order_detection(self) -> None:
+        assert TupleSet.total_order(["a", "b", "c"]).is_total_order_on(["a", "b", "c"])
+        partial = TupleSet.pairs([("a", "b")])
+        assert not partial.is_total_order_on(["a", "b", "c"])
+
+    def test_equality_and_hash(self) -> None:
+        a = TupleSet.pairs([("a", "b")])
+        b = TupleSet.pairs([("a", "b")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TupleSet.pairs([("b", "a")])

@@ -1,0 +1,68 @@
+"""The rare relaxation path: removing a remap can *create* aliasing among
+surviving writes, leaving the projected coherence order non-total.  The
+§IV-B check must then complete the order (every linear extension) rather
+than reject the relaxation.
+
+Construction: x initially maps to pa_a; remap-1 points x at pa_b, remap-2
+points y at pa_a.  W_x (via remap-1) writes pa_b, W_y (via remap-2) writes
+pa_a — different locations, no co edge.  Removing remap-1's group reverts
+W_x to pa_a, now aliasing W_y: the relaxed witness has two same-location
+writes with no surviving order.
+"""
+
+from __future__ import annotations
+
+from repro.models import x86t_elt
+from repro.mtm import Execution, ProgramBuilder
+from repro.synth import relaxation_becomes_permitted, removal_groups
+
+
+def build():
+    b = ProgramBuilder()
+    b.map("x", "pa_a").map("y", "pa_y")
+    c0 = b.thread()
+    wpte_x = c0.pte_write("x", "pa_b")  # remap-1 (+ INVLPG)
+    wpte_y = c0.pte_write("y", "pa_a")  # remap-2 (+ INVLPG)
+    w_x = c0.write("x")
+    w_y = c0.write("y")
+    program = b.build()
+    execution = Execution(
+        program,
+        rf=[
+            (wpte_x.eid, b.walk_of(w_x).eid),
+            (wpte_y.eid, b.walk_of(w_y).eid),
+        ],
+        co=[
+            (wpte_x.eid, b.dirty_of(w_x).eid),
+            (wpte_y.eid, b.dirty_of(w_y).eid),
+        ],
+    )
+    return b, program, execution, wpte_x
+
+
+def test_setup_has_disjoint_write_locations() -> None:
+    b, program, execution, _ = build()
+    pas = {
+        execution.pa_of[eid]
+        for eid, e in program.events.items()
+        if e.kind.value == "W"
+    }
+    assert pas == {"pa_a", "pa_b"}
+
+
+def test_removal_induced_aliasing_is_completed_not_rejected() -> None:
+    b, program, execution, wpte_x = build()
+    group = next(g for g in removal_groups(program) if wpte_x.eid in g)
+    # The check must enumerate co completions for the newly-aliased writes
+    # and find a permitted one (it must not crash on non-total co).
+    assert relaxation_becomes_permitted(
+        execution, x86t_elt(), removed=group
+    )
+
+
+def test_every_group_relaxation_is_well_defined() -> None:
+    _, program, execution, _ = build()
+    model = x86t_elt()
+    for group in removal_groups(program):
+        # Either verdict is acceptable; the point is none of them raises.
+        relaxation_becomes_permitted(execution, model, removed=group)

@@ -1,0 +1,92 @@
+"""Tests for the reporting layer (tables, ASCII figures, drivers)."""
+
+from __future__ import annotations
+
+from repro.reporting import (
+    fig9_sweep,
+    render_fig9a,
+    render_fig9b,
+    render_log_plot,
+    render_series_table,
+    render_table,
+    tlb_causality_attribution,
+)
+
+
+class TestTables:
+    def test_basic_table(self) -> None:
+        text = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "33" in lines[3]
+
+    def test_title(self) -> None:
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_series_table_merges_x_values(self) -> None:
+        text = render_series_table(
+            {"s1": {4: 1, 5: 2}, "s2": {5: 7}},
+            x_label="bound",
+        )
+        lines = text.splitlines()
+        assert "bound" in lines[0]
+        row4 = next(line for line in lines if line.startswith("4"))
+        assert "-" in row4  # s2 missing at x=4
+
+    def test_series_table_formats_floats(self) -> None:
+        text = render_series_table({"t": {1: 0.12345}}, x_label="x")
+        assert "0.123" in text
+
+
+class TestLogPlot:
+    def test_plot_contains_markers_and_legend(self) -> None:
+        text = render_log_plot(
+            {"alpha": {4: 1, 5: 10, 6: 100}},
+            title="demo",
+            y_label="count",
+        )
+        assert "o=alpha" in text
+        assert "instruction bound" in text
+        assert text.count("o") >= 3
+
+    def test_empty_series(self) -> None:
+        assert "(no data)" in render_log_plot({}, title="t", y_label="y")
+
+    def test_zero_values_clamped(self) -> None:
+        text = render_log_plot({"s": {4: 0}}, title="t", y_label="y")
+        assert "s" in text  # no math domain error
+
+
+class TestFig9Drivers:
+    def test_small_sweep_and_renders(self) -> None:
+        bounds = {
+            "sc_per_loc": 4,
+            "rmw_atomicity": 4,
+            "causality": 4,
+            "invlpg": 4,
+            "tlb_causality": 4,
+        }
+        sweep = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=60)
+        counts = sweep.counts()
+        assert counts["invlpg"][4] == 1
+        assert counts["sc_per_loc"][4] == 5
+        text_a = render_fig9a(sweep)
+        assert "unique ELT programs" in text_a
+        text_b = render_fig9b(sweep)
+        assert "runtime" in text_b
+        tlb, total = tlb_causality_attribution(sweep)
+        assert tlb == 2
+        assert total >= 5
+
+    def test_sweep_cache_hit(self) -> None:
+        bounds = {
+            "sc_per_loc": 4,
+            "rmw_atomicity": 4,
+            "causality": 4,
+            "invlpg": 4,
+            "tlb_causality": 4,
+        }
+        first = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=60)
+        second = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=60)
+        assert first is second

@@ -1,0 +1,89 @@
+"""Tests for DIMACS CNF I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimacsError
+from repro.sat import (
+    Cnf,
+    dimacs_text,
+    parse_dimacs,
+    read_dimacs,
+    solve_cnf,
+    write_dimacs,
+)
+
+
+class TestParsing:
+    def test_basic(self) -> None:
+        cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert cnf.num_vars == 3
+        assert cnf.num_clauses == 2
+        assert (1, -2) in cnf.clauses
+
+    def test_comments_ignored(self) -> None:
+        cnf = parse_dimacs("c a comment\np cnf 1 1\nc another\n1 0\n")
+        assert cnf.num_clauses == 1
+
+    def test_clause_spanning_lines(self) -> None:
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses[0] == (1, 2, 3)
+
+    def test_missing_problem_line(self) -> None:
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n")
+
+    def test_bad_problem_line(self) -> None:
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 2 2\n1 0\n")
+
+    def test_trailing_unterminated_clause(self) -> None:
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_bad_token(self) -> None:
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+
+class TestWriting:
+    def test_stream_roundtrip(self) -> None:
+        cnf = Cnf(3)
+        cnf.add_clauses([[1, -2], [2, 3], [-1]])
+        buffer = io.StringIO()
+        write_dimacs(cnf, buffer)
+        buffer.seek(0)
+        parsed = read_dimacs(buffer)
+        assert set(parsed.clauses) == set(cnf.clauses)
+        assert parsed.num_vars == cnf.num_vars
+
+
+@st.composite
+def cnfs(draw) -> Cnf:
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    cnf = Cnf(num_vars)
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        clause = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        cnf.add_clause(clause)
+    return cnf
+
+
+@given(cnfs())
+@settings(max_examples=80, deadline=None)
+def test_text_roundtrip_preserves_satisfiability(cnf: Cnf) -> None:
+    parsed = parse_dimacs(dimacs_text(cnf))
+    assert set(parsed.clauses) == set(cnf.clauses)
+    assert solve_cnf(parsed).satisfiable == solve_cnf(cnf).satisfiable

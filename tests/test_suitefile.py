@@ -1,0 +1,90 @@
+"""Tests for multi-ELT suite persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LitmusFormatError
+from repro.litmus import ALL_FIGURES, EltSuite, suite_from_synthesis
+from repro.models import x86t_elt
+from repro.synth import SynthesisConfig, canonical_execution_key, synthesize
+
+
+def small_suite() -> EltSuite:
+    suite = EltSuite()
+    suite.add("ptwalk2", ALL_FIGURES["fig10a"]().execution, {"src": "fig10a"})
+    suite.add("ipi", ALL_FIGURES["fig11"]().execution)
+    return suite
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self) -> None:
+        suite = small_suite()
+        loaded = EltSuite.loads(suite.dumps())
+        assert loaded.names() == ["ptwalk2", "ipi"]
+        for name in loaded.names():
+            assert canonical_execution_key(
+                loaded.get(name).execution
+            ) == canonical_execution_key(suite.get(name).execution)
+
+    def test_meta_preserved(self) -> None:
+        loaded = EltSuite.loads(small_suite().dumps())
+        assert loaded.get("ptwalk2").meta == {"src": "fig10a"}
+
+    def test_save_load_file(self, tmp_path) -> None:
+        path = small_suite().save(tmp_path / "suite.elts")
+        loaded = EltSuite.load(path)
+        assert len(loaded) == 2
+
+    def test_verdicts_survive(self) -> None:
+        model = x86t_elt()
+        suite = small_suite()
+        loaded = EltSuite.loads(suite.dumps())
+        for name in suite.names():
+            original = model.check(suite.get(name).execution)
+            reloaded = model.check(loaded.get(name).execution)
+            assert original.results == reloaded.results
+
+
+class TestSynthesisPackaging:
+    def test_suite_from_synthesis(self) -> None:
+        result = synthesize(
+            SynthesisConfig(bound=4, model=x86t_elt(), target_axiom="sc_per_loc")
+        )
+        suite = suite_from_synthesis(result, prefix="scpl4")
+        assert len(suite) == result.count
+        entry = suite.entries[0]
+        assert entry.meta["axiom"] == "sc_per_loc"
+        assert entry.meta["bound"] == "4"
+        assert "sc_per_loc" in entry.meta["violates"]
+        # Full file round-trip.
+        loaded = EltSuite.loads(suite.dumps())
+        assert loaded.names() == suite.names()
+
+
+class TestErrors:
+    def test_duplicate_name(self) -> None:
+        suite = small_suite()
+        with pytest.raises(LitmusFormatError):
+            suite.add("ptwalk2", ALL_FIGURES["fig10a"]().execution)
+
+    def test_bad_header(self) -> None:
+        with pytest.raises(LitmusFormatError):
+            EltSuite.loads("not a suite\n")
+
+    def test_missing_endtest(self) -> None:
+        text = "eltsuite v1\ntest t\nelt\nmap x pa_a\nthread 0\n  r x miss\n"
+        with pytest.raises(LitmusFormatError):
+            EltSuite.loads(text)
+
+    def test_unknown_test_name(self) -> None:
+        with pytest.raises(LitmusFormatError):
+            small_suite().get("nope")
+
+    def test_bad_meta_token(self) -> None:
+        text = (
+            "eltsuite v1\ntest t\nmeta oops\nelt\nmap x pa_a\n"
+            "thread 0\n  r x miss\nendtest\n"
+        )
+        with pytest.raises(LitmusFormatError):
+            EltSuite.loads(text)

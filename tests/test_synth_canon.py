@@ -1,0 +1,139 @@
+"""Tests for canonicalization / deduplication (§IV-C)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mtm import Execution, ProgramBuilder
+from repro.synth import (
+    canonical_execution_key,
+    canonical_program_key,
+    is_canonical_thread_order,
+)
+
+
+def two_thread_program(first_va: str, second_va: str, swap_threads: bool):
+    """W(first) | R(second) on separate cores, optionally built in swapped
+    thread order — all four builds must canonicalize identically."""
+    b = ProgramBuilder()
+    if swap_threads:
+        c1, c0 = b.thread(), b.thread()
+    else:
+        c0, c1 = b.thread(), b.thread()
+    c0.write(first_va)
+    c1.read(second_va)
+    return b.build()
+
+
+class TestProgramCanonicalization:
+    def test_va_renaming_invariance(self) -> None:
+        a = two_thread_program("x", "y", swap_threads=False)
+        b = two_thread_program("p", "q", swap_threads=False)
+        assert canonical_program_key(a) == canonical_program_key(b)
+
+    def test_thread_permutation_invariance(self) -> None:
+        a = two_thread_program("x", "y", swap_threads=False)
+        b = two_thread_program("x", "y", swap_threads=True)
+        assert canonical_program_key(a) == canonical_program_key(b)
+
+    def test_different_structure_different_key(self) -> None:
+        b1 = ProgramBuilder()
+        c0 = b1.thread()
+        c0.write("x")
+        b2 = ProgramBuilder()
+        c0 = b2.thread()
+        c0.read("x")
+        assert canonical_program_key(b1.build()) != canonical_program_key(b2.build())
+
+    def test_miss_vs_hit_distinguished(self) -> None:
+        # Same user instructions; second read hits vs re-walks (capacity
+        # eviction) — distinct programs (§III-B2 explores both).
+        b1 = ProgramBuilder()
+        c0 = b1.thread()
+        r0 = c0.read("x")
+        c0.read("x", walk=b1.walk_of(r0))
+        b2 = ProgramBuilder()
+        c0 = b2.thread()
+        c0.read("x")
+        c0.read("x")  # fresh walk
+        assert canonical_program_key(b1.build()) != canonical_program_key(b2.build())
+
+    def test_alias_vs_fresh_target_distinguished(self) -> None:
+        b1 = ProgramBuilder()
+        b1.map("x", "pa_a").map("y", "pa_b")
+        c0 = b1.thread()
+        c0.read("y")
+        c0.pte_write("x", "pa_b")  # alias to y's page
+        b2 = ProgramBuilder()
+        b2.map("x", "pa_a").map("y", "pa_b")
+        c0 = b2.thread()
+        c0.read("y")
+        c0.pte_write("x", "pa_fresh")
+        assert canonical_program_key(b1.build()) != canonical_program_key(b2.build())
+
+    def test_exactly_one_thread_order_is_canonical(self) -> None:
+        a = two_thread_program("x", "y", swap_threads=False)
+        b = two_thread_program("x", "y", swap_threads=True)
+        assert is_canonical_thread_order(a) != is_canonical_thread_order(b)
+
+    def test_symmetric_program_is_canonical(self) -> None:
+        b = ProgramBuilder(mcm_mode=True)
+        c0, c1 = b.thread(), b.thread()
+        c0.write("x")
+        c1.write("x")
+        assert is_canonical_thread_order(b.build())
+
+
+class TestExecutionCanonicalization:
+    def test_witness_distinguishes_executions(self) -> None:
+        b = ProgramBuilder(mcm_mode=True)
+        c0, c1 = b.thread(), b.thread()
+        w0 = c0.write("x")
+        r1 = c1.read("x")
+        program = b.build()
+        reads_init = Execution(program)
+        reads_w0 = Execution(program, rf=[(w0.eid, r1.eid)])
+        assert canonical_execution_key(reads_init) != canonical_execution_key(
+            reads_w0
+        )
+
+    def test_execution_key_thread_invariant(self) -> None:
+        def build(swapped: bool):
+            b = ProgramBuilder(mcm_mode=True)
+            if swapped:
+                c1, c0 = b.thread(), b.thread()
+            else:
+                c0, c1 = b.thread(), b.thread()
+            w0 = c0.write("x")
+            r1 = c1.read("x")
+            return Execution(b.build(), rf=[(w0.eid, r1.eid)])
+
+        assert canonical_execution_key(build(False)) == canonical_execution_key(
+            build(True)
+        )
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["R", "W"]), st.sampled_from([0, 1])),
+        min_size=1,
+        max_size=3,
+    ),
+    rename=st.permutations(["x", "y"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_va_renaming_never_changes_key(ops, rename) -> None:
+    def build(names: list[str]):
+        b = ProgramBuilder(mcm_mode=True)
+        c0 = b.thread()
+        for op, va in ops:
+            if op == "R":
+                c0.read(names[va])
+            else:
+                c0.write(names[va])
+        return b.build()
+
+    original = build(["x", "y"])
+    renamed = build(list(rename))
+    assert canonical_program_key(original) == canonical_program_key(renamed)

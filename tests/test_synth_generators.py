@@ -1,0 +1,156 @@
+"""Unit tests for the synthesis generators: skeleton enumeration, remap
+fan-out insertion, TLB choice vectors, and witness counts on known
+programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import x86t_elt
+from repro.mtm import EventKind
+from repro.synth import (
+    SynthesisConfig,
+    enumerate_programs,
+    enumerate_skeletons,
+    enumerate_witnesses,
+    program_cost,
+)
+from repro.synth.skeletons import Spec
+
+
+def config(**overrides) -> SynthesisConfig:
+    defaults = dict(bound=5, model=x86t_elt())
+    defaults.update(overrides)
+    return SynthesisConfig(**defaults)
+
+
+class TestSkeletons:
+    def test_every_skeleton_fits_bound_optimistically(self) -> None:
+        cfg = config(bound=5)
+        for skeleton in enumerate_skeletons(cfg, 1):
+            base = sum(
+                {"R": 1, "W": 2, "RMW": 3, "WPTE": 2, "INV": 1, "F": 1}[s.op]
+                for thread in skeleton
+                for s in thread
+            )
+            assert base <= 5
+
+    def test_all_base_threads_nonempty(self) -> None:
+        cfg = config(bound=6, max_threads=2)
+        for skeleton in enumerate_skeletons(cfg, 2):
+            assert all(thread for thread in skeleton)
+
+    def test_every_skeleton_has_a_write(self) -> None:
+        cfg = config(bound=5)
+        for skeleton in enumerate_skeletons(cfg, 1):
+            assert any(
+                s.op in ("W", "RMW", "WPTE")
+                for thread in skeleton
+                for s in thread
+            )
+
+    def test_spurious_invlpg_needs_surrounding_accesses(self) -> None:
+        cfg = config(bound=6)
+        for skeleton in enumerate_skeletons(cfg, 1):
+            for thread in skeleton:
+                for index, spec in enumerate(thread):
+                    if spec.op == "INV":
+                        assert any(
+                            s.is_user_access() and s.va == spec.va
+                            for s in thread[:index]
+                        )
+                        assert any(
+                            s.is_user_access() and s.va == spec.va
+                            for s in thread[index + 1 :]
+                        )
+
+    def test_va_canonical_first_use(self) -> None:
+        cfg = config(bound=6, max_vas=2)
+        for skeleton in enumerate_skeletons(cfg, 1):
+            seen = -1
+            for thread in skeleton:
+                for spec in thread:
+                    if spec.op == "F":
+                        continue
+                    assert spec.va <= seen + 1
+                    seen = max(seen, spec.va)
+
+
+class TestProgramEnumeration:
+    def test_all_programs_within_bound(self) -> None:
+        cfg = config(bound=6)
+        for program in enumerate_programs(cfg):
+            assert program_cost(program, cfg) <= 6
+
+    def test_dirty_bit_ablation_cost(self) -> None:
+        cfg = config(bound=6, dirty_bit_as_rmw=True)
+        for program in enumerate_programs(cfg):
+            writes = len(program.events_of_kind(EventKind.WRITE))
+            assert len(program.events) + writes <= 6
+
+    def test_remote_invlpg_never_splits_rmw(self) -> None:
+        cfg = config(bound=8, max_threads=2)
+        for program in enumerate_programs(cfg):
+            if not program.rmw:
+                continue
+            for read_eid, write_eid in program.rmw:
+                thread = program.threads[program.events[read_eid].core]
+                read_index = thread.index(read_eid)
+                assert thread[read_index + 1] == write_eid
+
+    def test_remap_fanout_complete(self) -> None:
+        cfg = config(bound=7, max_threads=2)
+        seen_remap = False
+        for program in enumerate_programs(cfg):
+            for pte_eid, _ in program.remap:
+                seen_remap = True
+                invlpgs = [i for p, i in program.remap if p == pte_eid]
+                cores = sorted(program.events[i].core for i in invlpgs)
+                assert cores == list(range(program.num_cores))
+        assert seen_remap
+
+    def test_mcm_mode_has_no_ghosts(self) -> None:
+        cfg = config(bound=4, mcm_mode=True)
+        for program in enumerate_programs(cfg):
+            assert not program.ghosts
+
+
+class TestWitnessCounts:
+    @pytest.mark.parametrize(
+        "figure, expected",
+        [("fig10a", 2), ("fig5b", 1), ("fig5a", 1), ("fig11", 2)],
+    )
+    def test_known_witness_counts(self, figure: str, expected: int) -> None:
+        from repro.litmus import ALL_FIGURES
+
+        program = ALL_FIGURES[figure]().execution.program
+        assert sum(1 for _ in enumerate_witnesses(program)) == expected
+
+    def test_sb_elt_witness_count(self) -> None:
+        # sb as an ELT: 2 choices per data read (initial value or the
+        # remote write) x 2 choices per *cross-core* walk (initial PTE
+        # value or the remote write's dirty bit, which forwards the same
+        # mapping); same-core walks cannot read their own parent's dirty
+        # bit (circular value flow).  2 * 2 * 2 * 2 = 16.
+        from repro.litmus.figures import fig2b_sb_elt
+
+        program = fig2b_sb_elt().execution.program
+        assert sum(1 for _ in enumerate_witnesses(program)) == 16
+
+    def test_witnesses_are_distinct(self) -> None:
+        from repro.litmus.figures import fig6d_remap_disambiguation
+        from repro.synth import canonical_execution_key
+
+        program = fig6d_remap_disambiguation().execution.program
+        keys = [
+            canonical_execution_key(w) for w in enumerate_witnesses(program)
+        ]
+        assert len(keys) == len(set(keys))
+
+
+class TestSpecHelpers:
+    def test_spec_is_user_access(self) -> None:
+        assert Spec("R", 0).is_user_access()
+        assert Spec("RMW", 1).is_user_access()
+        assert not Spec("INV", 0).is_user_access()
+        assert not Spec("F").is_user_access()

@@ -1,0 +1,137 @@
+"""The whole-TLB-flush extension (the paper's future-work IPI, §III-B2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VocabularyError, WellFormednessError
+from repro.litmus import parse_elt, serialize_elt
+from repro.models import x86t_elt
+from repro.mtm import Event, EventKind, Execution, ProgramBuilder, names
+from repro.synth import SynthesisConfig, canonical_execution_key, synthesize
+
+
+class TestVocabulary:
+    def test_flush_takes_no_address(self) -> None:
+        with pytest.raises(VocabularyError):
+            Event("e0", EventKind.TLB_FLUSH, 0, va="x")
+
+    def test_flush_is_support_not_memory(self) -> None:
+        flush = Event("e0", EventKind.TLB_FLUSH, 0)
+        assert flush.is_support
+        assert not flush.is_memory_event
+
+    def test_rejected_in_mcm_mode(self) -> None:
+        b = ProgramBuilder(mcm_mode=True)
+        c0 = b.thread()
+        c0.read("x")
+        from repro.mtm import Program
+
+        program = b.build()
+        events = dict(program.events)
+        events["fl"] = Event("fl", EventKind.TLB_FLUSH, 0)
+        with pytest.raises(WellFormednessError):
+            Program(
+                events=events,
+                threads=((*program.threads[0], "fl"),),
+                initial_map=program.initial_map,
+                mcm_mode=True,
+            )
+
+
+class TestTlbSemantics:
+    def test_flush_evicts_every_entry(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        r_x = c0.read("x")
+        r_y = c0.read("y")
+        c0.tlb_flush()
+        r_x2 = c0.read("x")  # must re-walk
+        r_y2 = c0.read("y")  # must re-walk
+        program = b.build()
+        execution = Execution(program)
+        rf_ptw = execution.relation(names.RF_PTW)
+        walks_of = {}
+        for walk, user in rf_ptw:
+            walks_of[user] = walk
+        assert walks_of[r_x.eid] != walks_of[r_x2.eid]
+        assert walks_of[r_y.eid] != walks_of[r_y2.eid]
+
+    def test_hit_after_flush_rejected_by_builder(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        r0 = c0.read("x")
+        walk = b.walk_of(r0)
+        c0.tlb_flush()
+        with pytest.raises(WellFormednessError):
+            c0.read("x", walk=walk)
+
+    def test_access_without_rewalk_after_flush_is_illformed(self) -> None:
+        from repro.mtm import Program
+
+        events = {
+            "r0": Event("r0", EventKind.READ, 0, va="x"),
+            "pw0": Event("pw0", EventKind.PT_WALK, 0, va="x"),
+            "fl": Event("fl", EventKind.TLB_FLUSH, 0),
+            "r1": Event("r1", EventKind.READ, 0, va="x"),
+        }
+        program = Program(
+            events=events,
+            threads=(("r0", "fl", "r1"),),
+            ghosts={"r0": ("pw0",)},
+            initial_map={"x": "pa_a"},
+        )
+        with pytest.raises(WellFormednessError, match="no TLB entry"):
+            Execution(program)
+
+    def test_flush_then_stale_reload_is_permitted(self) -> None:
+        # A spurious flush does not change the PTE: the re-walk reads the
+        # same (current) mapping, and the outcome is permitted.
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.read("x")
+        c0.tlb_flush()
+        c0.read("x")
+        execution = Execution(b.build())
+        assert x86t_elt().permits(execution)
+
+
+class TestFormats:
+    def test_roundtrip(self) -> None:
+        b = ProgramBuilder()
+        c0 = b.thread()
+        c0.write("x")
+        c0.tlb_flush()
+        c0.read("x")
+        execution = Execution(b.build())
+        parsed = parse_elt(serialize_elt(execution))
+        assert canonical_execution_key(parsed) == canonical_execution_key(
+            execution
+        )
+        assert "tlbflush" in serialize_elt(execution)
+
+
+class TestSynthesisInteraction:
+    def test_flush_is_never_load_bearing(self) -> None:
+        """A flush is removable in isolation, so no minimal ELT contains
+        one: enabling the extension must not change the synthesized suite
+        (it only inflates the explored space)."""
+        base = synthesize(
+            SynthesisConfig(bound=5, model=x86t_elt(), target_axiom="sc_per_loc")
+        )
+        extended = synthesize(
+            SynthesisConfig(
+                bound=5,
+                model=x86t_elt(),
+                target_axiom="sc_per_loc",
+                enable_tlb_flush=True,
+            )
+        )
+        assert base.keys() == extended.keys()
+        assert (
+            extended.stats.programs_enumerated
+            >= base.stats.programs_enumerated
+        )
+        for elt in extended.elts:
+            kinds = {e.kind for e in elt.program.events.values()}
+            assert EventKind.TLB_FLUSH not in kinds

@@ -1,0 +1,79 @@
+"""Unit tests for the Vocabulary namespace and symbolic vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.litmus.figures import fig2b_sb_elt
+from repro.mtm import Vocabulary, names, symbolic_vocabulary
+from repro.relational import TupleSet
+from repro.relational.ast import Rel
+
+
+class TestConcreteVocabulary:
+    def test_strict_requires_all_relations(self) -> None:
+        with pytest.raises(VocabularyError):
+            Vocabulary({"rf": TupleSet.empty(2)})
+
+    def test_non_strict_partial(self) -> None:
+        voc = Vocabulary({"rf": TupleSet.pairs([("a", "b")])}, strict=False)
+        assert ("a", "b") in voc.rf
+
+    def test_attribute_access_snake_and_camel(self) -> None:
+        execution = fig2b_sb_elt().execution
+        voc = Vocabulary(execution.relations)
+        assert voc.rf == execution.relation(names.RF)
+        assert voc.po_loc == execution.relation(names.PO_LOC)
+        # CamelCase registry names are reachable via lowered attributes.
+        assert voc.read == execution.relation(names.READ)
+        assert voc.memory_event == execution.relation(names.MEMORY)
+        assert voc.write_like == execution.relation(names.WRITE_LIKE)
+
+    def test_unknown_attribute(self) -> None:
+        execution = fig2b_sb_elt().execution
+        voc = Vocabulary(execution.relations)
+        with pytest.raises(AttributeError):
+            voc.not_a_relation
+
+    def test_names_listing(self) -> None:
+        execution = fig2b_sb_elt().execution
+        voc = Vocabulary(execution.relations)
+        assert set(names.UNARY_SETS) <= set(voc.names)
+        assert set(names.BINARY_RELATIONS) <= set(voc.names)
+
+
+class TestSymbolicVocabulary:
+    def test_every_registry_name_is_a_rel(self) -> None:
+        voc = symbolic_vocabulary()
+        for name in names.UNARY_SETS:
+            rel = getattr(voc, name[0].lower() + name[1:], None) or voc._relations[name]
+            assert isinstance(rel, Rel)
+            assert rel.arity == 1
+        for name in names.BINARY_RELATIONS:
+            rel = voc._relations[name]
+            assert isinstance(rel, Rel)
+            assert rel.arity == 2
+
+    def test_axioms_build_formulas(self) -> None:
+        from repro.models import axioms
+
+        voc = symbolic_vocabulary()
+        for axiom in (
+            axioms.sc_per_loc,
+            axioms.rmw_atomicity,
+            axioms.causality,
+            axioms.invlpg,
+            axioms.tlb_causality,
+            axioms.sc_order,
+        ):
+            formula = axiom(voc)
+            assert not isinstance(formula, bool)
+
+    def test_axioms_evaluate_concretely(self) -> None:
+        from repro.models import axioms
+
+        execution = fig2b_sb_elt().execution
+        voc = Vocabulary(execution.relations)
+        assert axioms.sc_per_loc(voc) is True
+        assert axioms.causality(voc) is True
