@@ -1,0 +1,73 @@
+"""Parallel synthesis speedup — the orchestrator vs the serial engine.
+
+Workload: the ``sc_per_loc`` per-axiom suite (the acceptance workload for
+orchestrator equivalence; ``REPRO_BENCH_PAR_BOUND`` overrides the bound,
+default 8 so the serial run is long enough to amortize process spawn).
+The orchestrated run must (a) produce the exact serial ELT suite and
+(b) on a machine with >= ``REPRO_BENCH_PAR_JOBS`` cores, finish at least
+2x faster at 4 workers.  On smaller machines the speedup is still
+measured and reported, but the 2x floor is not asserted — one core
+cannot outrun itself, and pretending otherwise would only make the
+benchmark green where it is meaningless.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.litmus import suite_from_synthesis
+from repro.models import x86t_elt
+from repro.orchestrate import run_sharded
+from repro.reporting import render_shard_runtimes, render_table
+from repro.synth import SynthesisConfig, synthesize
+
+AXIOM = "sc_per_loc"
+BOUND = int(os.environ.get("REPRO_BENCH_PAR_BOUND", "8"))
+JOBS = int(os.environ.get("REPRO_BENCH_PAR_JOBS", "4"))
+SPEEDUP_FLOOR = 2.0
+
+
+def _config() -> SynthesisConfig:
+    return SynthesisConfig(bound=BOUND, model=x86t_elt(), target_axiom=AXIOM)
+
+
+def test_parallel_speedup(save_report) -> None:
+    serial_started = time.monotonic()
+    serial = synthesize(_config())
+    serial_s = time.monotonic() - serial_started
+
+    parallel_started = time.monotonic()
+    orchestrated = run_sharded(_config(), jobs=JOBS)
+    parallel_s = time.monotonic() - parallel_started
+
+    # Equivalence first: speed means nothing if the artifact changed.
+    serial_text = suite_from_synthesis(serial, prefix=AXIOM).dumps()
+    parallel_text = suite_from_synthesis(
+        orchestrated.result, prefix=AXIOM
+    ).dumps()
+    assert parallel_text == serial_text, "sharded suite diverged from serial"
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    table = render_table(
+        ["metric", "value"],
+        [
+            ("workload", f"{AXIOM} @ bound {BOUND}"),
+            ("unique ELTs", serial.count),
+            ("serial runtime (s)", f"{serial_s:.2f}"),
+            (f"parallel runtime, {JOBS} workers (s)", f"{parallel_s:.2f}"),
+            ("speedup", f"{speedup:.2f}x"),
+            ("available cores", cores),
+            ("byte-identical suite", "yes"),
+        ],
+        title=f"parallel synthesis speedup ({JOBS} workers)",
+    )
+    shard_table = render_shard_runtimes(orchestrated)
+    save_report("parallel_speedup", f"{table}\n\n{shard_table}")
+
+    if cores >= JOBS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x speedup with {JOBS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )

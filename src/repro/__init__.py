@@ -21,13 +21,17 @@ Subpackages
 ``repro.litmus``
     ELT text formats, the reconstructed COATCheck suite, and the §VI-B
     comparison tool.
+``repro.orchestrate``
+    Sharded parallel synthesis: deterministic work partitioning, a
+    spawn-safe worker pool, serial-equivalent merging, and the persistent
+    suite store behind resumable runs (``--jobs``/``--cache-dir``).
 ``repro.reporting``
     ASCII tables/plots and the experiment drivers behind EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def __getattr__(name: str):
@@ -46,6 +50,9 @@ def __getattr__(name: str):
         "sequential_consistency": ("repro.models", "sequential_consistency"),
         "SynthesisConfig": ("repro.synth", "SynthesisConfig"),
         "synthesize": ("repro.synth", "synthesize"),
+        "run_sharded": ("repro.orchestrate", "run_sharded"),
+        "run_sweep_sharded": ("repro.orchestrate", "run_sweep_sharded"),
+        "SuiteStore": ("repro.orchestrate", "SuiteStore"),
         "explore_program": ("repro.synth", "explore_program"),
         "format_execution": ("repro.litmus", "format_execution"),
         "parse_elt": ("repro.litmus", "parse_elt"),

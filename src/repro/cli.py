@@ -1,4 +1,4 @@
-"""Command-line interface: ``transform-synth``.
+"""Command-line interface: ``transform-synth`` (alias ``repro``).
 
 Subcommands mirror the framework's workflow:
 
@@ -6,6 +6,13 @@ Subcommands mirror the framework's workflow:
 * ``sweep``      — the Fig 9 per-axiom bound sweep (counts + runtimes);
 * ``check``      — evaluate an ELT file (machine format) against a model;
 * ``compare``    — the §VI-B comparison against the hand-written suite.
+
+``synthesize`` and ``sweep`` scale across cores and invocations through
+the :mod:`repro.orchestrate` subsystem: ``--jobs N`` shards the search
+over N worker processes (the output suite is identical to the serial
+path's, byte for byte), ``--cache-dir`` persists completed shards and
+suites, and ``--resume`` re-runs an interrupted command without redoing
+finished work.
 """
 
 from __future__ import annotations
@@ -49,6 +56,21 @@ def _model(name: str) -> MemoryModel:
         )
 
 
+def _store(args: argparse.Namespace):
+    """Build the suite store requested by --cache-dir/--resume (or None)."""
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be positive, got {args.jobs}")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards must be positive, got {args.shards}")
+    if getattr(args, "resume", False) and not getattr(args, "cache_dir", None):
+        raise SystemExit("--resume requires --cache-dir")
+    if getattr(args, "cache_dir", None):
+        from .orchestrate import SuiteStore
+
+        return SuiteStore(args.cache_dir)
+    return None
+
+
 def cmd_synthesize(args: argparse.Namespace) -> int:
     model = _model(args.model)
     config = SynthesisConfig(
@@ -59,7 +81,20 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         mcm_mode=args.mcm,
         time_budget_s=args.budget,
     )
-    result = synthesize(config)
+    store = _store(args)
+    orchestrated = None
+    if args.jobs > 1 or args.shards is not None or store is not None:
+        from .orchestrate import run_sharded
+
+        orchestrated = run_sharded(
+            config,
+            jobs=args.jobs,
+            shard_count=args.shards,
+            store=store,
+        )
+        result = orchestrated.result
+    else:
+        result = synthesize(config)
     stats = result.stats
     print(
         f"suite[{args.axiom or 'any-axiom'} @ bound {args.bound}]: "
@@ -69,6 +104,13 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         f"{stats.runtime_s:.2f}s"
         f"{', TIMED OUT' if stats.timed_out else ''})"
     )
+    if orchestrated is not None and (
+        orchestrated.shard_results or orchestrated.suite_cache_hit
+    ):
+        from .reporting import render_shard_runtimes
+
+        print()
+        print(render_shard_runtimes(orchestrated))
     for index, elt in enumerate(result.elts):
         print(f"\n--- ELT {index + 1} (violates: {', '.join(elt.violated_axioms)}) ---")
         print(format_execution(elt.execution, show_derived=args.verbose))
@@ -82,15 +124,48 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    bounds = None
-    if args.max_bound is not None:
-        from .models import X86T_ELT_AXIOM_NAMES
+    from .models import X86T_ELT_AXIOM_NAMES
+    from .reporting import resolve_max_bounds, resolve_sweep_budget
 
-        bounds = {axiom: args.max_bound for axiom in X86T_ELT_AXIOM_NAMES}
-    sweep = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=args.budget)
+    store = _store(args)
+    for axiom in args.axiom or ():
+        if axiom not in X86T_ELT_AXIOM_NAMES:
+            raise SystemExit(
+                f"unknown axiom {axiom!r}; choose from "
+                f"{sorted(X86T_ELT_AXIOM_NAMES)}"
+            )
+    explicit = (
+        None
+        if args.max_bound is None
+        else {axiom: args.max_bound for axiom in X86T_ELT_AXIOM_NAMES}
+    )
+    bounds = resolve_max_bounds(explicit, axioms=args.axiom or None)
+    budget = resolve_sweep_budget(args.budget)
+    if args.jobs > 1 or args.shards is not None or store is not None:
+        from .orchestrate import run_sweep_sharded
+        from .reporting import render_sweep_cache_summary
+
+        sweep, records = run_sweep_sharded(
+            SynthesisConfig(bound=4, model=x86t_elt()),
+            axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
+            min_bound=4,
+            max_bound=bounds,
+            time_budget_per_run_s=budget,
+            jobs=args.jobs,
+            shard_count=args.shards,
+            store=store,
+        )
+        print(render_sweep_cache_summary(records))
+        print()
+    else:
+        sweep = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=budget)
     print(render_fig9a(sweep))
     print()
     print(render_fig9b(sweep))
+    if sweep.skipped:
+        print()
+        skipped = ", ".join(f"{a}@{b}" for a, b in sweep.skipped)
+        print(f"bounds skipped after timeout: {skipped}")
     return 0
 
 
@@ -142,6 +217,32 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (shards the search; output stays identical)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="work units to plan (default: 4 per job when parallel)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist completed shards/suites here and reuse them",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from --cache-dir without redoing "
+        "finished work (reuse is automatic whenever --cache-dir is set)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="transform-synth",
@@ -158,11 +259,19 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--budget", type=float, default=None, help="seconds")
     synth.add_argument("--verbose", action="store_true")
     synth.add_argument("--save", default=None, help="write an .elts suite file")
+    _add_orchestration_arguments(synth)
     synth.set_defaults(func=cmd_synthesize)
 
     sweep = sub.add_parser("sweep", help="Fig 9 per-axiom bound sweep")
     sweep.add_argument("--max-bound", type=int, default=None)
     sweep.add_argument("--budget", type=float, default=None, help="seconds/run")
+    sweep.add_argument(
+        "--axiom",
+        action="append",
+        default=None,
+        help="restrict to this axiom (repeatable)",
+    )
+    _add_orchestration_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     check = sub.add_parser("check", help="check an ELT file against a model")

@@ -13,6 +13,31 @@ machine format of :mod:`repro.litmus.format`::
     map x pa_a
     ...
     endtest
+
+Relationship to the persistent suite store
+------------------------------------------
+
+``.elts`` text files are the *human-facing, portable* artifact: stable
+across releases, diffable, and identical whether a suite was synthesized
+serially or sharded across workers (``transform-synth synthesize --save``
+with any ``--jobs``).
+
+The orchestrator's on-disk cache (:class:`repro.orchestrate.SuiteStore`,
+``--cache-dir``) is the *machine-facing, resumable* companion.  Its
+layout::
+
+    <cache_dir>/
+      entries/
+        <key>.json   # entry metadata (kind, config identity, stats)
+        <key>.pkl    # payload: pickled ShardResult or SuiteResult
+
+Entries are content-addressed: ``<key>`` hashes the full synthesis
+configuration (model + axioms, bound, target axiom, feature toggles,
+schema version — plus the shard stride for shard entries), so a cache can
+be shared between runs and machines without risk of a stale entry being
+mistaken for current work.  Cache payloads keep exact in-memory objects
+(needed for byte-identical resumed merges); export to this module's text
+format remains the way to publish a suite.
 """
 
 from __future__ import annotations

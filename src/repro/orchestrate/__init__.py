@@ -1,0 +1,54 @@
+"""Sharded parallel synthesis orchestration (scaling the Fig 7 pipeline).
+
+The synthesis search is embarrassingly parallel: the skeleton/program
+enumeration partitions into independent work units, each shard runs the
+identical pipeline, and canonical-form merging reconstructs the exact
+serial result.  This package provides:
+
+* :class:`ShardSpec` / :func:`plan_shards` / :func:`shard_programs` —
+  deterministic partitioning of the enumeration space;
+* :func:`run_shard` — the spawn-safe worker entry point;
+* :func:`merge_shards` — serial-equivalent cross-shard deduplication;
+* :class:`SuiteStore` — the persistent content-addressed result cache;
+* :func:`run_sharded` / :func:`run_sweep_sharded` — the orchestrator.
+"""
+
+from .merge import MergeReport, merge_shards
+from .runner import OrchestratedResult, run_sharded, run_sweep_sharded
+from .shards import (
+    DEFAULT_OVERSUBSCRIPTION,
+    ShardSpec,
+    plan_shards,
+    shard_programs,
+)
+from .store import (
+    KIND_SHARD,
+    KIND_SUITE,
+    SCHEMA_VERSION,
+    SuiteStore,
+    config_identity,
+    entry_key,
+)
+from .worker import ShardElt, ShardResult, ShardTask, run_shard
+
+__all__ = [
+    "DEFAULT_OVERSUBSCRIPTION",
+    "KIND_SHARD",
+    "KIND_SUITE",
+    "MergeReport",
+    "OrchestratedResult",
+    "SCHEMA_VERSION",
+    "ShardElt",
+    "ShardResult",
+    "ShardSpec",
+    "ShardTask",
+    "SuiteStore",
+    "config_identity",
+    "entry_key",
+    "merge_shards",
+    "plan_shards",
+    "run_shard",
+    "run_sharded",
+    "run_sweep_sharded",
+    "shard_programs",
+]

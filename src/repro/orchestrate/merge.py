@@ -1,0 +1,93 @@
+"""Cross-shard deduplication and serial-equivalent merging.
+
+Why the merged result is *provably* identical to a serial run
+-------------------------------------------------------------
+
+The serial engine deduplicates on two levels: canonical execution keys
+(skip duplicate witnesses) and canonical program keys (one
+:class:`SynthesizedElt` per program class, first program wins, its first
+minimal forbidden witness becomes the representative execution).
+
+Both keys are canonical — invariant under thread permutation and VA/PA/
+event-id renaming — so two programs with the same canonical key have
+*isomorphic* execution sets, and an execution's key determines its
+program's key.  Consequences:
+
+1. **ELT membership is shard-invariant.**  A program class yields an ELT
+   iff any one of its member programs does; each member yields the same
+   canonical execution-key set regardless of which shard it lands in.
+2. **Representative choice is reconstructible.**  Serially, the entry for
+   class K is created by the first program (in enumeration order) whose
+   witness stream produces a new minimal forbidden execution; later
+   duplicate programs only re-produce already-seen execution keys and are
+   skipped.  Every shard enumerates its own slice *in the same global
+   order* (order keys are assigned before shard filtering), so the
+   shard-local winner for K with the smallest order key across shards is
+   exactly the serial winner — and its representative execution (the
+   first minimal witness of that very program) is byte-for-byte the
+   serial representative.
+3. **Outcome counts are shard-invariant.**  ``outcome_count`` counts the
+   distinct canonical minimal forbidden execution keys of class K, a
+   quantity every member program reproduces in full; duplicated class
+   members across shards therefore report the *same* count, and the merge
+   takes the winner's (equal) value rather than summing.
+
+Aggregate counters (programs/executions enumerated, interesting, minimal)
+are summed; they can legitimately exceed the serial numbers when duplicate
+program classes straddle shards (serial skips what a shard cannot know was
+seen elsewhere).  The ELT list itself — the artifact — is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..synth import SuiteResult, SuiteStats, SynthesisConfig
+from .worker import ShardElt, ShardResult
+
+
+@dataclass
+class MergeReport:
+    """Bookkeeping from one merge: how much cross-shard overlap existed."""
+
+    shard_count: int = 0
+    shard_elts: int = 0
+    cross_shard_duplicates: int = 0
+    per_shard: list[ShardResult] = field(default_factory=list)
+
+
+def merge_shards(
+    config: SynthesisConfig,
+    shard_results: Iterable[ShardResult],
+    runtime_s: float = 0.0,
+) -> tuple[SuiteResult, MergeReport]:
+    """Fuse shard results into one serial-equivalent :class:`SuiteResult`."""
+    report = MergeReport()
+    stats = SuiteStats()
+    best: dict = {}  # ProgramKey -> ShardElt with minimal order
+    for shard in shard_results:
+        report.shard_count += 1
+        report.per_shard.append(shard)
+        stats.programs_enumerated += shard.stats.programs_enumerated
+        stats.executions_enumerated += shard.stats.executions_enumerated
+        stats.interesting += shard.stats.interesting
+        stats.minimal += shard.stats.minimal
+        stats.timed_out = stats.timed_out or shard.stats.timed_out
+        for shard_elt in shard.elts:
+            report.shard_elts += 1
+            current = best.get(shard_elt.elt.key)
+            if current is None:
+                best[shard_elt.elt.key] = shard_elt
+            else:
+                report.cross_shard_duplicates += 1
+                if shard_elt.order < current.order:
+                    best[shard_elt.elt.key] = shard_elt
+
+    result = SuiteResult(config.bound, config.target_axiom, stats=stats)
+    result.elts = sorted(
+        (shard_elt.elt for shard_elt in best.values()), key=lambda e: e.key
+    )
+    stats.unique_programs = len(result.elts)
+    stats.runtime_s = runtime_s
+    return result, report

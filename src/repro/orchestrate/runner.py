@@ -1,0 +1,228 @@
+"""The orchestrator: sharded parallel synthesis runs and resumable sweeps.
+
+``run_sharded`` scales one (axiom, bound) synthesis across cores:
+
+1. plan deterministic shards (:mod:`.shards`);
+2. load any shard already completed by a previous interrupted run from
+   the :class:`~repro.orchestrate.store.SuiteStore`;
+3. execute the remaining shards on a spawn-based
+   :class:`~concurrent.futures.ProcessPoolExecutor` (or inline when
+   ``jobs == 1``);
+4. merge (:mod:`.merge`) into a suite provably identical to the serial
+   engine's, and persist both the shards and the merged suite.
+
+``run_sweep_sharded`` lifts this over the Fig 9 per-axiom bound sweep,
+reusing one worker pool across all points and skipping any (axiom,
+bound) point whose merged suite is already in the store — which is what
+makes an interrupted ``sweep --cache-dir …`` resumable by rerunning the
+same command.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from multiprocessing import get_context
+from typing import Mapping, Optional, Union
+
+from ..errors import SynthesisError
+from ..synth import SuiteResult, SweepPoint, SweepResult, SynthesisConfig
+from .merge import MergeReport, merge_shards
+from .shards import ShardSpec, plan_shards
+from .store import SuiteStore
+from .worker import ShardResult, ShardTask, run_shard
+
+
+@dataclass
+class OrchestratedResult:
+    """A merged suite plus per-shard and cache bookkeeping."""
+
+    result: SuiteResult
+    report: MergeReport
+    jobs: int
+    shard_specs: list[ShardSpec] = field(default_factory=list)
+    suite_cache_hit: bool = False
+    shard_cache_hits: int = 0
+    shard_cache_misses: int = 0
+
+    @property
+    def shard_results(self) -> list[ShardResult]:
+        return self.report.per_shard
+
+
+def _make_executor(jobs: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=jobs, mp_context=get_context("spawn")
+    )
+
+
+def run_sharded(
+    config: SynthesisConfig,
+    jobs: int = 1,
+    shard_count: Optional[int] = None,
+    fanout_split: int = 1,
+    store: Optional[SuiteStore] = None,
+    executor: Optional[Executor] = None,
+) -> OrchestratedResult:
+    """Run one synthesis config across ``jobs`` workers.
+
+    With a ``store``, previously completed shards and suites are reused
+    (cache counters on the store record how much); timed-out results are
+    never cached.  Pass an ``executor`` to share one worker pool across
+    several calls (the sweep does); otherwise a spawn pool is created on
+    demand and torn down before returning.
+    """
+    if jobs < 1:
+        raise SynthesisError(f"jobs must be positive, got {jobs}")
+    started = time.monotonic()
+
+    if store is not None:
+        cached_suite = store.load_suite(config)
+        if cached_suite is not None:
+            report = MergeReport(shard_count=0, shard_elts=cached_suite.count)
+            return OrchestratedResult(
+                result=cached_suite,
+                report=report,
+                jobs=jobs,
+                suite_cache_hit=True,
+            )
+
+    specs = plan_shards(jobs, shard_count=shard_count, fanout_split=fanout_split)
+    wall_deadline = (
+        None
+        if config.time_budget_s is None
+        else time.time() + config.time_budget_s
+    )
+    # Shards carry their own deadline; the config they run under must not
+    # double-apply the budget through the serial path.
+    shard_config = replace(config, time_budget_s=None)
+
+    shard_results: list[Optional[ShardResult]] = [None] * len(specs)
+    pending: list[tuple[int, ShardTask]] = []
+    hits = misses = 0
+    for index, spec in enumerate(specs):
+        cached = store.load_shard(shard_config, spec) if store else None
+        if cached is not None:
+            shard_results[index] = cached
+            hits += 1
+        else:
+            if store is not None:
+                misses += 1
+            pending.append(
+                (index, ShardTask(shard_config, spec, wall_deadline))
+            )
+
+    own_executor: Optional[ProcessPoolExecutor] = None
+    try:
+        if pending and jobs > 1 and executor is None:
+            own_executor = _make_executor(jobs)
+        pool = executor if executor is not None else own_executor
+        if pending:
+            if pool is None:  # jobs == 1: run inline, no process overhead
+                for index, task in pending:
+                    shard_results[index] = run_shard(task)
+            else:
+                futures = [
+                    (index, pool.submit(run_shard, task))
+                    for index, task in pending
+                ]
+                for index, future in futures:
+                    shard_results[index] = future.result()
+    finally:
+        if own_executor is not None:
+            own_executor.shutdown()
+
+    completed = [shard for shard in shard_results if shard is not None]
+    if store is not None:
+        for index, task in pending:
+            shard = shard_results[index]
+            if shard is not None:
+                store.save_shard(shard_config, shard.spec, shard)
+
+    runtime_s = time.monotonic() - started
+    result, report = merge_shards(config, completed, runtime_s=runtime_s)
+    if store is not None:
+        store.save_suite(config, result)
+    return OrchestratedResult(
+        result=result,
+        report=report,
+        jobs=jobs,
+        shard_specs=list(specs),
+        shard_cache_hits=hits,
+        shard_cache_misses=misses,
+    )
+
+
+def run_sweep_sharded(
+    base_config: SynthesisConfig,
+    axioms: Optional[list[str]] = None,
+    min_bound: int = 4,
+    max_bound: Optional[Union[int, Mapping[str, int]]] = None,
+    time_budget_per_run_s: Optional[float] = None,
+    jobs: int = 1,
+    shard_count: Optional[int] = None,
+    fanout_split: int = 1,
+    store: Optional[SuiteStore] = None,
+) -> tuple[SweepResult, list[OrchestratedResult]]:
+    """Sharded, resumable Fig 9 sweep (same semantics as
+    :func:`repro.synth.synthesize_sweep`, run point-by-point through
+    :func:`run_sharded`).
+
+    Returns the sweep plus the per-point orchestration records (cache
+    hits, per-shard runtimes).  Rerunning an interrupted sweep with the
+    same store picks up where it left off: finished (axiom, bound) points
+    are suite-level cache hits and are not re-synthesized.
+
+    ``max_bound`` may be a single cap or a per-axiom mapping (the shape of
+    :data:`repro.reporting.DEFAULT_MAX_BOUNDS`).
+    """
+    model = base_config.model
+    if axioms is None:
+        axioms = [a.name for a in model.axioms]
+    if time_budget_per_run_s is None:
+        time_budget_per_run_s = base_config.time_budget_s
+
+    def top_for(axiom: str) -> int:
+        if max_bound is None:
+            return base_config.bound
+        if isinstance(max_bound, Mapping):
+            return max_bound.get(axiom, base_config.bound)
+        return max_bound
+
+    sweep = SweepResult()
+    records: list[OrchestratedResult] = []
+    shared_executor: Optional[ProcessPoolExecutor] = None
+    try:
+        if jobs > 1:
+            shared_executor = _make_executor(jobs)
+        for axiom in axioms:
+            top = top_for(axiom)
+            for bound in range(min_bound, top + 1):
+                config = replace(
+                    base_config,
+                    bound=bound,
+                    target_axiom=axiom,
+                    time_budget_s=time_budget_per_run_s,
+                )
+                orchestrated = run_sharded(
+                    config,
+                    jobs=jobs,
+                    shard_count=shard_count,
+                    fanout_split=fanout_split,
+                    store=store,
+                    executor=shared_executor,
+                )
+                records.append(orchestrated)
+                sweep.points.append(
+                    SweepPoint(axiom, bound, orchestrated.result)
+                )
+                if orchestrated.result.stats.timed_out:
+                    sweep.skipped.extend(
+                        (axiom, later) for later in range(bound + 1, top + 1)
+                    )
+                    break
+    finally:
+        if shared_executor is not None:
+            shared_executor.shutdown()
+    return sweep, records

@@ -1,0 +1,124 @@
+"""Deterministic partitioning of the synthesis enumeration space.
+
+A :class:`ShardSpec` names one independent work unit of a synthesis run
+by striding the two outer loops of program enumeration:
+
+* **skeleton stride** — the global base-skeleton index (across all thread
+  counts) is taken modulo ``skeleton_count``; a shard owns the indices
+  congruent to ``skeleton_index``.  Skeleton enumeration is cheap relative
+  to the remap/TLB fan-out and witness checking behind each skeleton, so
+  every shard re-enumerates skeletons but expands only its own.
+* **fan-out stride** — within each owned skeleton, the (remap placement ×
+  TLB vector) expansion index is taken modulo ``fanout_count``.  Splitting
+  the fan-out lets the planner cut finer than one skeleton when a few
+  deep skeletons dominate the bound (their fan-out grows combinatorially
+  with PTE-write count and thread count).
+
+Shards are disjoint and jointly exhaustive by construction: every program
+has exactly one ``(skeleton_index % K, fanout_index % F)`` residue.  Order
+keys assigned by :func:`repro.synth.enumerate_programs_with_order` are
+identical no matter which shard enumerates a program, which is what lets
+:mod:`repro.orchestrate.merge` reconstruct serial enumeration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SynthesisError
+from ..mtm import Program
+from ..synth import SynthesisConfig, enumerate_programs_with_order
+
+#: Shards per worker when the planner is free to choose: oversubscription
+#: smooths out skeletons with very uneven fan-out (static stride keeps
+#: determinism; extra shards give the pool work-stealing slack).
+DEFAULT_OVERSUBSCRIPTION = 4
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One work unit: a (skeleton stride, fan-out stride) residue class."""
+
+    skeleton_index: int
+    skeleton_count: int
+    fanout_index: int = 0
+    fanout_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.skeleton_count < 1 or self.fanout_count < 1:
+            raise SynthesisError("shard stride counts must be positive")
+        if not 0 <= self.skeleton_index < self.skeleton_count:
+            raise SynthesisError(
+                f"skeleton_index {self.skeleton_index} outside "
+                f"[0, {self.skeleton_count})"
+            )
+        if not 0 <= self.fanout_index < self.fanout_count:
+            raise SynthesisError(
+                f"fanout_index {self.fanout_index} outside "
+                f"[0, {self.fanout_count})"
+            )
+
+    @property
+    def label(self) -> str:
+        text = f"s{self.skeleton_index}/{self.skeleton_count}"
+        if self.fanout_count > 1:
+            text += f"+f{self.fanout_index}/{self.fanout_count}"
+        return text
+
+    def describe(self) -> str:
+        return (
+            f"skeletons ≡ {self.skeleton_index} (mod {self.skeleton_count})"
+            + (
+                f", fan-out ≡ {self.fanout_index} (mod {self.fanout_count})"
+                if self.fanout_count > 1
+                else ""
+            )
+        )
+
+
+def plan_shards(
+    jobs: int,
+    shard_count: int | None = None,
+    fanout_split: int = 1,
+) -> list[ShardSpec]:
+    """Plan the work units for a run with ``jobs`` workers.
+
+    ``shard_count`` overrides the skeleton-stride width (default:
+    ``jobs × DEFAULT_OVERSUBSCRIPTION`` when parallel, 1 when serial).
+    ``fanout_split`` additionally splits every skeleton's fan-out into
+    that many strides — useful at deep bounds where single skeletons
+    dominate.
+    """
+    if jobs < 1:
+        raise SynthesisError(f"jobs must be positive, got {jobs}")
+    if fanout_split < 1:
+        raise SynthesisError(f"fanout_split must be positive, got {fanout_split}")
+    if shard_count is None:
+        shard_count = 1 if jobs == 1 else jobs * DEFAULT_OVERSUBSCRIPTION
+    if shard_count < 1:
+        raise SynthesisError(f"shard_count must be positive, got {shard_count}")
+    return [
+        ShardSpec(skeleton, shard_count, fanout, fanout_split)
+        for skeleton in range(shard_count)
+        for fanout in range(fanout_split)
+    ]
+
+
+def shard_programs(
+    config: SynthesisConfig, spec: ShardSpec
+) -> Iterator[tuple[tuple[int, int], Program]]:
+    """The shard's slice of the ordered program stream."""
+    skeleton_filter = (
+        None
+        if spec.skeleton_count == 1
+        else lambda index: index % spec.skeleton_count == spec.skeleton_index
+    )
+    fanout_filter = (
+        None
+        if spec.fanout_count == 1
+        else lambda index: index % spec.fanout_count == spec.fanout_index
+    )
+    return enumerate_programs_with_order(
+        config, skeleton_filter=skeleton_filter, fanout_filter=fanout_filter
+    )

@@ -1,0 +1,183 @@
+"""Persistent, content-addressed suite store.
+
+The store makes synthesis runs *resumable* and *skippable*: every
+completed shard and every completed merged suite is written under a key
+derived from the full synthesis configuration (plus the shard spec for
+shard entries), so re-running the same command — after an interruption,
+or verbatim — loads finished work instead of recomputing it.
+
+Layout (documented alongside the suite text format in
+:mod:`repro.litmus.suitefile`)::
+
+    <cache_dir>/
+      entries/
+        <key>.json   # metadata: kind, config fingerprint inputs, stats
+        <key>.pkl    # payload: pickled ShardResult or SuiteResult
+
+``<key>`` is the first 32 hex digits of the SHA-256 of a canonical JSON
+rendering of the entry identity.  Identity covers every knob that can
+change the synthesized artifact — model name and axiom list, bound,
+target axiom, thread/VA caps, feature toggles, ablations, the time
+budget, a schema version (bumped whenever engine output semantics
+change), and for shard entries the shard stride — so a stale or
+mismatched cache can never masquerade as a hit.
+
+Writes are atomic (tempfile + ``os.replace``) so an interrupted run never
+leaves a half-written entry; timed-out results are **never** stored
+(their partial suites must not satisfy a later complete run).  The store
+keeps ``hits`` / ``misses`` / ``stores`` counters that the resume tests
+and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..synth import SynthesisConfig
+from .shards import ShardSpec
+
+#: Bump when engine output semantics change: cached entries from older
+#: schemas silently become misses.
+SCHEMA_VERSION = 1
+
+KIND_SHARD = "shard"
+KIND_SUITE = "suite"
+
+
+def config_identity(config: SynthesisConfig) -> dict[str, Any]:
+    """The JSON-safe identity of a synthesis configuration.
+
+    The model contributes its name and ordered axiom names (axiom
+    *predicates* are code; the schema version stands in for code
+    revisions).  All other dataclass fields participate directly.
+    """
+    identity: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "model": config.model.name,
+        "axioms": list(config.model.axiom_names),
+    }
+    for name, value in asdict(config).items():
+        if name == "model":
+            continue
+        identity[name] = value
+    return identity
+
+
+def entry_key(
+    config: SynthesisConfig,
+    kind: str,
+    spec: Optional[ShardSpec] = None,
+) -> str:
+    identity = config_identity(config)
+    identity["kind"] = kind
+    if spec is not None:
+        identity["shard"] = asdict(spec)
+    rendered = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class StoreCounters:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class SuiteStore:
+    """On-disk cache of completed shard and suite results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.counters = StoreCounters()
+
+    # -- paths ---------------------------------------------------------
+    def _payload_path(self, key: str) -> Path:
+        return self.entries_dir / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.entries_dir / f"{key}.json"
+
+    # -- primitives ----------------------------------------------------
+    def has(self, key: str) -> bool:
+        return self._payload_path(key).exists()
+
+    def get(self, key: str) -> Optional[Any]:
+        path = self._payload_path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any, meta: dict[str, Any]) -> None:
+        self._atomic_write(
+            self._meta_path(key),
+            json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
+        )
+        self._atomic_write(
+            self._payload_path(key), pickle.dumps(payload, protocol=4)
+        )
+        self.counters.stores += 1
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.entries_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- typed helpers -------------------------------------------------
+    def load_shard(self, config: SynthesisConfig, spec: ShardSpec):
+        return self.get(entry_key(config, KIND_SHARD, spec))
+
+    def save_shard(self, config: SynthesisConfig, spec: ShardSpec, shard_result) -> None:
+        if shard_result.stats.timed_out:
+            return  # partial work must not satisfy a later complete run
+        self.put(
+            entry_key(config, KIND_SHARD, spec),
+            shard_result,
+            {
+                "kind": KIND_SHARD,
+                "identity": config_identity(config),
+                "shard": asdict(spec),
+                "unique_programs": shard_result.stats.unique_programs,
+                "runtime_s": shard_result.runtime_s,
+            },
+        )
+
+    def load_suite(self, config: SynthesisConfig):
+        return self.get(entry_key(config, KIND_SUITE))
+
+    def save_suite(self, config: SynthesisConfig, result) -> None:
+        if result.stats.timed_out:
+            return
+        self.put(
+            entry_key(config, KIND_SUITE),
+            result,
+            {
+                "kind": KIND_SUITE,
+                "identity": config_identity(config),
+                "unique_programs": result.stats.unique_programs,
+                "runtime_s": result.stats.runtime_s,
+            },
+        )

@@ -1,0 +1,78 @@
+"""Spawn-safe shard execution.
+
+A worker process receives a pickled :class:`ShardTask` (config + shard
+spec + wall-clock deadline), runs the shared Fig 7 pipeline
+(:func:`repro.synth.run_pipeline`) over the shard's slice of the program
+stream, and returns a :class:`ShardResult` carrying every surviving ELT
+*with its enumeration order key* so the merge layer can reconstruct the
+serial representative choice.
+
+Everything here is a module-level function/dataclass so it pickles under
+the ``spawn`` start method (the only start method that is safe on every
+platform and under threads); no closures or fork-inherited state are
+involved.  Deadlines travel as wall-clock (``time.time``) timestamps,
+which are comparable across processes, and are converted to each worker's
+own monotonic clock on arrival.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..synth import SuiteStats, SynthesisConfig, run_pipeline
+from ..synth.engine import OrderKey, SynthesizedElt
+from .shards import ShardSpec, shard_programs
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of work shipped to a worker process."""
+
+    config: SynthesisConfig
+    spec: ShardSpec
+    #: Absolute wall-clock deadline (``time.time()``), or None.
+    wall_deadline: Optional[float] = None
+
+
+@dataclass
+class ShardElt:
+    """A shard-local ELT plus the global enumeration order key of the
+    program that produced it."""
+
+    order: OrderKey
+    elt: SynthesizedElt
+
+
+@dataclass
+class ShardResult:
+    spec: ShardSpec
+    elts: list[ShardElt] = field(default_factory=list)
+    stats: SuiteStats = field(default_factory=SuiteStats)
+    runtime_s: float = 0.0
+
+    @property
+    def timed_out(self) -> bool:
+        return self.stats.timed_out
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute one shard (in-process or in a worker process)."""
+    started = time.monotonic()
+    deadline = None
+    if task.wall_deadline is not None:
+        deadline = started + max(0.0, task.wall_deadline - time.time())
+    outcome = run_pipeline(
+        task.config, shard_programs(task.config, task.spec), deadline=deadline
+    )
+    elts = [
+        ShardElt(order=outcome.order[key], elt=elt)
+        for key, elt in outcome.by_key.items()
+    ]
+    elts.sort(key=lambda shard_elt: shard_elt.order)
+    result = ShardResult(spec=task.spec, elts=elts, stats=outcome.stats)
+    result.stats.unique_programs = len(elts)
+    result.runtime_s = time.monotonic() - started
+    result.stats.runtime_s = result.runtime_s
+    return result

@@ -8,16 +8,21 @@ from .experiments import (
     render_comparison,
     render_fig9a,
     render_fig9b,
+    resolve_max_bounds,
+    resolve_sweep_budget,
     run_coatcheck_comparison,
     tlb_causality_attribution,
 )
 from .figures import render_log_plot
+from .orchestration import render_shard_runtimes, render_sweep_cache_summary
 from .tables import render_series_table, render_table
 
 __all__ = [
     "render_table",
     "render_series_table",
     "render_log_plot",
+    "render_shard_runtimes",
+    "render_sweep_cache_summary",
     "fig9_sweep",
     "render_fig9a",
     "render_fig9b",
@@ -27,4 +32,6 @@ __all__ = [
     "render_comparison",
     "DEFAULT_MAX_BOUNDS",
     "DEFAULT_CORPUS_BOUNDS",
+    "resolve_max_bounds",
+    "resolve_sweep_budget",
 ]

@@ -49,24 +49,52 @@ def _env_float(name: str) -> Optional[float]:
     return float(raw) if raw else None
 
 
-def fig9_sweep(
+def resolve_max_bounds(
     max_bounds: Optional[Mapping[str, int]] = None,
-    time_budget_per_run_s: Optional[float] = None,
-) -> SweepResult:
-    """Run (or fetch from cache) the Fig 9 per-axiom bound sweep."""
+    axioms: Optional[list[str]] = None,
+) -> Mapping[str, int]:
+    """The per-axiom bound caps a sweep should use: explicit mapping,
+    else ``REPRO_FIG9_MAX_BOUND``, else :data:`DEFAULT_MAX_BOUNDS`;
+    optionally restricted to ``axioms``."""
     if max_bounds is None:
         cap = _env_int("REPRO_FIG9_MAX_BOUND")
         if cap is not None:
             max_bounds = {axiom: cap for axiom in X86T_ELT_AXIOM_NAMES}
         else:
             max_bounds = DEFAULT_MAX_BOUNDS
-    if time_budget_per_run_s is None:
-        time_budget_per_run_s = _env_float("REPRO_FIG9_BUDGET_S") or 120.0
+    if axioms is not None:
+        max_bounds = {
+            axiom: bound
+            for axiom, bound in max_bounds.items()
+            if axiom in axioms
+        }
+    return max_bounds
+
+
+def resolve_sweep_budget(
+    time_budget_per_run_s: Optional[float] = None,
+) -> float:
+    """The per-run time budget: explicit value, else
+    ``REPRO_FIG9_BUDGET_S``, else 120 seconds."""
+    if time_budget_per_run_s is not None:
+        return time_budget_per_run_s
+    return _env_float("REPRO_FIG9_BUDGET_S") or 120.0
+
+
+def fig9_sweep(
+    max_bounds: Optional[Mapping[str, int]] = None,
+    time_budget_per_run_s: Optional[float] = None,
+) -> SweepResult:
+    """Run (or fetch from cache) the Fig 9 per-axiom bound sweep."""
+    max_bounds = resolve_max_bounds(max_bounds)
+    time_budget_per_run_s = resolve_sweep_budget(time_budget_per_run_s)
     key = (tuple(sorted(max_bounds.items())), time_budget_per_run_s)
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
     sweep = SweepResult()
     for axiom in X86T_ELT_AXIOM_NAMES:
+        if axiom not in max_bounds:
+            continue
         base = SynthesisConfig(bound=max_bounds[axiom], model=x86t_elt())
         partial = synthesize_sweep(
             base,
@@ -76,6 +104,7 @@ def fig9_sweep(
             time_budget_per_run_s=time_budget_per_run_s,
         )
         sweep.points.extend(partial.points)
+        sweep.skipped.extend(partial.skipped)
     _SWEEP_CACHE[key] = sweep
     return sweep
 

@@ -19,12 +19,15 @@ from .canon import (
 from .config import SynthesisConfig
 from .explore import Outcome, ProgramExploration, explore_program
 from .engine import (
+    PipelineOutcome,
     SuiteResult,
     SuiteStats,
     SweepPoint,
     SweepResult,
     SynthesizedElt,
     default_config,
+    finalize_result,
+    run_pipeline,
     synthesize,
     synthesize_sweep,
 )
@@ -36,7 +39,12 @@ from .relax import (
     removal_groups,
     without_rmw_pair,
 )
-from .skeletons import enumerate_programs, enumerate_skeletons, program_cost
+from .skeletons import (
+    enumerate_programs,
+    enumerate_programs_with_order,
+    enumerate_skeletons,
+    program_cost,
+)
 from .witnesses import enumerate_witnesses, enumerate_witnesses_constrained
 
 __all__ = [
@@ -52,7 +60,11 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SynthesizedElt",
+    "PipelineOutcome",
+    "run_pipeline",
+    "finalize_result",
     "enumerate_programs",
+    "enumerate_programs_with_order",
     "enumerate_skeletons",
     "enumerate_witnesses",
     "enumerate_witnesses_constrained",

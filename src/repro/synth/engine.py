@@ -13,13 +13,21 @@
 ``synthesize_sweep`` reproduces the paper's Fig 9 methodology: for each
 axiom, sweep increasing bounds under a time budget (theirs: one week per
 run on a server; ours: configurable seconds).
+
+The Fig 7 inner loop lives in :func:`run_pipeline`, which consumes an
+*ordered* program stream — ``(order_key, program)`` pairs — so that the
+serial path and the sharded path (:mod:`repro.orchestrate`) share one
+implementation.  Order keys are opaque comparable tuples recording each
+program's position in the global enumeration; the orchestrator's merge
+layer uses them to pick the same representative program per canonical
+class that a serial run would.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..models import MemoryModel, x86t_elt
 from ..mtm import Execution, Program
@@ -28,6 +36,10 @@ from .config import SynthesisConfig
 from .relax import is_minimal
 from .skeletons import enumerate_programs
 from .witnesses import enumerate_witnesses
+
+#: Order keys are tuples of ints; comparisons only ever happen between
+#: keys produced by the same enumeration scheme.
+OrderKey = tuple
 
 
 @dataclass
@@ -70,26 +82,39 @@ class SuiteResult:
         return {elt.key for elt in self.elts}
 
 
-def synthesize(config: SynthesisConfig) -> SuiteResult:
-    """Run the full Fig 7 pipeline for one (axiom, bound) pair."""
-    started = time.monotonic()
-    deadline = (
-        None
-        if config.time_budget_s is None
-        else started + config.time_budget_s
-    )
+@dataclass
+class PipelineOutcome:
+    """Raw product of one :func:`run_pipeline` pass: deduplicated ELTs
+    keyed by canonical form, plus the enumeration-order key of the
+    representative program behind each entry (for cross-shard merging)."""
+
+    by_key: dict = field(default_factory=dict)
+    order: dict = field(default_factory=dict)
+    stats: SuiteStats = field(default_factory=SuiteStats)
+
+
+def run_pipeline(
+    config: SynthesisConfig,
+    ordered_programs: Iterable[tuple[OrderKey, Program]],
+    deadline: Optional[float] = None,
+) -> PipelineOutcome:
+    """Stages 2-5 of Fig 7 over an arbitrary ordered program stream.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp; exceeding
+    it sets ``stats.timed_out`` and stops cleanly with partial results.
+    """
     model = config.model
     target = (
         model.axiom(config.target_axiom)
         if config.target_axiom is not None
         else None
     )
-    stats = SuiteStats()
-    result = SuiteResult(config.bound, config.target_axiom, stats=stats)
-    by_key: dict[ProgramKey, SynthesizedElt] = {}
+    outcome = PipelineOutcome()
+    stats = outcome.stats
+    by_key = outcome.by_key
     seen_executions: set = set()
 
-    for program in enumerate_programs(config):
+    for order_key, program in ordered_programs:
         if deadline is not None and time.monotonic() > deadline:
             stats.timed_out = True
             break
@@ -129,16 +154,44 @@ def synthesize(config: SynthesisConfig) -> SuiteResult:
                     key=program_key,
                     violated_axioms=verdict.violated,
                 )
+                outcome.order[program_key] = order_key
             else:
                 existing.outcome_count += 1
         if deadline is not None and time.monotonic() > deadline:
             stats.timed_out = True
             break
 
-    result.elts = sorted(by_key.values(), key=lambda e: e.key)
-    stats.unique_programs = len(result.elts)
-    stats.runtime_s = time.monotonic() - started
+    return outcome
+
+
+def finalize_result(
+    config: SynthesisConfig, outcome: PipelineOutcome, runtime_s: float
+) -> SuiteResult:
+    """Package a pipeline outcome as a sorted, counted :class:`SuiteResult`."""
+    result = SuiteResult(config.bound, config.target_axiom, stats=outcome.stats)
+    result.elts = sorted(outcome.by_key.values(), key=lambda e: e.key)
+    outcome.stats.unique_programs = len(result.elts)
+    outcome.stats.runtime_s = runtime_s
     return result
+
+
+def synthesize(config: SynthesisConfig) -> SuiteResult:
+    """Run the full Fig 7 pipeline for one (axiom, bound) pair."""
+    started = time.monotonic()
+    deadline = (
+        None
+        if config.time_budget_s is None
+        else started + config.time_budget_s
+    )
+    outcome = run_pipeline(
+        config,
+        (
+            ((index,), program)
+            for index, program in enumerate(enumerate_programs(config))
+        ),
+        deadline=deadline,
+    )
+    return finalize_result(config, outcome, time.monotonic() - started)
 
 
 @dataclass
@@ -150,9 +203,15 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """A Fig 9-style sweep: per-axiom suites across increasing bounds."""
+    """A Fig 9-style sweep: per-axiom suites across increasing bounds.
+
+    ``skipped`` records (axiom, bound) pairs the sweep never attempted
+    because a lower bound for that axiom exhausted the time budget — the
+    partial-coverage report mirroring the paper's one-week cutoff.
+    """
 
     points: list[SweepPoint] = field(default_factory=list)
+    skipped: list[tuple[str, int]] = field(default_factory=list)
 
     def counts(self) -> dict[str, dict[int, int]]:
         out: dict[str, dict[int, int]] = {}
@@ -167,6 +226,14 @@ class SweepResult:
                 point.result.stats.runtime_s
             )
         return out
+
+    def timed_out_points(self) -> list[tuple[str, int]]:
+        """(axiom, bound) pairs whose suite is complete-up-to-timeout."""
+        return [
+            (point.axiom, point.bound)
+            for point in self.points
+            if point.result.stats.timed_out
+        ]
 
     def unique_elts(self) -> dict[ProgramKey, SynthesizedElt]:
         """Union of all per-axiom suites, deduplicated (the paper's "140
@@ -188,12 +255,18 @@ def synthesize_sweep(
     """Per-axiom bound sweep (the §VI methodology).
 
     For each axiom, bounds increase from ``min_bound``; a run that exceeds
-    the time budget marks its suite complete-up-to-timeout and stops the
-    sweep for that axiom (mirroring the paper's one-week cutoff).
+    the time budget marks its suite ``timed_out`` (its partial results stay
+    in the sweep) and stops the sweep for that axiom, recording the
+    never-attempted bounds in ``SweepResult.skipped`` (mirroring the
+    paper's one-week cutoff).  When ``time_budget_per_run_s`` is ``None``
+    the budget falls back to ``base_config.time_budget_s`` rather than
+    silently removing the base config's budget.
     """
     model = base_config.model
     if axioms is None:
         axioms = [a.name for a in model.axioms]
+    if time_budget_per_run_s is None:
+        time_budget_per_run_s = base_config.time_budget_s
     top = max_bound if max_bound is not None else base_config.bound
     sweep = SweepResult()
     for axiom in axioms:
@@ -207,6 +280,9 @@ def synthesize_sweep(
             result = synthesize(config)
             sweep.points.append(SweepPoint(axiom, bound, result))
             if result.stats.timed_out:
+                sweep.skipped.extend(
+                    (axiom, later) for later in range(bound + 1, top + 1)
+                )
                 break
     return sweep
 

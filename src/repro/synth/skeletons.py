@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..mtm import Event, EventKind, Program
 from .canon import is_canonical_thread_order
@@ -430,11 +430,34 @@ def program_cost(program: Program, config: SynthesisConfig) -> int:
     return cost
 
 
-def enumerate_programs(config: SynthesisConfig) -> Iterator[Program]:
-    """All well-formed programs within the bound, one per thread-symmetry
-    class (when canonical pruning is on)."""
+def enumerate_programs_with_order(
+    config: SynthesisConfig,
+    skeleton_filter: Optional[Callable[[int], bool]] = None,
+    fanout_filter: Optional[Callable[[int], bool]] = None,
+) -> Iterator[tuple[tuple[int, int], Program]]:
+    """All well-formed programs within the bound, each tagged with its
+    position ``(skeleton_index, fanout_index)`` in the global enumeration.
+
+    ``skeleton_index`` counts base skeletons across all thread counts;
+    ``fanout_index`` counts a skeleton's (remap placement × TLB vector)
+    expansions.  Both indices are assigned *before* any filtering, so a
+    program carries the same order key no matter which shard enumerates it
+    — the invariant :mod:`repro.orchestrate` relies on to merge shard
+    results back into serial enumeration order.
+
+    ``skeleton_filter`` / ``fanout_filter`` are index predicates used by
+    the shard planner to carve the space into disjoint work units; skipped
+    skeletons pay only skeleton-generation cost (the fan-out, assembly and
+    symmetry-check work is avoided entirely).
+    """
+    skeleton_index = -1
     for num_threads in range(1, config.max_threads + 1):
         for skeleton in enumerate_skeletons(config, num_threads):
+            skeleton_index += 1
+            if skeleton_filter is not None and not skeleton_filter(
+                skeleton_index
+            ):
+                continue
             base, _count = _materialize_base(skeleton)
             base_cost = sum(
                 _spec_cost(s, config, num_threads)
@@ -444,10 +467,16 @@ def enumerate_programs(config: SynthesisConfig) -> Iterator[Program]:
             walk_budget = config.bound - base_cost
             if walk_budget < 0:
                 continue
+            fanout_index = -1
             for placed in _insert_remote_invlpgs(base):
                 for flags in _tlb_choice_vectors(
                     placed, walk_budget, config.mcm_mode
                 ):
+                    fanout_index += 1
+                    if fanout_filter is not None and not fanout_filter(
+                        fanout_index
+                    ):
+                        continue
                     program = _assemble(placed, flags, config)
                     if program_cost(program, config) > config.bound:
                         continue
@@ -455,4 +484,11 @@ def enumerate_programs(config: SynthesisConfig) -> Iterator[Program]:
                         program
                     ):
                         continue
-                    yield program
+                    yield (skeleton_index, fanout_index), program
+
+
+def enumerate_programs(config: SynthesisConfig) -> Iterator[Program]:
+    """All well-formed programs within the bound, one per thread-symmetry
+    class (when canonical pruning is on)."""
+    for _order, program in enumerate_programs_with_order(config):
+        yield program

@@ -85,3 +85,40 @@ class TestParser:
     def test_requires_subcommand(self) -> None:
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestOrchestratedSynthesize:
+    def test_jobs2_suite_file_is_byte_identical_to_serial(
+        self, tmp_path, capsys
+    ) -> None:
+        serial_path = tmp_path / "serial.elts"
+        parallel_path = tmp_path / "parallel.elts"
+        base = ["synthesize", "--bound", "4", "--axiom", "sc_per_loc"]
+        assert main(base + ["--save", str(serial_path)]) == 0
+        assert main(base + ["--jobs", "2", "--save", str(parallel_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-shard runtimes" in out
+        assert parallel_path.read_bytes() == serial_path.read_bytes()
+
+    def test_cache_dir_enables_reuse(self, tmp_path, capsys) -> None:
+        cache = tmp_path / "cache"
+        base = [
+            "synthesize",
+            "--bound",
+            "4",
+            "--axiom",
+            "invlpg",
+            "--cache-dir",
+            str(cache),
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "suite_hit=False" in first
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "suite_hit=True" in second
+        assert "1 unique ELTs" in second
+
+    def test_resume_requires_cache_dir(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--bound", "4", "--resume"])
