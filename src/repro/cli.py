@@ -80,6 +80,7 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         max_threads=args.threads,
         mcm_mode=args.mcm,
         time_budget_s=args.budget,
+        witness_backend=args.witness_backend,
     )
     store = _store(args)
     orchestrated = None
@@ -104,6 +105,13 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         f"{stats.runtime_s:.2f}s"
         f"{', TIMED OUT' if stats.timed_out else ''})"
     )
+    if args.witness_backend == "sat":
+        print(
+            f"sat backend: {stats.sat_decisions} decisions, "
+            f"{stats.sat_propagations} propagations, "
+            f"{stats.sat_conflicts} conflicts, "
+            f"{stats.sat_learned_clauses} learned clauses"
+        )
     if orchestrated is not None and (
         orchestrated.shard_results or orchestrated.suite_cache_hit
     ):
@@ -146,7 +154,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         from .reporting import render_sweep_cache_summary
 
         sweep, records = run_sweep_sharded(
-            SynthesisConfig(bound=4, model=x86t_elt()),
+            SynthesisConfig(
+                bound=4, model=x86t_elt(), witness_backend=args.witness_backend
+            ),
             axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
             min_bound=4,
             max_bound=bounds,
@@ -158,7 +168,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(render_sweep_cache_summary(records))
         print()
     else:
-        sweep = fig9_sweep(max_bounds=bounds, time_budget_per_run_s=budget)
+        sweep = fig9_sweep(
+            max_bounds=bounds,
+            time_budget_per_run_s=budget,
+            witness_backend=args.witness_backend,
+        )
     print(render_fig9a(sweep))
     print()
     print(render_fig9b(sweep))
@@ -218,6 +232,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--witness-backend",
+        choices=("explicit", "sat"),
+        default="explicit",
+        help="candidate-execution enumerator: the explicit Python "
+        "enumerator or the relational SAT (Alloy-port) pipeline; both "
+        "yield the same canonical ELT suite (representative witness "
+        "details may differ), and each is byte-reproducible",
+    )
     parser.add_argument(
         "--jobs",
         type=int,

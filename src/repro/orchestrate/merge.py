@@ -73,6 +73,10 @@ def merge_shards(
         stats.executions_enumerated += shard.stats.executions_enumerated
         stats.interesting += shard.stats.interesting
         stats.minimal += shard.stats.minimal
+        stats.sat_decisions += shard.stats.sat_decisions
+        stats.sat_propagations += shard.stats.sat_propagations
+        stats.sat_conflicts += shard.stats.sat_conflicts
+        stats.sat_learned_clauses += shard.stats.sat_learned_clauses
         stats.timed_out = stats.timed_out or shard.stats.timed_out
         for shard_elt in shard.elts:
             report.shard_elts += 1

@@ -42,6 +42,17 @@ class BVar:
 class BNot:
     arg: "BoolNode"
 
+    def __hash__(self) -> int:
+        # Cached: the default dataclass hash recomputes the whole subtree
+        # on every dict lookup, turning hash-consing quadratic on deep
+        # (e.g. closure) circuits.  Child hashes are themselves cached, so
+        # the first call is O(1) amortized over the DAG.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((BNot, self.arg))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __repr__(self) -> str:
         return f"!{self.arg!r}"
 
@@ -50,6 +61,13 @@ class BNot:
 class BAnd:
     args: tuple["BoolNode", ...]
 
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((BAnd, self.args))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __repr__(self) -> str:
         return "(" + " & ".join(repr(a) for a in self.args) + ")"
 
@@ -57,6 +75,13 @@ class BAnd:
 @dataclass(frozen=True)
 class BOr:
     args: tuple["BoolNode", ...]
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((BOr, self.args))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         return "(" + " | ".join(repr(a) for a in self.args) + ")"
@@ -96,8 +121,11 @@ class BoolBuilder:
         return self._intern(BNot(arg))
 
     def and_(self, args: Iterable[BoolNode]) -> BoolNode:
+        # Complement detection tracks negated and plain operands in separate
+        # sets, so no transient BNot node is built per membership test.
         flat: list[BoolNode] = []
-        seen: set[BoolNode] = set()
+        plain: set[BoolNode] = set()
+        negated: set[BoolNode] = set()
         for arg in args:
             if isinstance(arg, BFalse):
                 return FALSE
@@ -105,12 +133,19 @@ class BoolBuilder:
                 continue
             parts = arg.args if isinstance(arg, BAnd) else (arg,)
             for part in parts:
-                complement = part.arg if isinstance(part, BNot) else BNot(part)
-                if complement in seen:
-                    return FALSE
-                if part not in seen:
-                    seen.add(part)
-                    flat.append(part)
+                if isinstance(part, BNot):
+                    base = part.arg
+                    if base in plain:
+                        return FALSE
+                    if base not in negated:
+                        negated.add(base)
+                        flat.append(part)
+                else:
+                    if part in negated:
+                        return FALSE
+                    if part not in plain:
+                        plain.add(part)
+                        flat.append(part)
         if not flat:
             return TRUE
         if len(flat) == 1:
@@ -119,7 +154,8 @@ class BoolBuilder:
 
     def or_(self, args: Iterable[BoolNode]) -> BoolNode:
         flat: list[BoolNode] = []
-        seen: set[BoolNode] = set()
+        plain: set[BoolNode] = set()
+        negated: set[BoolNode] = set()
         for arg in args:
             if isinstance(arg, BTrue):
                 return TRUE
@@ -127,12 +163,19 @@ class BoolBuilder:
                 continue
             parts = arg.args if isinstance(arg, BOr) else (arg,)
             for part in parts:
-                complement = part.arg if isinstance(part, BNot) else BNot(part)
-                if complement in seen:
-                    return TRUE
-                if part not in seen:
-                    seen.add(part)
-                    flat.append(part)
+                if isinstance(part, BNot):
+                    base = part.arg
+                    if base in plain:
+                        return TRUE
+                    if base not in negated:
+                        negated.add(base)
+                        flat.append(part)
+                else:
+                    if part in negated:
+                        return TRUE
+                    if part not in plain:
+                        plain.add(part)
+                        flat.append(part)
         if not flat:
             return FALSE
         if len(flat) == 1:
@@ -145,20 +188,94 @@ class BoolBuilder:
     def iff(self, a: BoolNode, b: BoolNode) -> BoolNode:
         return self.and_([self.implies(a, b), self.implies(b, a)])
 
+    # -- non-flattening binary constructors ----------------------------
+    # ``or_``/``and_`` flatten nested nodes of the same kind, which is the
+    # right default but turns a chain s_i = or(x_i, s_{i-1}) into n nodes
+    # of sizes 1..n — O(n^2) literals once Tseitin-encoded.  The sequential
+    # at-most-one encoding in the translator needs genuinely *nested*
+    # binary nodes so each link stays constant-size; these constructors
+    # provide that while keeping constant folding and interning.
+
+    def or2(self, a: BoolNode, b: BoolNode) -> BoolNode:
+        if isinstance(a, BTrue) or isinstance(b, BTrue):
+            return TRUE
+        if isinstance(a, BFalse):
+            return b
+        if isinstance(b, BFalse):
+            return a
+        if a is b or a == b:
+            return a
+        if (isinstance(a, BNot) and a.arg == b) or (
+            isinstance(b, BNot) and b.arg == a
+        ):
+            return TRUE
+        return self._intern(BOr((a, b)))
+
+    def and2(self, a: BoolNode, b: BoolNode) -> BoolNode:
+        if isinstance(a, BFalse) or isinstance(b, BFalse):
+            return FALSE
+        if isinstance(a, BTrue):
+            return b
+        if isinstance(b, BTrue):
+            return a
+        if a is b or a == b:
+            return a
+        if (isinstance(a, BNot) and a.arg == b) or (
+            isinstance(b, BNot) and b.arg == a
+        ):
+            return FALSE
+        return self._intern(BAnd((a, b)))
+
 
 def evaluate_node(node: BoolNode, assignment: dict[int, bool]) -> bool:
     """Evaluate a circuit under a total SAT assignment (used by tests and by
-    instance extraction)."""
-    if isinstance(node, BTrue):
-        return True
-    if isinstance(node, BFalse):
-        return False
-    if isinstance(node, BVar):
-        return assignment[node.var]
-    if isinstance(node, BNot):
-        return not evaluate_node(node.arg, assignment)
-    if isinstance(node, BAnd):
-        return all(evaluate_node(arg, assignment) for arg in node.args)
-    if isinstance(node, BOr):
-        return any(evaluate_node(arg, assignment) for arg in node.args)
-    raise RelationalError(f"unknown boolean node: {node!r}")
+    instance extraction).
+
+    Iterative with per-node memoization: closure circuits form deep shared
+    DAGs, where naive recursion both overflows the Python stack and
+    re-evaluates shared subcircuits exponentially often.
+    """
+    values: dict[BoolNode, bool] = {}
+    stack: list[BoolNode] = [node]
+    while stack:
+        current = stack[-1]
+        if current in values:
+            stack.pop()
+            continue
+        if isinstance(current, BTrue):
+            values[current] = True
+            stack.pop()
+        elif isinstance(current, BFalse):
+            values[current] = False
+            stack.pop()
+        elif isinstance(current, BVar):
+            values[current] = assignment[current.var]
+            stack.pop()
+        elif isinstance(current, BNot):
+            arg_value = values.get(current.arg)
+            if arg_value is None:
+                stack.append(current.arg)
+            else:
+                values[current] = not arg_value
+                stack.pop()
+        elif isinstance(current, (BAnd, BOr)):
+            shortcut = isinstance(current, BOr)
+            result: bool | None = not shortcut
+            pending: BoolNode | None = None
+            for arg in current.args:
+                arg_value = values.get(arg)
+                if arg_value is None:
+                    if pending is None:
+                        pending = arg
+                elif arg_value == shortcut:
+                    result = shortcut
+                    break
+            if result == shortcut or pending is None:
+                values[current] = bool(result)
+                stack.pop()
+            else:
+                stack.append(pending)
+        else:
+            raise RelationalError(f"unknown boolean node: {current!r}")
+    return values[node]
+

@@ -17,7 +17,7 @@ import math
 from typing import Iterable, Iterator, Optional
 
 from ..errors import RelationalError
-from ..sat import CdclSolver, Cnf
+from ..sat import CdclSolver, Cnf, SolverStats
 from . import ast
 from .boolean import (
     FALSE,
@@ -70,7 +70,11 @@ class Problem:
         if not self.atoms:
             raise RelationalError("universe must contain at least one atom")
         self._bounds: dict[str, RelationBound] = {}
+        self._defs: dict[str, tuple[int, ast.Expr]] = {}
         self._constraints: list[ast.Formula] = []
+        #: Live counters of the solver behind the most recent
+        #: :meth:`solve`/:meth:`iter_instances` call (None before the first).
+        self.last_solver_stats: Optional[SolverStats] = None
 
     # ------------------------------------------------------------------
     # Declaration API
@@ -97,6 +101,31 @@ class Problem:
         self._bounds[name] = bound
         return ast.Rel(name, arity)
 
+    def define(self, name: str, arity: int, expr) -> ast.Rel:
+        """Register a *defined* relation: usable in formulas exactly like a
+        declared one, but compiled by substituting its defining
+        expression's boolean matrix at every use.
+
+        This is the lean alternative to ``declare`` + an equality
+        constraint: no tuple variables are allocated and no two-sided
+        subset circuit is built, which for an n-event universe saves
+        O(n^arity) variables and clauses per derived relation.  Defined
+        relations do not appear in decoded instances (they carry no
+        variables); definitions may reference declared and other defined
+        relations as long as the definition graph is acyclic.
+        """
+        from .ast import _as_expr
+
+        if name in self._bounds or name in self._defs:
+            raise RelationalError(f"relation {name!r} already declared")
+        expr = _as_expr(expr)
+        if expr.arity != arity:
+            raise RelationalError(
+                f"definition of {name!r} has arity {expr.arity}, expected {arity}"
+            )
+        self._defs[name] = (arity, expr)
+        return ast.Rel(name, arity)
+
     def constrain(self, formula: ast.Formula) -> None:
         self._constraints.append(formula)
 
@@ -110,25 +139,29 @@ class Problem:
         return None
 
     def iter_instances(self, limit: Optional[int] = None) -> Iterator[Instance]:
-        """Enumerate satisfying instances, distinct on declared relations."""
+        """Enumerate satisfying instances, distinct on declared relations.
+
+        After each call (and while one is in flight) ``last_solver_stats``
+        holds the live :class:`~repro.sat.SolverStats` of the underlying
+        solver, for benchmarks and the synthesis engine's reporting.
+
+        Blocking clauses negate only the *decision literals* of each model:
+        every Tseitin auxiliary variable is fully defined (by equivalence
+        clauses) in terms of the tuple variables, so each assignment of the
+        declared relations extends to exactly one total model, and blocking
+        that model blocks exactly one instance — with a much shorter clause
+        than one spanning every tuple variable.
+        """
+        if limit is not None and limit <= 0:
+            return
         compiled = _Compilation(self)
         solver = CdclSolver(compiled.cnf)
+        self.last_solver_stats = solver.stats
         count = 0
-        while limit is None or count < limit:
-            result = solver.solve()
-            if not result.satisfiable:
-                return
-            model = result.model
-            assert model is not None
+        for model in solver.iter_solutions():
             yield compiled.decode(model)
             count += 1
-            blocking = [
-                (-var if model.get(var, False) else var)
-                for var in compiled.tuple_vars
-            ]
-            if not blocking:
-                return
-            if not solver.add_clause(blocking):
+            if limit is not None and count >= limit:
                 return
 
 
@@ -150,6 +183,15 @@ class _Compilation:
         self._var_to_entry: dict[int, tuple[str, Tuple_]] = {}
         self.tuple_vars: list[int] = []
         self._tseitin_cache: dict[BoolNode, int] = {}
+        # Compilation memos, keyed on (node identity, the env bindings the
+        # node actually references).  Quantifiers re-compile their body
+        # once per domain atom; subterms that do not mention the bound
+        # variable (guards, fixed relations, whole subformulas) hit these
+        # caches instead of being re-translated for every binding.
+        self._free_vars_cache: dict[int, frozenset[str]] = {}
+        self._expr_cache: dict[tuple, Matrix] = {}
+        self._formula_cache: dict[tuple, BoolNode] = {}
+        self._defs_in_progress: set[str] = set()
 
         for name, bound in problem._bounds.items():
             matrix: Matrix = {}
@@ -171,14 +213,72 @@ class _Compilation:
         self.cnf.add_clause([root_lit])
 
     # ------------------------------------------------------------------
+    # Compilation memoization
+    # ------------------------------------------------------------------
+    def _free_vars(self, node) -> frozenset:
+        """Quantified-variable names a subtree references (cached by node
+        identity; AST nodes stay alive through the constraint list)."""
+        key = id(node)
+        cached = self._free_vars_cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(node, ast.VarRef):
+            out = frozenset((node.name,))
+        elif isinstance(node, (ast.ForAll, ast.Exists)):
+            out = self._free_vars(node.domain) | (
+                self._free_vars(node.body) - frozenset((node.var,))
+            )
+        else:
+            out = frozenset()
+            for value in vars(node).values():
+                if isinstance(value, (ast.Expr, ast.Formula)):
+                    out = out | self._free_vars(value)
+        self._free_vars_cache[key] = out
+        return out
+
+    def _memo_key(self, node, env: dict[str, Atom]) -> tuple:
+        """Cache key: node identity plus the env bindings it actually
+        reads.  A quantifier body that ignores the bound variable (or a
+        guard mentioning none) therefore compiles once, not once per
+        domain atom."""
+        if not env:
+            return (id(node),)
+        free = self._free_vars(node)
+        if not free:
+            return (id(node),)
+        return (id(node),) + tuple(
+            sorted((name, env[name]) for name in free if name in env)
+        )
+
+    # ------------------------------------------------------------------
     # Expression -> matrix
     # ------------------------------------------------------------------
     def _expr(self, expr: ast.Expr, env: dict[str, Atom]) -> Matrix:
+        key = self._memo_key(expr, env)
+        cached = self._expr_cache.get(key)
+        if cached is None:
+            cached = self._expr_raw(expr, env)
+            self._expr_cache[key] = cached
+        return cached
+
+    def _expr_raw(self, expr: ast.Expr, env: dict[str, Atom]) -> Matrix:
         builder = self.builder
         if isinstance(expr, ast.Rel):
-            if expr.name not in self._rel_matrices:
+            matrix = self._rel_matrices.get(expr.name)
+            if matrix is not None:
+                return matrix
+            definition = self.problem._defs.get(expr.name)
+            if definition is None:
                 raise RelationalError(f"relation {expr.name!r} was never declared")
-            return self._rel_matrices[expr.name]
+            if expr.name in self._defs_in_progress:
+                raise RelationalError(f"cyclic definition of relation {expr.name!r}")
+            self._defs_in_progress.add(expr.name)
+            try:
+                matrix = self._expr(definition[1], {})
+            finally:
+                self._defs_in_progress.discard(expr.name)
+            self._rel_matrices[expr.name] = matrix
+            return matrix
         if isinstance(expr, ast.Literal):
             return {t: TRUE for t in expr.value.tuples}
         if isinstance(expr, ast.Iden):
@@ -255,6 +355,14 @@ class _Compilation:
     # Formula -> circuit
     # ------------------------------------------------------------------
     def _formula(self, formula: ast.Formula, env: dict[str, Atom]) -> BoolNode:
+        key = self._memo_key(formula, env)
+        cached = self._formula_cache.get(key)
+        if cached is None:
+            cached = self._formula_raw(formula, env)
+            self._formula_cache[key] = cached
+        return cached
+
+    def _formula_raw(self, formula: ast.Formula, env: dict[str, Atom]) -> BoolNode:
         builder = self.builder
         if isinstance(formula, ast.TrueF):
             return TRUE
@@ -302,15 +410,31 @@ class _Compilation:
             return builder.or_(parts)
         raise RelationalError(f"unknown formula node: {formula!r}")
 
+    #: Above this operand count the pairwise at-most-one encoding's
+    #: O(n^2) clauses lose to the linear sequential encoding.
+    _SEQUENTIAL_AMO_THRESHOLD = 6
+
     def _at_most_one(self, nodes: list[BoolNode]) -> BoolNode:
         builder = self.builder
-        clauses: list[BoolNode] = []
-        for i in range(len(nodes)):
-            for j in range(i + 1, len(nodes)):
-                clauses.append(
-                    builder.or_([builder.not_(nodes[i]), builder.not_(nodes[j])])
-                )
-        return builder.and_(clauses)
+        if len(nodes) <= self._SEQUENTIAL_AMO_THRESHOLD:
+            clauses: list[BoolNode] = []
+            for i in range(len(nodes)):
+                for j in range(i + 1, len(nodes)):
+                    clauses.append(
+                        builder.or_([builder.not_(nodes[i]), builder.not_(nodes[j])])
+                    )
+            return builder.and_(clauses)
+        # Sequential (Sinz-style) encoding, expressed as a pure circuit so
+        # it stays sound under negation: seen_i = x_0 | ... | x_i built as
+        # a chain of *nested* binary ors (or2 does not flatten, keeping
+        # each link constant-size), and the constraint is that no x_i is
+        # true once seen_{i-1} already is.  O(n) nodes instead of O(n^2).
+        parts: list[BoolNode] = []
+        seen = nodes[0]
+        for node in nodes[1:]:
+            parts.append(builder.or2(builder.not_(node), builder.not_(seen)))
+            seen = builder.or2(node, seen)
+        return builder.and_(parts)
 
     def _exactly_one(self, nodes: list[BoolNode]) -> BoolNode:
         return self.builder.and_([self.builder.or_(nodes), self._at_most_one(nodes)])
@@ -319,36 +443,68 @@ class _Compilation:
     # Tseitin CNF conversion
     # ------------------------------------------------------------------
     def _tseitin(self, node: BoolNode) -> int:
-        """Return a literal equisatisfiably representing ``node``."""
-        if isinstance(node, BTrue):
-            if TRUE not in self._tseitin_cache:
-                var = self.cnf.new_var()
-                self.cnf.add_clause([var])
-                self._tseitin_cache[TRUE] = var
-            return self._tseitin_cache[TRUE]
-        if isinstance(node, BFalse):
-            return -self._tseitin(TRUE)
-        if isinstance(node, BVar):
-            return node.var
-        if isinstance(node, BNot):
-            return -self._tseitin(node.arg)
-        cached = self._tseitin_cache.get(node)
-        if cached is not None:
-            return cached
-        arg_lits = [self._tseitin(arg) for arg in node.args]
-        fresh = self.cnf.new_var()
-        if isinstance(node, BAnd):
-            for lit in arg_lits:
-                self.cnf.add_clause([-fresh, lit])
-            self.cnf.add_clause([fresh] + [-lit for lit in arg_lits])
-        elif isinstance(node, BOr):
-            for lit in arg_lits:
-                self.cnf.add_clause([-lit, fresh])
-            self.cnf.add_clause([-fresh] + arg_lits)
-        else:  # pragma: no cover - exhaustive above
-            raise RelationalError(f"unknown boolean node: {node!r}")
-        self._tseitin_cache[node] = fresh
-        return fresh
+        """Return a literal equisatisfiably representing ``node``.
+
+        Iterative with an explicit worklist: closure and sequential
+        at-most-one circuits nest thousands of nodes deep, which would
+        overflow the Python recursion limit.  Gate variables are defined
+        by full equivalences, so every auxiliary variable is a function of
+        the input variables (a property the decision-literal blocking in
+        :meth:`Problem.iter_instances` relies on).
+        """
+        cache = self._tseitin_cache
+        cnf = self.cnf
+
+        def true_lit() -> int:
+            var = cache.get(TRUE)
+            if var is None:
+                var = cnf.new_var()
+                cnf.add_clause_trusted([var])
+                cache[TRUE] = var
+            return var
+
+        def known(n: BoolNode) -> Optional[int]:
+            """The literal for ``n`` if derivable without new gates."""
+            if isinstance(n, BVar):
+                return n.var
+            if isinstance(n, BTrue):
+                return true_lit()
+            if isinstance(n, BFalse):
+                return -true_lit()
+            if isinstance(n, BNot):
+                # The builder collapses double negation, so this recursion
+                # is at most one level deep.
+                inner = known(n.arg)
+                return -inner if inner is not None else None
+            return cache.get(n)
+
+        stack: list[BoolNode] = [node]
+        while stack:
+            current = stack[-1]
+            if known(current) is not None:
+                stack.pop()
+                continue
+            target = current.arg if isinstance(current, BNot) else current
+            if not isinstance(target, (BAnd, BOr)):  # pragma: no cover
+                raise RelationalError(f"unknown boolean node: {target!r}")
+            pending = [arg for arg in target.args if known(arg) is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            arg_lits = [known(arg) for arg in target.args]
+            fresh = cnf.new_var()
+            if isinstance(target, BAnd):
+                for lit in arg_lits:
+                    cnf.add_clause_trusted([-fresh, lit])
+                cnf.add_clause_trusted([fresh] + [-lit for lit in arg_lits])
+            else:
+                for lit in arg_lits:
+                    cnf.add_clause_trusted([-lit, fresh])
+                cnf.add_clause_trusted([-fresh] + arg_lits)
+            cache[target] = fresh
+        result = known(node)
+        assert result is not None
+        return result
 
     # ------------------------------------------------------------------
     # Decoding

@@ -84,18 +84,27 @@ def resolve_sweep_budget(
 def fig9_sweep(
     max_bounds: Optional[Mapping[str, int]] = None,
     time_budget_per_run_s: Optional[float] = None,
+    witness_backend: str = "explicit",
 ) -> SweepResult:
     """Run (or fetch from cache) the Fig 9 per-axiom bound sweep."""
     max_bounds = resolve_max_bounds(max_bounds)
     time_budget_per_run_s = resolve_sweep_budget(time_budget_per_run_s)
-    key = (tuple(sorted(max_bounds.items())), time_budget_per_run_s)
+    key = (
+        tuple(sorted(max_bounds.items())),
+        time_budget_per_run_s,
+        witness_backend,
+    )
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
     sweep = SweepResult()
     for axiom in X86T_ELT_AXIOM_NAMES:
         if axiom not in max_bounds:
             continue
-        base = SynthesisConfig(bound=max_bounds[axiom], model=x86t_elt())
+        base = SynthesisConfig(
+            bound=max_bounds[axiom],
+            model=x86t_elt(),
+            witness_backend=witness_backend,
+        )
         partial = synthesize_sweep(
             base,
             axioms=[axiom],

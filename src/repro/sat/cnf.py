@@ -90,6 +90,17 @@ class Cnf:
         for clause in clauses:
             self.add_clause(clause)
 
+    def add_clause_trusted(self, literals: Sequence[int]) -> None:
+        """Append a clause without validation, deduplication or tautology
+        checks.
+
+        For encoder hot paths (the Tseitin transformation emits millions
+        of clauses that are duplicate- and tautology-free by construction).
+        The caller vouches that every literal is a nonzero int over
+        already-allocated variables; violating that corrupts the formula.
+        """
+        self._clauses.append(tuple(literals))
+
     def extend(self, other: "Cnf") -> None:
         """Append all clauses of ``other`` (variable spaces must be shared)."""
         self._num_vars = max(self._num_vars, other.num_vars)

@@ -1,10 +1,19 @@
 """Model enumeration (AllSAT) on top of the CDCL solver.
 
 ELT synthesis needs *all* models of a bounded encoding, not just one.  The
-standard blocking-clause loop is used: after each model, a clause forbidding
-that model (projected onto the variables of interest) is added and the
-solver is re-run.  Because learned clauses persist across calls, successive
-models get cheaper to find.
+standard blocking-clause loop is used: after each model, a clause
+forbidding that model is added and the solver is re-run.  Because learned
+clauses persist across calls (and the solver's clause-database reduction
+keeps them bounded), successive models get cheaper to find.
+
+Two blocking strategies are used:
+
+* **no projection** — the clause negates only the *decision literals* of
+  the model.  Every propagated literal is forced by the decisions, so the
+  model is the unique total model extending them and the short clause
+  blocks exactly that model;
+* **projection** — the clause negates the model's values on the projected
+  variables, blocking the whole equivalence class in one step.
 """
 
 from __future__ import annotations
@@ -12,20 +21,31 @@ from __future__ import annotations
 from typing import Iterator, Optional, Sequence
 
 from .cnf import Cnf
-from .solver import CdclSolver
+from .solver import CdclSolver, SolverStats
 
 
 def iter_models(
     cnf: Cnf,
     projection: Optional[Sequence[int]] = None,
     limit: Optional[int] = None,
+    stats: Optional[SolverStats] = None,
 ) -> Iterator[dict[int, bool]]:
     """Yield models of ``cnf`` one at a time.
 
-    ``projection`` restricts enumeration to distinct assignments of the given
-    variables (other variables take arbitrary consistent values and models
-    agreeing on the projection are reported once).  ``limit`` bounds the
-    number of models yielded.
+    ``projection`` restricts enumeration to distinct assignments of the
+    given variables (other variables take arbitrary consistent values and
+    models agreeing on the projection are reported once).  ``limit``
+    bounds the number of models yielded.
+
+    Contract: with a projection, each yielded dict maps *exactly the
+    projected variables* to their values (computed once per model — the
+    full assignment is not copied); without one, it maps every variable of
+    the formula.  Either way the dict is freshly allocated and owned by
+    the caller.
+
+    ``stats``, when given, becomes the enumerating solver's live
+    counter object (see :class:`~repro.sat.SolverStats`), letting callers
+    and benchmarks observe decisions/propagations/conflicts.
 
     >>> cnf = Cnf()
     >>> a, b = cnf.new_var(), cnf.new_var()
@@ -33,24 +53,38 @@ def iter_models(
     >>> len(list(iter_models(cnf)))
     3
     """
+    if limit is not None and limit <= 0:
+        return
     solver = CdclSolver(cnf)
-    variables = list(projection) if projection is not None else list(
-        range(1, cnf.num_vars + 1)
-    )
+    if stats is not None:
+        # Fold in the work already done while loading the CNF (level-0
+        # propagation), then make the caller's object the live counter.
+        stats.merge(solver.stats)
+        solver.stats = stats
     count = 0
-    while limit is None or count < limit:
-        result = solver.solve()
-        if not result.satisfiable:
-            return
-        model = result.model
-        assert model is not None
-        yield dict(model)
-        count += 1
-        blocking = [(-var if model.get(var, False) else var) for var in variables]
-        if not blocking:
-            return  # projection empty: a single model class exists
-        if not solver.add_clause(blocking):
-            return
+    if projection is None:
+        # Models come out of the incremental search one per yield; each
+        # dict is freshly allocated, so it is handed over without a copy.
+        for model in solver.iter_solutions():
+            yield model
+            count += 1
+            if limit is not None and count >= limit:
+                return
+    else:
+        variables = list(projection)
+        for var in variables:
+            solver._grow_to(var)
+
+        def blocking(model: dict[int, bool]) -> list[int]:
+            return [
+                (-var if model.get(var, False) else var) for var in variables
+            ]
+
+        for model in solver.iter_solutions(blocking_literals=blocking):
+            yield {var: model.get(var, False) for var in variables}
+            count += 1
+            if limit is not None and count >= limit:
+                return
 
 
 def count_models(cnf: Cnf, projection: Optional[Sequence[int]] = None) -> int:

@@ -53,10 +53,21 @@ class SynthesisConfig:
     canonical_pruning: bool = True
     dirty_bit_as_rmw: bool = False
     time_budget_s: Optional[float] = None
+    #: How candidate executions are enumerated per program: ``"explicit"``
+    #: is the hand-written Python enumerator, ``"sat"`` routes through the
+    #: relational (Alloy-port) encoding and the CDCL solver (§IV-C), which
+    #: also populates the ``sat_*`` counters on :class:`SuiteStats`.  Both
+    #: backends are deterministic and produce the same canonical suites.
+    witness_backend: str = "explicit"
 
     def __post_init__(self) -> None:
         if self.bound < 1:
             raise SynthesisError(f"bound must be positive, got {self.bound}")
+        if self.witness_backend not in ("explicit", "sat"):
+            raise SynthesisError(
+                f"unknown witness backend: {self.witness_backend!r} "
+                "(expected 'explicit' or 'sat')"
+            )
         if self.max_threads < 1:
             raise SynthesisError("max_threads must be at least 1")
         if self.max_vas < 1:

@@ -63,6 +63,20 @@ class SuiteStats:
     unique_programs: int = 0
     runtime_s: float = 0.0
     timed_out: bool = False
+    # CDCL solver counters, populated when witness_backend == "sat"
+    # (summed over every per-program solver; flat ints so shard results
+    # pickle and merge trivially).
+    sat_decisions: int = 0
+    sat_propagations: int = 0
+    sat_conflicts: int = 0
+    sat_learned_clauses: int = 0
+
+    def absorb_solver(self, solver_stats) -> None:
+        """Fold a :class:`~repro.sat.SolverStats` into the suite counters."""
+        self.sat_decisions += solver_stats.decisions
+        self.sat_propagations += solver_stats.propagations
+        self.sat_conflicts += solver_stats.conflicts
+        self.sat_learned_clauses += solver_stats.learned_clauses
 
 
 @dataclass
@@ -114,13 +128,26 @@ def run_pipeline(
     by_key = outcome.by_key
     seen_executions: set = set()
 
+    sat_stats = None
+    if config.witness_backend == "sat":
+        from ..sat import SolverStats
+        from .sat_backend import enumerate_witnesses_sat
+
+        sat_stats = SolverStats()
+
+        def witness_stream(program: Program):
+            return enumerate_witnesses_sat(program, stats=sat_stats)
+
+    else:
+        witness_stream = enumerate_witnesses
+
     for order_key, program in ordered_programs:
         if deadline is not None and time.monotonic() > deadline:
             stats.timed_out = True
             break
         stats.programs_enumerated += 1
         program_key: Optional[ProgramKey] = None
-        for execution in enumerate_witnesses(program):
+        for execution in witness_stream(program):
             stats.executions_enumerated += 1
             if (
                 deadline is not None
@@ -161,6 +188,8 @@ def run_pipeline(
             stats.timed_out = True
             break
 
+    if sat_stats is not None:
+        stats.absorb_solver(sat_stats)
     return outcome
 
 

@@ -13,9 +13,12 @@ encoding, expressed in :mod:`repro.relational` and solved by
   (lone sources, per-location total orders, acyclic PTE value flow);
 * every derived Table I relation (``fr``, ``sloc``, ``po_loc``, ``rfe``,
   ``com``, ``rf_pa``, ``fr_va``, ``fr_pa``, effective physical addresses)
-  is a declared relation constrained *equal* to its defining expression,
-  so a memory model's :meth:`~repro.models.MemoryModel.formula` applies
-  unchanged.
+  is a *defined* relation (:meth:`~repro.relational.Problem.define`): the
+  translator substitutes its defining expression's boolean matrix at
+  every use instead of allocating tuple variables plus an equality
+  constraint, so a memory model's
+  :meth:`~repro.models.MemoryModel.formula` applies unchanged while the
+  encoding stays a fraction of its former size.
 
 The test suite checks this enumerator agrees exactly with the explicit
 Python enumerator (:mod:`repro.synth.witnesses`) — the reproduction's
@@ -230,30 +233,10 @@ class WitnessProblem:
         self.co = p.declare(names.CO, 2, upper=co_upper)
         self.co_pa = p.declare(names.CO_PA, 2, upper=same_target)
 
-        # ---- derived relations (declared + equated) ---------------------
-        self._declare_derived()
+        # ---- derived relations (defined by substitution) ----------------
         self._constrain()
 
     # ------------------------------------------------------------------
-    def _declare_derived(self) -> None:
-        p = self.problem
-        eids = list(self.program.events)
-        pas = [_pa_atom(a) for a in self.program.pas()]
-        ev_pairs = [(a, b) for a in eids for b in eids]
-        ev_pa = [(a, b) for a in eids for b in pas]
-        self.walk_pa = p.declare("walk_pa", 2, upper=ev_pa)
-        self.user_pa = p.declare("user_pa", 2, upper=ev_pa)
-        self.orig = p.declare("orig", 2, upper=ev_pairs)
-        self.rf = p.declare(names.RF, 2, upper=ev_pairs)
-        self.sloc = p.declare(names.SLOC, 2, upper=ev_pairs)
-        self.po_loc = p.declare(names.PO_LOC, 2, upper=ev_pairs)
-        self.fr = p.declare(names.FR, 2, upper=ev_pairs)
-        self.rfe = p.declare(names.RFE, 2, upper=ev_pairs)
-        self.com = p.declare(names.COM, 2, upper=ev_pairs)
-        self.rf_pa = p.declare(names.RF_PA, 2, upper=ev_pairs)
-        self.fr_va = p.declare(names.FR_VA, 2, upper=ev_pairs)
-        self.fr_pa = p.declare(names.FR_PA, 2, upper=ev_pairs)
-
     def _constrain(self) -> None:
         p = self.problem
         events = self.program.events
@@ -275,6 +258,13 @@ class WitnessProblem:
         p.constrain(acyclic(dep))
         dep_star = dep.plus() + Iden()
 
+        # Every derived Table I relation below is *defined*, not declared:
+        # the translator substitutes each defining expression's boolean
+        # matrix at every use, so no tuple variables or equality
+        # constraints are generated for them (the lean Kodkod-style
+        # translation).  A memory model's formula still refers to them by
+        # name, unchanged.
+
         # Effective mapping of each walk / user access.
         sourced_walks = Univ().dot(rf_pte)
         unsourced = self.PtWalk - sourced_walks
@@ -289,35 +279,39 @@ class WitnessProblem:
                 ],
             )
             empty = TupleSet.empty(2)
-            p.constrain(self.user_pa.eq(Literal(fixed_user_pa)))
-            p.constrain(self.walk_pa.eq(Literal(empty)))
-            p.constrain(self.orig.eq(Literal(empty)))
+            self.user_pa = p.define("user_pa", 2, Literal(fixed_user_pa))
+            self.walk_pa = p.define("walk_pa", 2, Literal(empty))
+            self.orig = p.define("orig", 2, Literal(empty))
         else:
             direct = (rf_pte & self.PteWrite.product(self.PtWalk)).t().dot(
                 self.pte_target
             )
             init_part = self.init_pa & unsourced.product(self.PaSet)
-            p.constrain(self.walk_pa.eq(dep_star.dot(direct + init_part)))
-            p.constrain(self.user_pa.eq(self.rf_ptw_rel.t().dot(self.walk_pa)))
+            self.walk_pa = p.define(
+                "walk_pa", 2, dep_star.dot(direct + init_part)
+            )
+            self.user_pa = p.define(
+                "user_pa", 2, self.rf_ptw_rel.t().dot(self.walk_pa)
+            )
             # Mapping origin (the PTE write a walk's value descends from).
             orig_direct = (rf_pte & self.PteWrite.product(self.PtWalk)).t()
-            p.constrain(self.orig.eq(dep_star.dot(orig_direct)))
+            self.orig = p.define("orig", 2, dep_star.dot(orig_direct))
 
         # Same-location: data events sharing an effective PA, or PTE
         # accessors of the same VA.
         data_sloc = self.user_pa.dot(self.user_pa.t()) - Iden()
-        p.constrain(self.sloc.eq(data_sloc + self.same_pte_loc))
-        p.constrain(self.po_loc.eq(self.apo & self.sloc))
+        self.sloc = p.define(names.SLOC, 2, data_sloc + self.same_pte_loc)
+        self.po_loc = p.define(names.PO_LOC, 2, self.apo & self.sloc)
 
         # rf and its derived forms.
-        p.constrain(self.rf.eq(rf_pte + rf_data))
+        self.rf = p.define(names.RF, 2, rf_pte + rf_data)
         p.constrain(subset(rf_data, self.sloc))
-        p.constrain(self.rfe.eq(self.rf & self.ext))
+        self.rfe = p.define(names.RFE, 2, self.rf & self.ext)
         sourced_reads = Univ().dot(self.rf)
         init_reads = self.ReadLike - sourced_reads
         fr_init = init_reads.product(self.WriteLike) & self.sloc
-        p.constrain(self.fr.eq(self.rf.t().dot(co) + fr_init))
-        p.constrain(self.com.eq(self.rf + co + self.fr))
+        self.fr = p.define(names.FR, 2, self.rf.t().dot(co) + fr_init)
+        self.com = p.define(names.COM, 2, self.rf + co + self.fr)
 
         # Coherence: strict per-location total order over write-likes.
         ww = self.WriteLike.product(self.WriteLike)
@@ -337,14 +331,14 @@ class WitnessProblem:
         # rf_pa / fr_va / fr_pa per their Table I definitions.
         user_walk = self.rf_ptw_rel.t()  # user -> its walk
         user_orig = user_walk.dot(self.orig)
-        p.constrain(self.rf_pa.eq(user_orig.t()))
+        self.rf_pa = p.define(names.RF_PA, 2, user_orig.t())
 
         user_source = user_walk.dot(rf_pte.t())  # user -> walk's rf source
         unsourced_users = user_walk.dot(unsourced)
         fr_va_expr = (user_source.dot(co) & self.va_pte) + (
             unsourced_users.product(self.PteWrite) & self.va_pte
         )
-        p.constrain(self.fr_va.eq(fr_va_expr))
+        self.fr_va = p.define(names.FR_VA, 2, fr_va_expr)
 
         pa_target_match = self.user_pa.dot(self.pte_target.t())
         origined = Univ().dot(self.orig.t())  # walks with an origin
@@ -352,7 +346,7 @@ class WitnessProblem:
         fr_pa_expr = (user_orig.dot(co_pa) & pa_target_match) + (
             unorigined_users.product(self.PteWrite) & pa_target_match
         )
-        p.constrain(self.fr_pa.eq(fr_pa_expr))
+        self.fr_pa = p.define(names.FR_PA, 2, fr_pa_expr)
 
     def _same_target_pairs(self) -> list[Pair]:
         events = self.program.events
@@ -376,8 +370,20 @@ class WitnessProblem:
     def constrain_axiom_violated(self, model: MemoryModel, axiom: str) -> None:
         self.problem.constrain(Not(model.axiom(axiom).formula()))
 
+    @property
+    def solver_stats(self):
+        """Live :class:`~repro.sat.SolverStats` of the enumerating solver
+        (None before enumeration starts)."""
+        return self.problem.last_solver_stats
+
     def executions(self, limit: Optional[int] = None) -> Iterator[Execution]:
-        """Decode SAT instances back into Execution objects."""
+        """Decode SAT instances back into Execution objects.
+
+        Enumeration order is deterministic: the CDCL search is fully
+        deterministic, so a given program always yields the same witness
+        sequence — which keeps SAT-backed synthesis byte-identical across
+        runs and ``--jobs`` settings.
+        """
         seen: set[tuple] = set()
         for instance in self.problem.iter_instances():
             witness = self._decode(instance)
@@ -404,15 +410,25 @@ def enumerate_witnesses_sat(
     model: Optional[MemoryModel] = None,
     violated_axiom: Optional[str] = None,
     limit: Optional[int] = None,
+    stats=None,
 ) -> Iterator[Execution]:
     """Enumerate a program's candidate executions through the SAT pipeline.
 
     With ``model`` and ``violated_axiom`` set, only executions violating
     that axiom are produced (the synthesis-interesting subset).
+
+    ``stats``, when given a :class:`~repro.sat.SolverStats`, accumulates
+    this enumeration's solver counters into it (merged when the generator
+    finishes or is closed) — how the synthesis engine aggregates SAT work
+    across every program of a run.
     """
     encoded = WitnessProblem(program)
     if model is not None and violated_axiom is not None:
         encoded.constrain_axiom_violated(model, violated_axiom)
     elif model is not None:
         encoded.constrain_model(model, violated=False)
-    yield from encoded.executions(limit=limit)
+    try:
+        yield from encoded.executions(limit=limit)
+    finally:
+        if stats is not None and encoded.solver_stats is not None:
+            stats.merge(encoded.solver_stats)

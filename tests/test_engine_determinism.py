@@ -74,3 +74,56 @@ class TestRepresentativeExecutions:
     def test_representative_program_matches_key(self) -> None:
         for elt in run("invlpg", 5).elts:
             assert canonical_program_key(elt.program) == elt.key
+
+
+class TestSatWitnessBackend:
+    """The SAT witness backend must be a drop-in for the explicit one:
+    identical canonical suites (the representative execution per class may
+    differ, since the backends enumerate witnesses in different orders),
+    deterministic across runs, solver counters threaded into the stats."""
+
+    def test_backends_produce_canonically_identical_suites(self) -> None:
+        for bound in (4, 5):
+            explicit = run("sc_per_loc", bound)
+            via_sat = synthesize(
+                SynthesisConfig(
+                    bound=bound,
+                    model=x86t_elt(),
+                    target_axiom="sc_per_loc",
+                    witness_backend="sat",
+                )
+            )
+            assert explicit.keys() == via_sat.keys()
+            assert [e.key for e in explicit.elts] == [
+                e.key for e in via_sat.elts
+            ]
+            assert [e.outcome_count for e in explicit.elts] == [
+                e.outcome_count for e in via_sat.elts
+            ]
+
+    def test_sat_backend_is_deterministic_and_counts_work(self) -> None:
+        config = SynthesisConfig(
+            bound=4,
+            model=x86t_elt(),
+            target_axiom="tlb_causality",
+            witness_backend="sat",
+        )
+        first = synthesize(config)
+        second = synthesize(config)
+        assert first.keys() == second.keys()
+        assert first.stats.sat_propagations > 0
+        assert first.stats.sat_propagations == second.stats.sat_propagations
+        assert first.stats.sat_decisions == second.stats.sat_decisions
+
+    def test_explicit_backend_reports_no_sat_work(self) -> None:
+        result = run("sc_per_loc", 4)
+        assert result.stats.sat_propagations == 0
+        assert result.stats.sat_decisions == 0
+
+    def test_unknown_backend_rejected(self) -> None:
+        import pytest
+
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(bound=4, model=x86t_elt(), witness_backend="z3")

@@ -1,0 +1,351 @@
+"""Differential fuzzing of the SAT substrate.
+
+Seeded-random workloads, larger and more adversarial than the hypothesis
+property tests, cross-checking every layer against an independent oracle:
+
+* random CNFs against the brute-force procedures in ``repro.sat.reference``
+  (satisfiability, full and projected model counts, assumption solving);
+* random bounded relational problems cross-checking the Kodkod-style
+  translator against the concrete evaluator in ``repro.relational.eval``
+  (every enumerated instance satisfies the constraints; the instance *set*
+  equals an exhaustive search over all relation assignments);
+* deep-closure / wide-lone instances whose circuits nest far beyond the
+  Python recursion limit, exercising the iterative Tseitin worklist and
+  the iterative circuit evaluator.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from itertools import chain, combinations
+
+from repro.relational import (
+    Iden,
+    Literal,
+    Problem,
+    TupleSet,
+    Univ,
+    acyclic,
+    exists,
+    forall,
+    no,
+    some,
+    subset,
+)
+from repro.relational.eval import eval_formula
+from repro.sat import (
+    CdclSolver,
+    Cnf,
+    SolverStats,
+    brute_force_count,
+    brute_force_models,
+    brute_force_satisfiable,
+    count_models,
+    iter_models,
+    solve_cnf,
+)
+
+# ----------------------------------------------------------------------
+# Random CNFs vs. the brute-force reference
+# ----------------------------------------------------------------------
+
+
+def _random_cnf(rng: random.Random, max_vars: int = 10) -> Cnf:
+    num_vars = rng.randint(1, max_vars)
+    num_clauses = rng.randint(0, 4 * num_vars)
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, min(4, num_vars))
+        variables = rng.sample(range(1, num_vars + 1), width)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    return cnf
+
+
+def test_fuzz_solve_against_brute_force() -> None:
+    rng = random.Random(0xC0FFEE)
+    sat = unsat = 0
+    for _ in range(200):
+        cnf = _random_cnf(rng)
+        expected = brute_force_satisfiable(cnf)
+        result = solve_cnf(cnf)
+        assert result.satisfiable == expected
+        if expected:
+            sat += 1
+            assert cnf.evaluate(result.model)
+        else:
+            unsat += 1
+    # The generator must exercise both outcomes to mean anything.
+    assert sat > 20 and unsat > 20
+
+
+def test_fuzz_model_enumeration_against_brute_force() -> None:
+    rng = random.Random(1234)
+    for _ in range(60):
+        cnf = _random_cnf(rng, max_vars=8)
+        expected = {
+            tuple(sorted(model.items()))
+            for model in brute_force_models(cnf)
+        }
+        stats = SolverStats()
+        seen = set()
+        for model in iter_models(cnf, stats=stats):
+            key = tuple(sorted(model.items()))
+            assert key not in seen, "iter_models produced a duplicate model"
+            seen.add(key)
+        assert seen == expected
+        # The counters hook observes the enumeration's real work.
+        if len(expected) > 1:
+            assert stats.decisions > 0
+
+
+def test_fuzz_projected_enumeration_against_brute_force() -> None:
+    rng = random.Random(99)
+    for _ in range(60):
+        cnf = _random_cnf(rng, max_vars=8)
+        projection = sorted(
+            rng.sample(
+                range(1, cnf.num_vars + 1), rng.randint(1, cnf.num_vars)
+            )
+        )
+        expected = {
+            tuple(model[v] for v in projection)
+            for model in brute_force_models(cnf)
+        }
+        models = list(iter_models(cnf, projection=projection))
+        # Contract: exactly the projected variables, each class once.
+        assert all(sorted(model) == projection for model in models)
+        got = {tuple(model[v] for v in projection) for model in models}
+        assert len(models) == len(got), "a projection class was repeated"
+        assert got == expected
+
+
+def test_fuzz_assumptions_against_unit_clauses() -> None:
+    rng = random.Random(777)
+    for _ in range(80):
+        cnf = _random_cnf(rng, max_vars=9)
+        solver = CdclSolver(cnf)
+        for _round in range(3):
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(
+                    range(1, cnf.num_vars + 1),
+                    rng.randint(0, min(3, cnf.num_vars)),
+                )
+            ]
+            strengthened = Cnf(cnf.num_vars)
+            strengthened.add_clauses(list(cnf.clauses))
+            for lit in assumptions:
+                strengthened.add_clause([lit])
+            expected = brute_force_satisfiable(strengthened)
+            # The incremental solver must agree and stay reusable.
+            assert solver.solve(assumptions=assumptions).satisfiable == expected
+
+
+# ----------------------------------------------------------------------
+# Random relational problems vs. the concrete evaluator
+# ----------------------------------------------------------------------
+
+
+def _powerset(items):
+    items = list(items)
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items) + 1)
+    )
+
+
+def _random_formula(rng: random.Random, rel, unary, atoms, depth: int = 0):
+    """A random formula over a binary relation ``rel`` and unary ``unary``."""
+    leaf_choices = [
+        lambda: subset(rel, rel.dot(rel)),
+        lambda: acyclic(rel),
+        lambda: no(rel & Iden()),
+        lambda: some(rel),
+        lambda: rel.lone(),
+        lambda: rel.one(),
+        lambda: subset(
+            Literal(TupleSet.pairs([(atoms[0], atoms[-1])])), rel
+        ),
+        lambda: some(unary),
+        lambda: forall("x", unary, lambda x: some(rel.dot(x)) if rng.random() < 0.5 else no(x.dot(rel))),
+        lambda: exists("x", Univ(), lambda x: subset(x.product(x), rel)),
+    ]
+    if depth >= 2:
+        return rng.choice(leaf_choices)()
+    roll = rng.random()
+    if roll < 0.25:
+        return _random_formula(rng, rel, unary, atoms, depth + 1).and_(
+            _random_formula(rng, rel, unary, atoms, depth + 1)
+        )
+    if roll < 0.5:
+        return _random_formula(rng, rel, unary, atoms, depth + 1).or_(
+            _random_formula(rng, rel, unary, atoms, depth + 1)
+        )
+    if roll < 0.65:
+        return _random_formula(rng, rel, unary, atoms, depth + 1).not_()
+    return rng.choice(leaf_choices)()
+
+
+def test_fuzz_translator_against_evaluator() -> None:
+    rng = random.Random(0xBEEF)
+    for _case in range(25):
+        atoms = ["a", "b", "c"]
+        pair_universe = [(x, y) for x in atoms for y in atoms]
+        upper = rng.sample(pair_universe, rng.randint(1, 5))
+        lower = [t for t in upper if rng.random() < 0.3]
+        unary_upper = [(x,) for x in rng.sample(atoms, rng.randint(1, 3))]
+
+        def build() -> tuple[Problem, object, object]:
+            problem = Problem(atoms)
+            rel = problem.declare("r", 2, upper=upper, lower=lower)
+            unary = problem.declare("u", 1, upper=unary_upper)
+            return problem, rel, unary
+
+        problem, rel, unary = build()
+        formula_seed = rng.getrandbits(32)
+        formula_rng = random.Random(formula_seed)
+        problem.constrain(
+            _random_formula(formula_rng, rel, unary, atoms)
+        )
+
+        got = set()
+        for instance in problem.iter_instances():
+            key = (
+                frozenset(instance.relation("r").tuples),
+                frozenset(instance.relation("u").tuples),
+            )
+            assert key not in got, "iter_instances repeated an instance"
+            got.add(key)
+            # Every enumerated instance satisfies the constraints per the
+            # independent evaluator.
+            for constraint in problem._constraints:
+                assert eval_formula(constraint, instance)
+
+        # Exhaustive oracle: evaluate the same constraint over every
+        # assignment within bounds.
+        expected = set()
+        free = [t for t in upper if t not in lower]
+        for extra in _powerset(free):
+            r_tuples = frozenset(lower) | frozenset(extra)
+            for u_tuples in _powerset(unary_upper):
+                from repro.relational.instance import Instance
+
+                candidate = Instance(
+                    atoms,
+                    {
+                        "r": TupleSet(2, r_tuples),
+                        "u": TupleSet(1, u_tuples),
+                    },
+                )
+                ok = True
+                for constraint in problem._constraints:
+                    if not eval_formula(constraint, candidate):
+                        ok = False
+                        break
+                if ok:
+                    expected.add(
+                        (frozenset(r_tuples), frozenset(tuple(u_tuples)))
+                    )
+        assert got == expected, f"divergence for formula seed {formula_seed}"
+
+
+def test_fuzz_defined_relations_match_declared_equated() -> None:
+    """`Problem.define` (substitution) must be observationally equivalent
+    to declaring the relation and constraining it equal."""
+    rng = random.Random(4242)
+    atoms = ["a", "b", "c"]
+    pair_universe = [(x, y) for x in atoms for y in atoms]
+    for _case in range(15):
+        upper = rng.sample(pair_universe, rng.randint(2, 6))
+
+        defined = Problem(atoms)
+        r1 = defined.declare("r", 2, upper=upper)
+        d1 = defined.define("d", 2, r1.plus() & Iden())
+        defined.constrain(no(d1))
+
+        declared = Problem(atoms)
+        r2 = declared.declare("r", 2, upper=upper)
+        d2 = declared.declare("d", 2)
+        declared.constrain(d2.eq(r2.plus() & Iden()))
+        declared.constrain(no(d2))
+
+        via_define = {
+            frozenset(i.relation("r").tuples)
+            for i in defined.iter_instances()
+        }
+        via_declare = {
+            frozenset(i.relation("r").tuples)
+            for i in declared.iter_instances()
+        }
+        assert via_define == via_declare
+
+
+def test_define_rejects_cycles_and_duplicates() -> None:
+    import pytest
+
+    from repro.errors import RelationalError
+    from repro.relational.ast import Rel
+
+    problem = Problem(["a", "b"])
+    problem.declare("r", 2)
+    with pytest.raises(RelationalError):
+        problem.define("r", 2, Rel("r", 2))  # name collision
+    problem.define("loop", 2, Rel("loop", 2).dot(Rel("loop", 2)))
+    problem.constrain(some(Rel("loop", 2)))
+    with pytest.raises(RelationalError):
+        problem.solve()  # cyclic definition detected at compile time
+
+
+# ----------------------------------------------------------------------
+# Deep circuits: the iterative Tseitin path
+# ----------------------------------------------------------------------
+
+
+def test_deep_lone_circuit_beyond_recursion_limit() -> None:
+    """A `lone` over a wide relation builds a sequential at-most-one chain
+    nested far deeper than the recursion limit; the iterative Tseitin
+    conversion must compile it without raising RecursionError."""
+    atoms = [f"x{i}" for i in range(36)]  # 36*36 = 1296 nested links
+    problem = Problem(atoms)
+    r = problem.declare("r", 2)
+    problem.constrain(r.lone())
+    limit = sys.getrecursionlimit()
+    instances = list(problem.iter_instances(limit=5))
+    assert len(instances) == 5
+    seen = set()
+    for instance in instances:
+        tuples = frozenset(instance.relation("r").tuples)
+        assert len(tuples) <= 1  # the lone constraint really holds
+        assert tuples not in seen
+        seen.add(tuples)
+    assert sys.getrecursionlimit() == limit
+
+
+def test_wide_lone_exact_model_count() -> None:
+    """Exhaustive counterpart of the deep test at a tractable size: a
+    sequential at-most-one over 144 operands has exactly 145 models."""
+    atoms = [f"x{i}" for i in range(12)]
+    problem = Problem(atoms)
+    r = problem.declare("r", 2)
+    problem.constrain(r.lone())
+    count = sum(1 for _ in problem.iter_instances())
+    assert count == len(atoms) ** 2 + 1  # each singleton, plus empty
+
+
+def test_deep_closure_chain_reachability() -> None:
+    """Transitive closure over a long chain: the closure circuit is deep
+    and widely shared; translator and evaluator must agree."""
+    n = 24
+    atoms = [f"c{i}" for i in range(n)]
+    chain_pairs = [(atoms[i], atoms[i + 1]) for i in range(n - 1)]
+    problem = Problem(atoms)
+    r = problem.declare("r", 2, upper=chain_pairs)
+    # The full chain forces end-to-end reachability; anything less does not.
+    end_to_end = Literal(TupleSet.pairs([(atoms[0], atoms[-1])]))
+    problem.constrain(subset(end_to_end, r.plus()))
+    solutions = list(problem.iter_instances())
+    assert len(solutions) == 1
+    assert solutions[0].relation("r").tuples == frozenset(chain_pairs)
+    for instance in solutions:
+        for constraint in problem._constraints:
+            assert eval_formula(constraint, instance)
