@@ -25,6 +25,10 @@ Subpackages
     Sharded parallel synthesis: deterministic work partitioning, a
     spawn-safe worker pool, serial-equivalent merging, and the persistent
     suite store behind resumable runs (``--jobs``/``--cache-dir``).
+``repro.conformance``
+    Differential conformance: single-pass classification of a bounded
+    candidate space under a model pair, discriminating-ELT synthesis,
+    and the all-pairs conformance matrix (``repro diff``).
 ``repro.reporting``
     ASCII tables/plots and the experiment drivers behind EXPERIMENTS.md.
 """
@@ -53,6 +57,11 @@ def __getattr__(name: str):
         "run_sharded": ("repro.orchestrate", "run_sharded"),
         "run_sweep_sharded": ("repro.orchestrate", "run_sweep_sharded"),
         "SuiteStore": ("repro.orchestrate", "SuiteStore"),
+        "DiffConfig": ("repro.conformance", "DiffConfig"),
+        "diff_models": ("repro.conformance", "diff_models"),
+        "run_diff": ("repro.conformance", "run_diff"),
+        "run_all_pairs": ("repro.conformance", "run_all_pairs"),
+        "ConformanceMatrix": ("repro.conformance", "ConformanceMatrix"),
         "explore_program": ("repro.synth", "explore_program"),
         "format_execution": ("repro.litmus", "format_execution"),
         "parse_elt": ("repro.litmus", "parse_elt"),
@@ -79,6 +88,11 @@ __all__ = [
     "sequential_consistency",
     "SynthesisConfig",
     "synthesize",
+    "DiffConfig",
+    "diff_models",
+    "run_diff",
+    "run_all_pairs",
+    "ConformanceMatrix",
     "explore_program",
     "format_execution",
     "parse_elt",

@@ -5,30 +5,30 @@ Subcommands mirror the framework's workflow:
 * ``synthesize`` — run one per-axiom suite at a bound and print the ELTs;
 * ``sweep``      — the Fig 9 per-axiom bound sweep (counts + runtimes);
 * ``check``      — evaluate an ELT file (machine format) against a model;
-* ``compare``    — the §VI-B comparison against the hand-written suite.
+* ``compare``    — the §VI-B comparison against the hand-written suite;
+* ``diff``       — differential conformance: synthesize the ELTs that
+  *distinguish* a subject model from a reference (the paper's x86t vs
+  AMD-erratum case study), or the whole catalog's conformance matrix
+  with ``--all-pairs``.  Exit status: 0 when the pair(s) are equivalent
+  at the bound, 1 when discriminating tests exist, 2 on usage errors.
 
-``synthesize`` and ``sweep`` scale across cores and invocations through
-the :mod:`repro.orchestrate` subsystem: ``--jobs N`` shards the search
-over N worker processes (the output suite is identical to the serial
-path's, byte for byte), ``--cache-dir`` persists completed shards and
-suites, and ``--resume`` re-runs an interrupted command without redoing
-finished work.
+``synthesize``, ``sweep`` and ``diff`` scale across cores and
+invocations through the :mod:`repro.orchestrate` subsystem: ``--jobs N``
+shards the search over N worker processes (the output suite is identical
+to the serial path's, byte for byte), ``--cache-dir`` persists completed
+shards and suites, and ``--resume`` re-runs an interrupted command
+without redoing finished work.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from .litmus import format_execution, parse_elt
-from .models import (
-    MemoryModel,
-    sequential_consistency,
-    x86t_amd_bug,
-    x86t_elt,
-    x86tso,
-)
+from .models import CATALOG, MemoryModel, x86t_elt
 from .reporting import (
     comparison_corpus,
     fig9_sweep,
@@ -39,12 +39,11 @@ from .reporting import (
 )
 from .synth import SynthesisConfig, synthesize
 
-MODELS = {
-    "x86t_elt": x86t_elt,
-    "x86tso": x86tso,
-    "sc": sequential_consistency,
-    "x86t_amd_bug": x86t_amd_bug,
-}
+MODELS = dict(CATALOG)
+
+#: The smallest bound at which the paper's case study discriminates:
+#: x86t_elt vs x86t_amd_bug yields the fig 11-style stale-read ELT.
+DEFAULT_DIFF_BOUND = 5
 
 
 def _model(name: str) -> MemoryModel:
@@ -52,6 +51,22 @@ def _model(name: str) -> MemoryModel:
         return MODELS[name]()
     except KeyError:
         raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(MODELS)}"
+        )
+
+
+def _usage_error(message: str) -> "SystemExit":
+    """Usage errors exit with status 2 (argparse convention), leaving 1
+    free to mean "discriminating tests exist" for ``diff``."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _diff_model(name: str) -> MemoryModel:
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise _usage_error(
             f"unknown model {name!r}; choose from {sorted(MODELS)}"
         )
 
@@ -210,6 +225,114 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .conformance import DiffConfig, cell_to_json, diff_models, run_diff
+
+    if args.all_pairs and (args.reference or args.subject):
+        raise _usage_error("--all-pairs excludes --reference/--subject")
+    if not args.all_pairs and not (args.reference and args.subject):
+        raise _usage_error(
+            "diff needs --reference and --subject (or --all-pairs)"
+        )
+    if args.all_pairs and args.save:
+        raise _usage_error(
+            "--save applies to a single pair's discriminating suite; "
+            "use --json to capture an --all-pairs run"
+        )
+    # Validate the orchestration arguments here so their failures honor
+    # diff's exit-code contract (2 = usage error); _store's own SystemExit
+    # paths carry string payloads, which exit 1.
+    if args.jobs < 1:
+        raise _usage_error(f"--jobs must be positive, got {args.jobs}")
+    if args.shards is not None and args.shards < 1:
+        raise _usage_error(f"--shards must be positive, got {args.shards}")
+    if args.resume and not args.cache_dir:
+        raise _usage_error("--resume requires --cache-dir")
+    store = _store(args)
+
+    if args.all_pairs:
+        from .conformance import run_all_pairs
+        from .models import catalog_models
+        from .reporting import (
+            render_conformance_matrix,
+            render_pair_cache_summary,
+        )
+
+        models = catalog_models()
+        matrix, records = run_all_pairs(
+            SynthesisConfig(
+                bound=args.bound,
+                model=x86t_elt(),
+                max_threads=args.threads,
+                time_budget_s=args.budget,
+                witness_backend=args.witness_backend,
+            ),
+            models=models,
+            jobs=args.jobs,
+            shard_count=args.shards,
+            store=store,
+        )
+        if args.json:
+            print(json.dumps(matrix.to_json(), indent=2, sort_keys=True))
+        else:
+            print(render_conformance_matrix(matrix, models=models))
+            if store is not None:
+                print()
+                print(render_pair_cache_summary(records))
+            violations = matrix.inclusion_violations(models)
+            if violations:
+                rendered = ", ".join(f"{r}⊑{s}" for r, s in violations)
+                print(f"\nWARNING: axiom-subset inclusions violated: {rendered}")
+        return 1 if matrix.discriminating_total else 0
+
+    reference = _diff_model(args.reference)
+    subject = _diff_model(args.subject)
+    diff = DiffConfig(
+        base=SynthesisConfig(
+            bound=args.bound,
+            model=reference,
+            max_threads=args.threads,
+            time_budget_s=args.budget,
+            witness_backend=args.witness_backend,
+        ),
+        subject=subject,
+    )
+    run_record = None
+    if args.jobs > 1 or args.shards is not None or store is not None:
+        run_record = run_diff(
+            diff, jobs=args.jobs, shard_count=args.shards, store=store
+        )
+        cell = run_record.cell
+    else:
+        cell = diff_models(diff)
+
+    if args.json:
+        print(json.dumps(cell_to_json(cell), indent=2, sort_keys=True))
+    else:
+        from .reporting import render_conformance_cell
+
+        print(render_conformance_cell(cell))
+        if run_record is not None and store is not None:
+            print(
+                f"cache: cell_hit={run_record.cell_cache_hit} "
+                f"shard_hits={run_record.shard_cache_hits} "
+                f"shard_misses={run_record.shard_cache_misses}"
+            )
+        for index, elt in enumerate(cell.elts, start=1):
+            print(
+                f"\n--- discriminating ELT {index} "
+                f"(violates: {', '.join(elt.violated_axioms)}) ---"
+            )
+            print(format_execution(elt.execution, show_derived=args.verbose))
+    if args.save:
+        from .litmus import suite_from_diff
+
+        path = suite_from_diff(cell).save(args.save)
+        if not args.json:
+            print(f"\ndiff suite written to {path}")
+    return 1 if cell.discriminating else 0
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     from .synth import explore_program
 
@@ -296,6 +419,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_orchestration_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential conformance: synthesize the ELTs distinguishing "
+        "a subject model from a reference (exit 1 when any exist)",
+    )
+    diff.add_argument(
+        "--reference",
+        default=None,
+        help="the spec model (forbids the discriminating tests)",
+    )
+    diff.add_argument(
+        "--subject",
+        default=None,
+        help="the model under comparison (permits them)",
+    )
+    diff.add_argument(
+        "--all-pairs",
+        action="store_true",
+        help="run every ordered pair of the model catalog and print the "
+        "conformance matrix",
+    )
+    diff.add_argument(
+        "--bound",
+        type=int,
+        default=DEFAULT_DIFF_BOUND,
+        help=f"instruction bound (default {DEFAULT_DIFF_BOUND}, the "
+        "smallest at which the x86t-vs-AMD-erratum pair discriminates)",
+    )
+    diff.add_argument("--threads", type=int, default=2)
+    diff.add_argument("--budget", type=float, default=None, help="seconds/pair")
+    diff.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (stable schema, version field inside)",
+    )
+    diff.add_argument("--verbose", action="store_true")
+    diff.add_argument("--save", default=None, help="write the discriminating "
+                      "suite as an .elts file (pair mode only)")
+    _add_orchestration_arguments(diff)
+    diff.set_defaults(func=cmd_diff)
 
     check = sub.add_parser("check", help="check an ELT file against a model")
     check.add_argument("file", help="ELT machine-format file, or - for stdin")

@@ -1,0 +1,70 @@
+"""Differential conformance: pairwise model differencing at scale.
+
+The paper's §I/§VII payoff — synthesized ELTs that *distinguish* one
+transistency model from another (the correct x86t spec vs the AMD-
+erratum variant) — as a first-class workload on top of every subsystem
+built so far:
+
+* :class:`DiffConfig` / :func:`diff_models` / :func:`run_diff_pipeline`
+  — the single-pass differential pipeline (one candidate enumeration,
+  both verdicts, shared axiom evaluation, discriminating-ELT suite);
+* :class:`ConformanceCell` / :class:`Refinement` — one pair's
+  Agreement-bucketed counts and refinement verdict at a bound;
+* :func:`run_diff` — sharded, store-cached execution of one pair;
+* :func:`run_all_pairs` / :class:`ConformanceMatrix` — the catalog-wide
+  matrix with axiom-subset consistency obligations;
+* the ``repro diff`` CLI command front-ends all of it.
+"""
+
+from .diff import (
+    ConformanceCell,
+    DiffConfig,
+    DiffOutcome,
+    DiscriminatingElt,
+    Refinement,
+    diff_models,
+    finalize_cell,
+    run_diff_pipeline,
+)
+from .matrix import (
+    ConformanceMatrix,
+    axiom_subset,
+    cell_to_json,
+    expected_refinements,
+)
+from .merge import merge_diff_shards
+from .runner import (
+    DiffRunResult,
+    catalog_pairs,
+    diff_entry_key,
+    diff_identity,
+    run_all_pairs,
+    run_diff,
+)
+from .worker import DiffShardElt, DiffShardResult, DiffShardTask, run_diff_shard
+
+__all__ = [
+    "ConformanceCell",
+    "ConformanceMatrix",
+    "DiffConfig",
+    "DiffOutcome",
+    "DiffRunResult",
+    "DiffShardElt",
+    "DiffShardResult",
+    "DiffShardTask",
+    "DiscriminatingElt",
+    "Refinement",
+    "axiom_subset",
+    "catalog_pairs",
+    "cell_to_json",
+    "diff_entry_key",
+    "diff_identity",
+    "diff_models",
+    "expected_refinements",
+    "finalize_cell",
+    "merge_diff_shards",
+    "run_all_pairs",
+    "run_diff",
+    "run_diff_pipeline",
+    "run_diff_shard",
+]

@@ -1,0 +1,333 @@
+"""The differential synthesis pipeline: one enumeration, two verdicts.
+
+TransForm's headline payoff is *differencing* transistency models:
+synthesized ELTs distinguished the buggy AMD-erratum variant of x86t
+from the correct spec (paper §I, §VII).  This module runs that workload
+over the same bounded skeleton/witness enumeration the synthesis engine
+uses (:func:`repro.synth.run_pipeline`'s stream contract), but instead
+of targeting one axiom it classifies every candidate execution under a
+(reference, subject) model pair in a single pass:
+
+* the candidate enumeration happens **once** per program — the witness
+  stream is shared between the two models, and under the SAT backend the
+  relational translation is built once per program, so the solver
+  attacks each program's candidate problem at most twice (here: exactly
+  once, unconstrained);
+* classification goes through :class:`~repro.models.PairClassifier`,
+  which evaluates each *distinct* axiom once per execution (catalog
+  variants share most of their axioms, so e.g. x86t_elt vs x86t_amd_bug
+  costs five axiom evaluations, not nine);
+* executions *forbidden by the reference but permitted by the subject*
+  that are also §IV-B minimal become the **discriminating ELT suite** —
+  run one on hardware and an observed outcome proves the subject model
+  (not the reference) describes the machine;
+* every witness feeds the :class:`~repro.models.Agreement` counters on
+  :class:`~repro.synth.SuiteStats`, and the canonical keys of both
+  asymmetric buckets are collected for refinement verdicts.
+
+Determinism is stronger than the synthesis engine's: the representative
+execution of each discriminating ELT is chosen by *canonical key* (with
+the serialized text as tie-break), not by stream position, so the
+``.elts`` bytes of a diff suite are identical across ``--jobs`` settings
+AND across witness backends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional, Set, Tuple
+
+from ..errors import SynthesisError
+from ..litmus.format import serialize_elt
+from ..models import Agreement, MemoryModel, PairClassifier
+from ..mtm import Execution, Program
+from ..synth import SuiteStats, SynthesisConfig
+from ..synth.canon import (
+    ExecutionKey,
+    ProgramKey,
+    canonical_execution_key,
+    canonical_program_key,
+)
+from ..synth.engine import OrderKey, witness_stream_factory
+from ..synth.relax import is_minimal
+from ..synth.skeletons import enumerate_programs
+
+
+class Refinement(Enum):
+    """Observed refinement relation of a model pair at one bound.
+
+    ``REFERENCE_STRONGER`` means the reference forbids strictly more than
+    the subject on the enumerated executions — i.e. permitted(reference)
+    ⊊ permitted(subject), the reference *refines* the subject (the "SC ⊑
+    x86-TSO" direction with the stronger model as reference).
+    """
+
+    EQUIVALENT = "equivalent"
+    REFERENCE_STRONGER = "reference-stronger"
+    SUBJECT_STRONGER = "subject-stronger"
+    INCOMPARABLE = "incomparable"
+
+
+@dataclass
+class DiffConfig:
+    """One differential run: the reference model rides in ``base.model``
+    (which also drives enumeration and minimality), ``subject`` is the
+    model compared against it."""
+
+    base: SynthesisConfig
+    subject: MemoryModel
+
+    def __post_init__(self) -> None:
+        if self.base.target_axiom is not None:
+            raise SynthesisError(
+                "differential runs classify the whole candidate space; "
+                "base.target_axiom must be None"
+            )
+
+    @property
+    def reference(self) -> MemoryModel:
+        return self.base.model
+
+    @property
+    def bound(self) -> int:
+        return self.base.bound
+
+
+@dataclass
+class DiscriminatingElt:
+    """One discriminating test: a program class whose candidate set
+    contains a reference-forbidden, subject-permitted, §IV-B-minimal
+    execution.  ``execution`` is the canonical representative (smallest
+    (canonical key, serialized text) among the class winner's minimal
+    discriminating witnesses); ``outcome_count`` counts the class's
+    distinct such witnesses."""
+
+    program: Program
+    execution: Execution
+    key: ProgramKey
+    execution_key: ExecutionKey
+    #: ``serialize_elt(execution)`` — the deterministic tie-break used
+    #: during representative selection, kept because the suite writer
+    #: reuses it.
+    text: str
+    violated_axioms: tuple  # reference axioms the representative violates
+    outcome_count: int = 1
+
+
+@dataclass
+class DiffOutcome:
+    """Raw product of one :func:`run_diff_pipeline` pass (per-shard
+    shape; merged across shards by :mod:`repro.conformance.merge`)."""
+
+    by_key: dict = field(default_factory=dict)
+    order: dict = field(default_factory=dict)
+    stats: SuiteStats = field(default_factory=SuiteStats)
+    #: Canonical keys of every reference-forbidden/subject-permitted
+    #: witness (minimal or not) — the semantic disagreement evidence.
+    reference_only_keys: Set[ExecutionKey] = field(default_factory=set)
+    #: ... and the opposite direction (reference permits, subject forbids).
+    subject_only_keys: Set[ExecutionKey] = field(default_factory=set)
+
+
+def run_diff_pipeline(
+    diff: DiffConfig,
+    ordered_programs: Iterable[Tuple[OrderKey, Program]],
+    deadline: Optional[float] = None,
+) -> DiffOutcome:
+    """Classify every candidate execution of an ordered program stream
+    under (reference, subject); collect the discriminating ELT suite.
+
+    Mirrors :func:`repro.synth.run_pipeline`'s merge contract: entries
+    are keyed by canonical program class, the entry belongs to the class
+    member with the smallest order key, and ``outcome_count``/key sets
+    are class-invariant — so shard results merge to exactly the serial
+    outcome (see :mod:`repro.orchestrate.merge` for the argument).
+    """
+    reference = diff.reference
+    classifier = PairClassifier(reference, diff.subject)
+    outcome = DiffOutcome()
+    stats = outcome.stats
+    by_key = outcome.by_key
+    #: is_minimal is invariant under program/witness isomorphism, so its
+    #: verdict is cached per canonical execution key.
+    minimal_cache: dict = {}
+    #: Minimal discriminating keys already credited to an entry.
+    counted_keys: Set[ExecutionKey] = set()
+
+    witness_stream, sat_stats = witness_stream_factory(diff.base)
+
+    for order_key, program in ordered_programs:
+        if deadline is not None and time.monotonic() > deadline:
+            stats.timed_out = True
+            break
+        stats.programs_enumerated += 1
+        program_key: Optional[ProgramKey] = None
+        for execution in witness_stream(program):
+            stats.executions_enumerated += 1
+            if (
+                deadline is not None
+                and stats.executions_enumerated % 64 == 0
+                and time.monotonic() > deadline
+            ):
+                stats.timed_out = True
+                break
+            agreement = classifier.classify(execution)
+            if agreement is Agreement.BOTH_PERMIT:
+                stats.both_permit += 1
+                continue
+            if agreement is Agreement.BOTH_FORBID:
+                stats.both_forbid += 1
+                continue
+            stats.interesting += 1
+            execution_key = canonical_execution_key(execution)
+            if agreement is Agreement.ONLY_SUBJECT_FORBIDS:
+                stats.only_subject_forbids += 1
+                outcome.subject_only_keys.add(execution_key)
+                continue
+            stats.only_reference_forbids += 1
+            outcome.reference_only_keys.add(execution_key)
+
+            minimal = minimal_cache.get(execution_key)
+            if minimal is None:
+                minimal = is_minimal(execution, reference)
+                minimal_cache[execution_key] = minimal
+            if not minimal:
+                continue
+            if program_key is None:
+                program_key = canonical_program_key(program)
+            entry = by_key.get(program_key)
+            if execution_key not in counted_keys:
+                counted_keys.add(execution_key)
+                stats.minimal += 1
+                if entry is None:
+                    entry = DiscriminatingElt(
+                        program=program,
+                        execution=execution,
+                        key=program_key,
+                        execution_key=execution_key,
+                        text=serialize_elt(execution),
+                        violated_axioms=reference.check(execution).violated,
+                    )
+                    by_key[program_key] = entry
+                    outcome.order[program_key] = order_key
+                    continue
+                entry.outcome_count += 1
+            # Representative selection: only the class winner (the entry's
+            # own program) competes, over ALL its minimal discriminating
+            # witnesses — including canonical-key duplicates, so the min
+            # is a property of the witness *set* and stays identical
+            # across witness backends whose stream orders differ.  The
+            # key decides almost always; serialization is the tie-break.
+            if entry is not None and outcome.order[program_key] == order_key:
+                if execution_key > entry.execution_key:
+                    continue
+                text = serialize_elt(execution)
+                if (execution_key, text) < (entry.execution_key, entry.text):
+                    entry.execution = execution
+                    entry.execution_key = execution_key
+                    entry.text = text
+                    entry.violated_axioms = reference.check(execution).violated
+        if deadline is not None and time.monotonic() > deadline:
+            stats.timed_out = True
+            break
+
+    if sat_stats is not None:
+        stats.absorb_solver(sat_stats)
+    return outcome
+
+
+@dataclass
+class ConformanceCell:
+    """One (reference, subject) pair's differential verdict at a bound:
+    the Agreement-bucketed counts, the discriminating ELT suite, and the
+    canonical-key evidence behind the refinement verdict."""
+
+    reference: str
+    subject: str
+    bound: int
+    elts: list = field(default_factory=list)
+    stats: SuiteStats = field(default_factory=SuiteStats)
+    reference_only_keys: Tuple[ExecutionKey, ...] = ()
+    subject_only_keys: Tuple[ExecutionKey, ...] = ()
+
+    @property
+    def discriminating(self) -> list:
+        """The synthesized distinguishing tests (reference forbids,
+        subject permits, minimal under the reference)."""
+        return self.elts
+
+    @property
+    def count(self) -> int:
+        return len(self.elts)
+
+    def counts(self) -> dict:
+        """Agreement-bucket counts keyed like
+        :meth:`~repro.models.ModelComparison.counts`."""
+        return {
+            Agreement.BOTH_PERMIT.value: self.stats.both_permit,
+            Agreement.BOTH_FORBID.value: self.stats.both_forbid,
+            Agreement.ONLY_REFERENCE_FORBIDS.value: (
+                self.stats.only_reference_forbids
+            ),
+            Agreement.ONLY_SUBJECT_FORBIDS.value: (
+                self.stats.only_subject_forbids
+            ),
+        }
+
+    @property
+    def verdict(self) -> Refinement:
+        ref_only = self.stats.only_reference_forbids > 0
+        sub_only = self.stats.only_subject_forbids > 0
+        if ref_only and sub_only:
+            return Refinement.INCOMPARABLE
+        if ref_only:
+            return Refinement.REFERENCE_STRONGER
+        if sub_only:
+            return Refinement.SUBJECT_STRONGER
+        return Refinement.EQUIVALENT
+
+    @property
+    def equivalent_at_bound(self) -> bool:
+        return self.verdict is Refinement.EQUIVALENT
+
+    def keys(self) -> Set[ProgramKey]:
+        return {elt.key for elt in self.elts}
+
+
+def finalize_cell(
+    diff: DiffConfig, outcome: DiffOutcome, runtime_s: float
+) -> ConformanceCell:
+    """Package a diff outcome as a sorted, counted :class:`ConformanceCell`."""
+    cell = ConformanceCell(
+        reference=diff.reference.name,
+        subject=diff.subject.name,
+        bound=diff.bound,
+        stats=outcome.stats,
+        reference_only_keys=tuple(sorted(outcome.reference_only_keys)),
+        subject_only_keys=tuple(sorted(outcome.subject_only_keys)),
+    )
+    cell.elts = sorted(outcome.by_key.values(), key=lambda e: e.key)
+    outcome.stats.unique_programs = len(cell.elts)
+    outcome.stats.runtime_s = runtime_s
+    return cell
+
+
+def diff_models(diff: DiffConfig) -> ConformanceCell:
+    """Run one differential pass serially (the ``--jobs 1`` path)."""
+    started = time.monotonic()
+    deadline = (
+        None
+        if diff.base.time_budget_s is None
+        else started + diff.base.time_budget_s
+    )
+    outcome = run_diff_pipeline(
+        diff,
+        (
+            ((index,), program)
+            for index, program in enumerate(enumerate_programs(diff.base))
+        ),
+        deadline=deadline,
+    )
+    return finalize_cell(diff, outcome, time.monotonic() - started)

@@ -1,0 +1,67 @@
+"""Cross-shard merging of differential results.
+
+The serial-equivalence argument of :mod:`repro.orchestrate.merge`
+carries over verbatim — canonical execution keys determine canonical
+program classes, order keys are assigned before shard filtering — with
+two diff-specific additions:
+
+* the raw Agreement-bucket counters are per-witness counts over a
+  *partitioned* program stream, so summing shard counters reproduces the
+  serial counts exactly (no cross-shard dedup subtleties);
+* each shard entry's representative execution is the minimum over the
+  class winner's own witness set (see :mod:`.diff`), so taking the entry
+  with the smallest order key reproduces both the serial winner *and*
+  its backend-invariant representative byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..orchestrate.merge import MergeReport
+from ..synth import SuiteStats
+from .diff import ConformanceCell, DiffConfig
+from .worker import DiffShardResult
+
+
+def merge_diff_shards(
+    diff: DiffConfig,
+    shard_results: Iterable[DiffShardResult],
+    runtime_s: float = 0.0,
+) -> Tuple[ConformanceCell, MergeReport]:
+    """Fuse diff shards into one serial-equivalent :class:`ConformanceCell`."""
+    report = MergeReport()
+    stats = SuiteStats()
+    best: dict = {}  # ProgramKey -> DiffShardElt with minimal order
+    reference_only: set = set()
+    subject_only: set = set()
+    for shard in shard_results:
+        report.shard_count += 1
+        report.per_shard.append(shard)
+        stats.absorb(shard.stats)
+        reference_only |= shard.reference_only_keys
+        subject_only |= shard.subject_only_keys
+        for shard_elt in shard.elts:
+            report.shard_elts += 1
+            current = best.get(shard_elt.elt.key)
+            if current is None:
+                best[shard_elt.elt.key] = shard_elt
+            else:
+                report.cross_shard_duplicates += 1
+                if shard_elt.order < current.order:
+                    best[shard_elt.elt.key] = shard_elt
+
+    cell = ConformanceCell(
+        reference=diff.reference.name,
+        subject=diff.subject.name,
+        bound=diff.bound,
+        stats=stats,
+        reference_only_keys=tuple(sorted(reference_only)),
+        subject_only_keys=tuple(sorted(subject_only)),
+    )
+    cell.elts = sorted(
+        (shard_elt.elt for shard_elt in best.values()), key=lambda e: e.key
+    )
+    stats.unique_programs = len(cell.elts)
+    stats.runtime_s = runtime_s
+    return cell, report

@@ -1,0 +1,368 @@
+"""The differential orchestrator: sharded pair runs and the all-pairs
+conformance matrix.
+
+``run_diff`` scales one (reference, subject) differential pass across
+cores exactly like :func:`repro.orchestrate.run_sharded` scales a
+synthesis run: deterministic shard plan, suite-store reuse of finished
+cells and shards, spawn pool (or inline execution), serial-equivalent
+merge.
+
+``run_all_pairs`` fans every ordered pair of a model catalog through one
+worker pool: cells already in the store are loaded, the remaining pairs
+are planned with the pair-aware shard planner
+(:func:`repro.orchestrate.plan_pair_shards` — per-pair strides sized so
+total work units match the pool, since pair-level fan-out already
+parallelizes), every pending (pair, shard) task is submitted up front so
+shards of different pairs interleave freely, and the merged cells land
+in a deterministic :class:`~repro.conformance.matrix.ConformanceMatrix`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, replace
+from multiprocessing import get_context
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SynthesisError
+from ..models import MemoryModel, catalog_models
+from ..orchestrate.merge import MergeReport
+from ..orchestrate.shards import ShardSpec, plan_pair_shards, plan_shards
+from ..orchestrate.store import (
+    KIND_DIFF_CELL,
+    KIND_DIFF_SHARD,
+    SuiteStore,
+    config_identity,
+    identity_key,
+)
+from ..synth import SynthesisConfig
+from .diff import ConformanceCell, DiffConfig
+from .matrix import ConformanceMatrix
+from .merge import merge_diff_shards
+from .worker import DiffShardResult, DiffShardTask, run_diff_shard
+
+Pair = Tuple[str, str]
+
+
+def diff_identity(diff: DiffConfig) -> dict:
+    """The JSON-safe identity of a differential configuration: the base
+    synthesis identity with the model renamed to ``reference`` plus the
+    subject's name and ordered axiom names."""
+    identity = config_identity(diff.base)
+    identity["reference"] = identity.pop("model")
+    identity["reference_axioms"] = identity.pop("axioms")
+    identity["subject"] = diff.subject.name
+    identity["subject_axioms"] = list(diff.subject.axiom_names)
+    return identity
+
+
+def diff_entry_key(
+    diff: DiffConfig, kind: str, spec: Optional[ShardSpec] = None
+) -> str:
+    identity = diff_identity(diff)
+    identity["kind"] = kind
+    if spec is not None:
+        identity["shard"] = asdict(spec)
+    return identity_key(identity)
+
+
+def _load_cell(store: SuiteStore, diff: DiffConfig):
+    return store.get(diff_entry_key(diff, KIND_DIFF_CELL))
+
+
+def _save_cell(store: SuiteStore, diff: DiffConfig, cell: ConformanceCell) -> None:
+    if cell.stats.timed_out:
+        return  # partial work must not satisfy a later complete run
+    store.put(
+        diff_entry_key(diff, KIND_DIFF_CELL),
+        cell,
+        {
+            "kind": KIND_DIFF_CELL,
+            "identity": diff_identity(diff),
+            "discriminating": cell.count,
+            "runtime_s": cell.stats.runtime_s,
+        },
+    )
+
+
+def _load_shard(store: SuiteStore, diff: DiffConfig, spec: ShardSpec):
+    return store.get(diff_entry_key(diff, KIND_DIFF_SHARD, spec))
+
+
+def _save_shard(
+    store: SuiteStore, diff: DiffConfig, spec: ShardSpec, shard: DiffShardResult
+) -> None:
+    if shard.stats.timed_out:
+        return
+    store.put(
+        diff_entry_key(diff, KIND_DIFF_SHARD, spec),
+        shard,
+        {
+            "kind": KIND_DIFF_SHARD,
+            "identity": diff_identity(diff),
+            "shard": asdict(spec),
+            "discriminating": len(shard.elts),
+            "runtime_s": shard.runtime_s,
+        },
+    )
+
+
+@dataclass
+class DiffRunResult:
+    """A merged conformance cell plus per-shard and cache bookkeeping."""
+
+    cell: ConformanceCell
+    report: MergeReport
+    jobs: int
+    shard_specs: List[ShardSpec] = field(default_factory=list)
+    cell_cache_hit: bool = False
+    shard_cache_hits: int = 0
+    shard_cache_misses: int = 0
+
+    @property
+    def shard_results(self) -> List[DiffShardResult]:
+        return self.report.per_shard
+
+
+def _make_executor(jobs: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=jobs, mp_context=get_context("spawn")
+    )
+
+
+def _execute_tasks(
+    tasks: List[DiffShardTask],
+    jobs: int,
+    executor: Optional[Executor] = None,
+) -> List[DiffShardResult]:
+    """Run shard tasks inline (``jobs == 1``) or on a spawn pool,
+    creating and tearing down the pool only when the caller did not
+    share one.  Results come back in task order — the single executor-
+    lifecycle policy behind both :func:`run_diff` and
+    :func:`run_all_pairs`."""
+    own_executor: Optional[ProcessPoolExecutor] = None
+    try:
+        if tasks and jobs > 1 and executor is None:
+            own_executor = _make_executor(jobs)
+        pool = executor if executor is not None else own_executor
+        if pool is None:
+            return [run_diff_shard(task) for task in tasks]
+        futures = [pool.submit(run_diff_shard, task) for task in tasks]
+        return [future.result() for future in futures]
+    finally:
+        if own_executor is not None:
+            own_executor.shutdown()
+
+
+def run_diff(
+    diff: DiffConfig,
+    jobs: int = 1,
+    shard_count: Optional[int] = None,
+    fanout_split: int = 1,
+    store: Optional[SuiteStore] = None,
+    executor: Optional[Executor] = None,
+) -> DiffRunResult:
+    """Run one differential pass across ``jobs`` workers (the diff
+    analogue of :func:`repro.orchestrate.run_sharded`, same caching and
+    executor-sharing semantics)."""
+    if jobs < 1:
+        raise SynthesisError(f"jobs must be positive, got {jobs}")
+    started = time.monotonic()
+
+    if store is not None:
+        cached = _load_cell(store, diff)
+        if cached is not None:
+            report = MergeReport(shard_count=0, shard_elts=cached.count)
+            return DiffRunResult(
+                cell=cached, report=report, jobs=jobs, cell_cache_hit=True
+            )
+
+    specs = plan_shards(jobs, shard_count=shard_count, fanout_split=fanout_split)
+    wall_deadline = (
+        None
+        if diff.base.time_budget_s is None
+        else time.time() + diff.base.time_budget_s
+    )
+    # Shards carry their own deadline; see repro.orchestrate.runner.
+    shard_diff = replace(diff, base=replace(diff.base, time_budget_s=None))
+
+    shard_results: List[Optional[DiffShardResult]] = [None] * len(specs)
+    pending: List[Tuple[int, DiffShardTask]] = []
+    hits = misses = 0
+    for index, spec in enumerate(specs):
+        cached_shard = _load_shard(store, shard_diff, spec) if store else None
+        if cached_shard is not None:
+            shard_results[index] = cached_shard
+            hits += 1
+        else:
+            if store is not None:
+                misses += 1
+            pending.append(
+                (index, DiffShardTask(shard_diff, spec, wall_deadline))
+            )
+
+    executed = _execute_tasks(
+        [task for _index, task in pending], jobs, executor=executor
+    )
+    for (index, _task), shard in zip(pending, executed):
+        shard_results[index] = shard
+
+    completed = [shard for shard in shard_results if shard is not None]
+    if store is not None:
+        for index, task in pending:
+            shard = shard_results[index]
+            if shard is not None:
+                _save_shard(store, shard_diff, shard.spec, shard)
+
+    runtime_s = time.monotonic() - started
+    cell, report = merge_diff_shards(diff, completed, runtime_s=runtime_s)
+    if store is not None:
+        _save_cell(store, diff, cell)
+    return DiffRunResult(
+        cell=cell,
+        report=report,
+        jobs=jobs,
+        shard_specs=list(specs),
+        shard_cache_hits=hits,
+        shard_cache_misses=misses,
+    )
+
+
+def catalog_pairs(models: Mapping[str, MemoryModel]) -> List[Pair]:
+    """Every ordered (reference, subject) pair, in catalog order."""
+    names = list(models)
+    return [(r, s) for r in names for s in names if r != s]
+
+
+def run_all_pairs(
+    base: SynthesisConfig,
+    models: Optional[Mapping[str, MemoryModel]] = None,
+    jobs: int = 1,
+    shard_count: Optional[int] = None,
+    fanout_split: int = 1,
+    store: Optional[SuiteStore] = None,
+    pairs: Optional[List[Pair]] = None,
+) -> Tuple[ConformanceMatrix, List[DiffRunResult]]:
+    """Differential conformance over every ordered pair of a catalog.
+
+    ``base`` supplies the enumeration knobs (bound, thread/VA caps,
+    witness backend, per-pair time budget); its ``model`` field is
+    replaced by each pair's reference.  Returns the matrix plus per-pair
+    run records in pair order.  With a ``store``, finished cells and
+    shards are reused, making an interrupted ``--all-pairs`` run
+    resumable by rerunning the same command.
+    """
+    if jobs < 1:
+        raise SynthesisError(f"jobs must be positive, got {jobs}")
+    if models is None:
+        models = catalog_models()
+    if pairs is None:
+        pairs = catalog_pairs(models)
+    if not pairs:
+        raise SynthesisError("all-pairs run needs at least one model pair")
+
+    diffs: Dict[Pair, DiffConfig] = {
+        (ref, sub): DiffConfig(
+            base=replace(base, model=models[ref]), subject=models[sub]
+        )
+        for ref, sub in pairs
+    }
+
+    results: Dict[Pair, DiffRunResult] = {}
+    remaining = list(pairs)
+    if store is not None:
+        for pair in pairs:
+            cached = _load_cell(store, diffs[pair])
+            if cached is not None:
+                report = MergeReport(shard_count=0, shard_elts=cached.count)
+                results[pair] = DiffRunResult(
+                    cell=cached, report=report, jobs=jobs, cell_cache_hit=True
+                )
+        remaining = [pair for pair in pairs if pair not in results]
+
+    if remaining:
+        specs = plan_pair_shards(
+            jobs,
+            len(remaining),
+            shard_count=shard_count,
+            fanout_split=fanout_split,
+        )
+        shard_results: Dict[Pair, List[Optional[DiffShardResult]]] = {
+            pair: [None] * len(specs) for pair in remaining
+        }
+        hits: Dict[Pair, int] = {pair: 0 for pair in remaining}
+        misses: Dict[Pair, int] = {pair: 0 for pair in remaining}
+        started: Dict[Pair, float] = {}
+        shard_diffs: Dict[Pair, DiffConfig] = {}
+        pending: List[Tuple[Pair, int, DiffShardTask]] = []
+        pending_by_pair: Dict[Pair, List[int]] = {
+            pair: [] for pair in remaining
+        }
+        for pair in remaining:
+            started[pair] = time.monotonic()
+            diff = diffs[pair]
+            wall_deadline = (
+                None
+                if diff.base.time_budget_s is None
+                else time.time() + diff.base.time_budget_s
+            )
+            shard_diff = replace(
+                diff, base=replace(diff.base, time_budget_s=None)
+            )
+            shard_diffs[pair] = shard_diff
+            for index, spec in enumerate(specs):
+                cached_shard = (
+                    _load_shard(store, shard_diff, spec) if store else None
+                )
+                if cached_shard is not None:
+                    shard_results[pair][index] = cached_shard
+                    hits[pair] += 1
+                else:
+                    if store is not None:
+                        misses[pair] += 1
+                    pending.append(
+                        (
+                            pair,
+                            index,
+                            DiffShardTask(shard_diff, spec, wall_deadline),
+                        )
+                    )
+                    pending_by_pair[pair].append(index)
+
+        executed = _execute_tasks(
+            [task for _pair, _index, task in pending], jobs
+        )
+        for (pair, index, _task), shard in zip(pending, executed):
+            shard_results[pair][index] = shard
+
+        for pair in remaining:
+            diff = diffs[pair]
+            completed = [s for s in shard_results[pair] if s is not None]
+            if store is not None:
+                for index in pending_by_pair[pair]:
+                    shard = shard_results[pair][index]
+                    if shard is not None:
+                        _save_shard(
+                            store, shard_diffs[pair], shard.spec, shard
+                        )
+            cell, report = merge_diff_shards(
+                diff, completed, runtime_s=time.monotonic() - started[pair]
+            )
+            if store is not None:
+                _save_cell(store, diff, cell)
+            results[pair] = DiffRunResult(
+                cell=cell,
+                report=report,
+                jobs=jobs,
+                shard_specs=list(specs),
+                shard_cache_hits=hits[pair],
+                shard_cache_misses=misses[pair],
+            )
+
+    matrix = ConformanceMatrix(
+        models=tuple(models), bound=base.bound
+    )
+    for pair in pairs:
+        matrix.cells[pair] = results[pair].cell
+    return matrix, [results[pair] for pair in pairs]

@@ -1,0 +1,86 @@
+"""Spawn-safe differential shard execution.
+
+The differential analogue of :mod:`repro.orchestrate.worker`: a worker
+process receives a pickled :class:`DiffShardTask` (diff config + shard
+spec + wall-clock deadline), runs the shared single-pass diff pipeline
+over the shard's slice of the program stream, and returns a
+:class:`DiffShardResult` carrying every discriminating ELT with its
+enumeration order key plus the raw bucket counters and asymmetric key
+sets — everything the merge layer needs to reconstruct the serial cell.
+
+Everything here is a module-level function/dataclass so it pickles under
+the ``spawn`` start method; deadlines travel as wall-clock timestamps
+and are converted to each worker's monotonic clock on arrival.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from ..orchestrate.shards import ShardSpec, shard_programs
+from ..synth import SuiteStats
+from .diff import DiffConfig, DiscriminatingElt, run_diff_pipeline
+
+
+@dataclass(frozen=True)
+class DiffShardTask:
+    """One unit of differential work shipped to a worker process."""
+
+    diff: DiffConfig
+    spec: ShardSpec
+    #: Absolute wall-clock deadline (``time.time()``), or None.
+    wall_deadline: Optional[float] = None
+
+
+@dataclass
+class DiffShardElt:
+    """A shard-local discriminating ELT plus the global enumeration order
+    key of the program that produced it."""
+
+    order: tuple
+    elt: DiscriminatingElt
+
+
+@dataclass
+class DiffShardResult:
+    spec: ShardSpec
+    elts: list = field(default_factory=list)
+    stats: SuiteStats = field(default_factory=SuiteStats)
+    reference_only_keys: Set[tuple] = field(default_factory=set)
+    subject_only_keys: Set[tuple] = field(default_factory=set)
+    runtime_s: float = 0.0
+
+    @property
+    def timed_out(self) -> bool:
+        return self.stats.timed_out
+
+
+def run_diff_shard(task: DiffShardTask) -> DiffShardResult:
+    """Execute one differential shard (in-process or in a worker)."""
+    started = time.monotonic()
+    deadline = None
+    if task.wall_deadline is not None:
+        deadline = started + max(0.0, task.wall_deadline - time.time())
+    outcome = run_diff_pipeline(
+        task.diff,
+        shard_programs(task.diff.base, task.spec),
+        deadline=deadline,
+    )
+    elts = [
+        DiffShardElt(order=outcome.order[key], elt=elt)
+        for key, elt in outcome.by_key.items()
+    ]
+    elts.sort(key=lambda shard_elt: shard_elt.order)
+    result = DiffShardResult(
+        spec=task.spec,
+        elts=elts,
+        stats=outcome.stats,
+        reference_only_keys=outcome.reference_only_keys,
+        subject_only_keys=outcome.subject_only_keys,
+    )
+    result.stats.unique_programs = len(elts)
+    result.runtime_s = time.monotonic() - started
+    result.stats.runtime_s = result.runtime_s
+    return result

@@ -13,7 +13,7 @@ from .compare import (
 from .figures import ALL_FIGURES, PaperExample
 from .format import format_execution, format_program, serialize_elt
 from .parser import parse_elt
-from .suitefile import EltSuite, SuiteEntry, suite_from_synthesis
+from .suitefile import EltSuite, SuiteEntry, suite_from_diff, suite_from_synthesis
 
 __all__ = [
     "ALL_FIGURES",
@@ -34,5 +34,6 @@ __all__ = [
     "parse_elt",
     "EltSuite",
     "SuiteEntry",
+    "suite_from_diff",
     "suite_from_synthesis",
 ]

@@ -159,6 +159,35 @@ class EltSuite:
         return cls.loads(Path(path).read_text())
 
 
+def suite_from_diff(cell, prefix: str = "diff") -> EltSuite:
+    """Package a :class:`~repro.conformance.ConformanceCell`'s
+    discriminating ELTs as a persistable suite.
+
+    Each entry carries the model pair in its metadata (``reference`` is
+    the model that forbids the test, ``subject`` the model that permits
+    it — observing the test's outcome on hardware proves the subject
+    describes the machine), plus the reference axioms the representative
+    execution violates.  Because the diff pipeline picks representatives
+    by canonical key rather than stream position, the serialized bytes
+    are identical across ``--jobs`` settings *and* witness backends.
+    """
+    suite = EltSuite()
+    for index, elt in enumerate(cell.elts, start=1):
+        suite.add(
+            f"{prefix}_{index:03d}",
+            elt.execution,
+            meta={
+                "reference": cell.reference,
+                "subject": cell.subject,
+                "violates": ",".join(elt.violated_axioms),
+                "bound": str(cell.bound),
+                "agreement": "only-reference-forbids",
+                "outcomes": str(elt.outcome_count),
+            },
+        )
+    return suite
+
+
 def suite_from_synthesis(result, prefix: str = "elt") -> EltSuite:
     """Package a :class:`~repro.synth.SuiteResult` as a persistable suite."""
     suite = EltSuite()

@@ -10,6 +10,7 @@ Public surface:
 
 from .base import Axiom, MemoryModel, Verdict
 from .catalog import (
+    CATALOG,
     CAUSALITY,
     INVLPG,
     RMW_ATOMICITY,
@@ -17,6 +18,7 @@ from .catalog import (
     SC_PER_LOC,
     TLB_CAUSALITY,
     X86T_ELT_AXIOM_NAMES,
+    catalog_models,
     sc_t,
     sequential_consistency,
     x86t_amd_bug,
@@ -26,6 +28,7 @@ from .catalog import (
 from .compare import (
     Agreement,
     ModelComparison,
+    PairClassifier,
     compare_models,
     discriminating_elts,
 )
@@ -48,6 +51,8 @@ __all__ = [
     "TLB_CAUSALITY",
     "SC_ORDER",
     "X86T_ELT_AXIOM_NAMES",
+    "CATALOG",
+    "catalog_models",
     "sequential_consistency",
     "x86tso",
     "x86t_elt",
@@ -55,6 +60,7 @@ __all__ = [
     "sc_t",
     "Agreement",
     "ModelComparison",
+    "PairClassifier",
     "compare_models",
     "discriminating_elts",
     "CycleExplanation",

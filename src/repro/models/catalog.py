@@ -8,9 +8,46 @@ with (§I, [4]): INVLPG fails to invalidate the designated TLB entries, so
 stale-mapping reads after a remap become observable — captured by dropping
 the ``invlpg`` axiom.  ELTs forbidden by ``x86t_elt`` but permitted by
 ``x86t_amd_bug`` are exactly the tests that expose the bug.
+
+What each entry specifies
+-------------------------
+
+============== ============================================ =====================
+entry          axioms                                       models
+============== ============================================ =====================
+sc             sc_order, rmw_atomicity                      Lamport SC over *all*
+                                                            memory events (user
+                                                            + ghosts); no VM
+                                                            ordering guarantees
+x86tso         sc_per_loc, rmw_atomicity, causality         the x86-TSO
+                                                            consistency
+                                                            predicate (§II-A)
+x86t_elt       x86tso + invlpg, tlb_causality               the paper's estimated
+                                                            Intel x86 MTM (§V-A)
+x86t_amd_bug   x86t_elt − invlpg                            hardware whose INVLPG
+                                                            fails to invalidate
+                                                            TLB entries (AMD
+                                                            erratum, §I)
+sc_t           sc + sc_per_loc, invlpg, tlb_causality       an SC-based MTM: the
+                                                            same VM axioms over a
+                                                            stronger consistency
+                                                            base ("arbitrary
+                                                            MTMs")
+============== ============================================ =====================
+
+Axiom-set inclusions imply semantic refinement: when one entry's axioms
+are a superset of another's, every execution the smaller model forbids
+the larger forbids too (e.g. x86t_elt refines both x86tso and
+x86t_amd_bug).  The differential engine (:mod:`repro.conformance`) checks
+the synthesized conformance matrix against exactly these inclusions.
+
+:data:`CATALOG` is the ordered registry the all-pairs conformance driver
+and the CLI iterate over.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
 
 from . import axioms
 from .base import Axiom, MemoryModel
@@ -79,6 +116,22 @@ def sc_t() -> MemoryModel:
     return sequential_consistency().extended(
         "sc_t", [SC_PER_LOC, INVLPG, TLB_CAUSALITY]
     )
+
+
+#: The catalog as an ordered name -> factory registry (insertion order is
+#: the canonical model order for all-pairs drivers, reports and the CLI).
+CATALOG: Mapping[str, Callable[[], MemoryModel]] = {
+    "sc": sequential_consistency,
+    "x86tso": x86tso,
+    "x86t_elt": x86t_elt,
+    "x86t_amd_bug": x86t_amd_bug,
+    "sc_t": sc_t,
+}
+
+
+def catalog_models() -> Dict[str, MemoryModel]:
+    """Instantiate every catalog entry, in canonical order."""
+    return {name: make() for name, make in CATALOG.items()}
 
 
 #: The five x86t_elt axioms in the order the paper's Fig 9 reports them.

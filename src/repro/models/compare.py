@@ -7,16 +7,24 @@ the discriminating tests: observing one on hardware proves the subject
 model (not the reference) describes the machine — exactly how synthesized
 ELTs "inform system designers about the software-visible effects of VM
 implementations" (paper §I).
+
+:class:`PairClassifier` is the single-pass engine behind the comparison:
+it deduplicates the two models' axioms (catalog variants are built from
+the *same* :class:`~repro.models.base.Axiom` constants, so e.g. x86t_elt
+and x86t_amd_bug share four of their combined nine axioms) and evaluates
+each distinct axiom at most once per execution.  The differential
+synthesis pipeline (:mod:`repro.conformance`) runs it over every
+candidate execution of a bounded enumeration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable
+from typing import Iterable, List, Optional, Tuple
 
 from ..mtm import Execution
-from .base import MemoryModel
+from .base import Axiom, MemoryModel
 
 
 class Agreement(Enum):
@@ -51,6 +59,77 @@ class ModelComparison:
         )
 
 
+class PairClassifier:
+    """Single-pass verdict-pair classification under two models.
+
+    The two models' axioms are merged into one slot list, deduplicated by
+    (name, predicate): an axiom appearing in both models — the common case
+    for catalog variants, which are built by adding/removing axioms from a
+    shared base — occupies one slot and is evaluated once per execution.
+    Evaluation is lazy and memoized per execution, so the usual all-true /
+    first-false short-circuit of :meth:`MemoryModel.permits` is preserved
+    wherever slots are not shared.
+    """
+
+    def __init__(self, reference: MemoryModel, subject: MemoryModel) -> None:
+        self.reference = reference
+        self.subject = subject
+        self._axioms: List[Axiom] = []
+        slot_of: dict = {}
+        self._reference_slots: List[int] = []
+        self._subject_slots: List[int] = []
+        for model, slots in (
+            (reference, self._reference_slots),
+            (subject, self._subject_slots),
+        ):
+            for axiom in model.axioms:
+                identity = (axiom.name, axiom.predicate)
+                index = slot_of.get(identity)
+                if index is None:
+                    index = len(self._axioms)
+                    slot_of[identity] = index
+                    self._axioms.append(axiom)
+                slots.append(index)
+
+    @property
+    def shared_axiom_count(self) -> int:
+        """How many axiom slots the two models share."""
+        return (
+            len(self._reference_slots)
+            + len(self._subject_slots)
+            - len(self._axioms)
+        )
+
+    def verdicts(self, execution: Execution) -> Tuple[bool, bool]:
+        """(reference permits, subject permits) with shared evaluation."""
+        cache: List[Optional[bool]] = [None] * len(self._axioms)
+
+        def holds(index: int) -> bool:
+            result = cache[index]
+            if result is None:
+                result = self._axioms[index].holds(execution)
+                cache[index] = result
+            return result
+
+        ref_permits = all(holds(i) for i in self._reference_slots)
+        sub_permits = all(holds(i) for i in self._subject_slots)
+        return ref_permits, sub_permits
+
+    def classify(self, execution: Execution) -> Agreement:
+        ref_permits, sub_permits = self.verdicts(execution)
+        if ref_permits:
+            return (
+                Agreement.BOTH_PERMIT
+                if sub_permits
+                else Agreement.ONLY_SUBJECT_FORBIDS
+            )
+        return (
+            Agreement.ONLY_REFERENCE_FORBIDS
+            if sub_permits
+            else Agreement.BOTH_FORBID
+        )
+
+
 def compare_models(
     reference: MemoryModel,
     subject: MemoryModel,
@@ -58,18 +137,9 @@ def compare_models(
 ) -> ModelComparison:
     """Bucket executions by the verdict pair (reference, subject)."""
     comparison = ModelComparison(reference.name, subject.name)
+    classifier = PairClassifier(reference, subject)
     for execution in executions:
-        ref_permits = reference.permits(execution)
-        sub_permits = subject.permits(execution)
-        if ref_permits and sub_permits:
-            bucket = Agreement.BOTH_PERMIT
-        elif not ref_permits and not sub_permits:
-            bucket = Agreement.BOTH_FORBID
-        elif not ref_permits and sub_permits:
-            bucket = Agreement.ONLY_REFERENCE_FORBIDS
-        else:
-            bucket = Agreement.ONLY_SUBJECT_FORBIDS
-        comparison.buckets[bucket].append(execution)
+        comparison.buckets[classifier.classify(execution)].append(execution)
     return comparison
 
 

@@ -18,21 +18,27 @@ from .runner import OrchestratedResult, run_sharded, run_sweep_sharded
 from .shards import (
     DEFAULT_OVERSUBSCRIPTION,
     ShardSpec,
+    plan_pair_shards,
     plan_shards,
     shard_programs,
 )
 from .store import (
+    KIND_DIFF_CELL,
+    KIND_DIFF_SHARD,
     KIND_SHARD,
     KIND_SUITE,
     SCHEMA_VERSION,
     SuiteStore,
     config_identity,
     entry_key,
+    identity_key,
 )
 from .worker import ShardElt, ShardResult, ShardTask, run_shard
 
 __all__ = [
     "DEFAULT_OVERSUBSCRIPTION",
+    "KIND_DIFF_CELL",
+    "KIND_DIFF_SHARD",
     "KIND_SHARD",
     "KIND_SUITE",
     "MergeReport",
@@ -45,7 +51,9 @@ __all__ = [
     "SuiteStore",
     "config_identity",
     "entry_key",
+    "identity_key",
     "merge_shards",
+    "plan_pair_shards",
     "plan_shards",
     "run_shard",
     "run_sharded",

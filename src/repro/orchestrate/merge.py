@@ -69,15 +69,7 @@ def merge_shards(
     for shard in shard_results:
         report.shard_count += 1
         report.per_shard.append(shard)
-        stats.programs_enumerated += shard.stats.programs_enumerated
-        stats.executions_enumerated += shard.stats.executions_enumerated
-        stats.interesting += shard.stats.interesting
-        stats.minimal += shard.stats.minimal
-        stats.sat_decisions += shard.stats.sat_decisions
-        stats.sat_propagations += shard.stats.sat_propagations
-        stats.sat_conflicts += shard.stats.sat_conflicts
-        stats.sat_learned_clauses += shard.stats.sat_learned_clauses
-        stats.timed_out = stats.timed_out or shard.stats.timed_out
+        stats.absorb(shard.stats)
         for shard_elt in shard.elts:
             report.shard_elts += 1
             current = best.get(shard_elt.elt.key)

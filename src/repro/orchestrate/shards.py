@@ -105,6 +105,34 @@ def plan_shards(
     ]
 
 
+def plan_pair_shards(
+    jobs: int,
+    pair_count: int,
+    shard_count: int | None = None,
+    fanout_split: int = 1,
+) -> list[ShardSpec]:
+    """Plan the per-pair work units of an all-pairs conformance run.
+
+    With ``pair_count`` model pairs each running the same bounded
+    enumeration, pair-level fan-out already provides most of the
+    parallelism; splitting every pair into the full single-run shard plan
+    would flood the pool with tiny tasks.  The planner therefore sizes
+    the per-pair stride so that *total* work units across all pairs land
+    near the usual ``jobs × DEFAULT_OVERSUBSCRIPTION`` target.  An
+    explicit ``shard_count`` overrides the heuristic (every pair uses the
+    same stride, keeping merges deterministic).
+    """
+    if pair_count < 1:
+        raise SynthesisError(f"pair_count must be positive, got {pair_count}")
+    if shard_count is None:
+        if jobs == 1:
+            shard_count = 1
+        else:
+            target = jobs * DEFAULT_OVERSUBSCRIPTION
+            shard_count = max(1, -(-target // pair_count))  # ceil division
+    return plan_shards(jobs, shard_count=shard_count, fanout_split=fanout_split)
+
+
 def shard_programs(
     config: SynthesisConfig, spec: ShardSpec
 ) -> Iterator[tuple[tuple[int, int], Program]]:

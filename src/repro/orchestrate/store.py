@@ -49,6 +49,12 @@ SCHEMA_VERSION = 1
 
 KIND_SHARD = "shard"
 KIND_SUITE = "suite"
+# Differential-conformance entries (payloads produced by
+# repro.conformance: DiffShardResult and ConformanceCell).  Their
+# identity dicts additionally carry the subject model; see
+# repro.conformance.runner.diff_identity.
+KIND_DIFF_SHARD = "diff-shard"
+KIND_DIFF_CELL = "diff-cell"
 
 
 def config_identity(config: SynthesisConfig) -> dict[str, Any]:
@@ -70,6 +76,14 @@ def config_identity(config: SynthesisConfig) -> dict[str, Any]:
     return identity
 
 
+def identity_key(identity: dict[str, Any]) -> str:
+    """Content-address an arbitrary JSON-safe identity dict (the raw
+    primitive behind :func:`entry_key`; conformance entries build their
+    own identity dicts and hash them through this)."""
+    rendered = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()[:32]
+
+
 def entry_key(
     config: SynthesisConfig,
     kind: str,
@@ -79,8 +93,7 @@ def entry_key(
     identity["kind"] = kind
     if spec is not None:
         identity["shard"] = asdict(spec)
-    rendered = json.dumps(identity, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()[:32]
+    return identity_key(identity)
 
 
 @dataclass

@@ -13,6 +13,13 @@ from .experiments import (
     run_coatcheck_comparison,
     tlb_causality_attribution,
 )
+from .conformance import (
+    amd_bug_case_study,
+    render_amd_bug_report,
+    render_conformance_cell,
+    render_conformance_matrix,
+    render_pair_cache_summary,
+)
 from .figures import render_log_plot
 from .orchestration import render_shard_runtimes, render_sweep_cache_summary
 from .tables import render_series_table, render_table
@@ -23,6 +30,11 @@ __all__ = [
     "render_log_plot",
     "render_shard_runtimes",
     "render_sweep_cache_summary",
+    "amd_bug_case_study",
+    "render_amd_bug_report",
+    "render_conformance_cell",
+    "render_conformance_matrix",
+    "render_pair_cache_summary",
     "fig9_sweep",
     "render_fig9a",
     "render_fig9b",

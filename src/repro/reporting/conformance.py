@@ -1,0 +1,202 @@
+"""Reporting for differential conformance runs.
+
+Renders one pair's :class:`~repro.conformance.ConformanceCell`, the
+all-pairs :class:`~repro.conformance.ConformanceMatrix`, and the
+paper-style x86t-vs-AMD-erratum comparison (§I, §VII: the synthesized
+ELTs that distinguish the correct x86t spec from hardware whose INVLPG
+fails to invalidate TLB entries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tables import render_table
+
+#: Grid symbols for the refinement verdicts (legend printed under the
+#: matrix): the reference row is compared against the subject column.
+VERDICT_SYMBOLS = {
+    "equivalent": "=",
+    "reference-stronger": "<",  # reference permits strictly less
+    "subject-stronger": ">",
+    "incomparable": "#",
+}
+
+
+def render_conformance_cell(cell, title: str = "") -> str:
+    """Agreement-bucket counts plus the refinement verdict for one pair."""
+    counts = cell.counts()
+    table = render_table(
+        ["agreement", "executions"],
+        sorted(counts.items()),
+        title=title
+        or (
+            f"conformance: {cell.reference} (reference) vs "
+            f"{cell.subject} (subject) @ bound {cell.bound}"
+        ),
+    )
+    stats = cell.stats
+    lines = [
+        table,
+        (
+            f"verdict: {cell.verdict.value}; "
+            f"{cell.count} discriminating ELT(s) "
+            f"({stats.programs_enumerated} programs, "
+            f"{stats.executions_enumerated} executions, "
+            f"{stats.runtime_s:.2f}s"
+            f"{', TIMED OUT' if stats.timed_out else ''})"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_conformance_matrix(matrix, models: Optional[dict] = None) -> str:
+    """The verdict grid plus the per-pair detail table.
+
+    With ``models`` (name -> :class:`~repro.models.MemoryModel`), pairs
+    whose axiom sets promise refinement are annotated, tying the observed
+    matrix back to the catalog's syntactic inclusions.
+    """
+    names = list(matrix.models)
+    grid_rows = []
+    for ref in names:
+        row: list = [ref]
+        for sub in names:
+            if ref == sub:
+                row.append(".")
+            elif (ref, sub) in matrix.cells:
+                row.append(VERDICT_SYMBOLS[matrix.verdict(ref, sub).value])
+            else:
+                row.append("?")
+        grid_rows.append(row)
+    grid = render_table(
+        ["ref \\ sub"] + names,
+        grid_rows,
+        title=f"conformance matrix @ bound {matrix.bound}",
+    )
+    legend = (
+        "legend: < reference stronger (permits strictly less), "
+        "> subject stronger, = equivalent at this bound, # incomparable"
+    )
+
+    expected = set()
+    if models is not None:
+        from ..conformance import expected_refinements
+
+        expected = set(expected_refinements(models))
+    detail_rows = []
+    for ref, sub in matrix.pairs():
+        cell = matrix.cells[(ref, sub)]
+        counts = cell.counts()
+        detail_rows.append(
+            (
+                ref,
+                sub,
+                counts["both-permit"],
+                counts["both-forbid"],
+                counts["only-reference-forbids"],
+                counts["only-subject-forbids"],
+                cell.count,
+                cell.verdict.value
+                + (" (axiom subset)" if (ref, sub) in expected else ""),
+            )
+        )
+    detail = render_table(
+        [
+            "reference",
+            "subject",
+            "both permit",
+            "both forbid",
+            "only ref forbids",
+            "only sub forbids",
+            "disc. ELTs",
+            "verdict",
+        ],
+        detail_rows,
+    )
+    parts = [grid, legend, "", detail]
+    parts.append(
+        f"\ndiscriminating ELTs across all pairs: {matrix.discriminating_total}"
+    )
+    return "\n".join(parts)
+
+
+def amd_bug_case_study(
+    bound: int = 5, witness_backend: str = "explicit"
+):
+    """Run the paper's differencing case study — x86t_elt (reference)
+    vs x86t_amd_bug (subject) — and return its cell.  Bound 5 is the
+    smallest at which the fig 11-style stale-read ELT fits; render with
+    :func:`render_amd_bug_report`."""
+    from ..conformance import DiffConfig, diff_models
+    from ..models import x86t_amd_bug, x86t_elt
+    from ..synth import SynthesisConfig
+
+    return diff_models(
+        DiffConfig(
+            base=SynthesisConfig(
+                bound=bound,
+                model=x86t_elt(),
+                witness_backend=witness_backend,
+            ),
+            subject=x86t_amd_bug(),
+        )
+    )
+
+
+def render_amd_bug_report(cell) -> str:
+    """The paper's x86t-vs-AMD-erratum comparison (§I, §VII) as a table:
+    how the synthesized candidate space splits between the correct
+    x86t_elt spec and the invlpg-dropping bug model, and which ELTs
+    expose the bug."""
+    counts = cell.counts()
+    rows = [
+        ("both models agree (permit)", counts["both-permit"]),
+        ("both models agree (forbid)", counts["both-forbid"]),
+        (
+            f"forbidden by {cell.reference}, observable on buggy hw",
+            counts["only-reference-forbids"],
+        ),
+        (
+            f"forbidden only by {cell.subject}",
+            counts["only-subject-forbids"],
+        ),
+        ("distinguishing ELTs (minimal, unique)", cell.count),
+    ]
+    table = render_table(
+        ["outcome class", "count"],
+        rows,
+        title=(
+            f"{cell.reference} vs {cell.subject} @ bound {cell.bound} — "
+            "the AMD-erratum differencing case study"
+        ),
+    )
+    detail = "\n".join(
+        f"  ELT {index}: violates {', '.join(elt.violated_axioms)} "
+        f"({elt.outcome_count} distinct outcome(s))"
+        for index, elt in enumerate(cell.elts, start=1)
+    )
+    if detail:
+        table = f"{table}\n{detail}"
+    return table
+
+
+def render_pair_cache_summary(records) -> str:
+    """One row per pair of an all-pairs run: where its cell came from."""
+    rows = []
+    for record in records:
+        rows.append(
+            (
+                record.cell.reference,
+                record.cell.subject,
+                record.cell.count,
+                "cache" if record.cell_cache_hit else "computed",
+                f"{record.cell.stats.runtime_s:.3f}",
+                "yes" if record.cell.stats.timed_out else "",
+            )
+        )
+    return render_table(
+        ["reference", "subject", "disc. ELTs", "source", "runtime_s", "timed_out"],
+        rows,
+        title="all-pairs run (resume/cache summary)",
+    )

@@ -30,6 +30,7 @@ from .engine import (
     run_pipeline,
     synthesize,
     synthesize_sweep,
+    witness_stream_factory,
 )
 from .relax import (
     is_minimal,
@@ -63,6 +64,7 @@ __all__ = [
     "PipelineOutcome",
     "run_pipeline",
     "finalize_result",
+    "witness_stream_factory",
     "enumerate_programs",
     "enumerate_programs_with_order",
     "enumerate_skeletons",

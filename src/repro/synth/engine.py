@@ -70,6 +70,39 @@ class SuiteStats:
     sat_propagations: int = 0
     sat_conflicts: int = 0
     sat_learned_clauses: int = 0
+    # Per-pair verdict counters, populated by differential conformance
+    # runs (:mod:`repro.conformance`): how many enumerated candidate
+    # executions landed in each (reference, subject) agreement bucket.
+    # Raw per-witness counts — programs partition across shards, so shard
+    # sums equal the serial counts exactly.
+    both_permit: int = 0
+    both_forbid: int = 0
+    only_reference_forbids: int = 0
+    only_subject_forbids: int = 0
+
+    #: The additive counters summed by :meth:`absorb` (cross-shard
+    #: merging); ``timed_out`` ors, ``unique_programs``/``runtime_s`` are
+    #: the merger's responsibility.
+    SUMMED_FIELDS = (
+        "programs_enumerated",
+        "executions_enumerated",
+        "interesting",
+        "minimal",
+        "sat_decisions",
+        "sat_propagations",
+        "sat_conflicts",
+        "sat_learned_clauses",
+        "both_permit",
+        "both_forbid",
+        "only_reference_forbids",
+        "only_subject_forbids",
+    )
+
+    def absorb(self, other: "SuiteStats") -> None:
+        """Fold another stats record into this one (shard merging)."""
+        for name in self.SUMMED_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.timed_out = self.timed_out or other.timed_out
 
     def absorb_solver(self, solver_stats) -> None:
         """Fold a :class:`~repro.sat.SolverStats` into the suite counters."""
@@ -107,6 +140,32 @@ class PipelineOutcome:
     stats: SuiteStats = field(default_factory=SuiteStats)
 
 
+def witness_stream_factory(config: SynthesisConfig):
+    """The candidate-execution enumerator selected by
+    ``config.witness_backend``.
+
+    Returns ``(stream, sat_stats)``: ``stream`` maps a
+    :class:`~repro.mtm.Program` to its witness iterator; ``sat_stats`` is
+    the :class:`~repro.sat.SolverStats` the SAT backend accumulates into
+    across every program (``None`` for the explicit backend — fold it
+    into a :class:`SuiteStats` via :meth:`SuiteStats.absorb_solver` when
+    the run finishes).  Shared by the synthesis pipeline and the
+    differential conformance pipeline (:mod:`repro.conformance`), so both
+    workloads enumerate candidates identically.
+    """
+    if config.witness_backend == "sat":
+        from ..sat import SolverStats
+        from .sat_backend import enumerate_witnesses_sat
+
+        sat_stats = SolverStats()
+
+        def witness_stream(program: Program):
+            return enumerate_witnesses_sat(program, stats=sat_stats)
+
+        return witness_stream, sat_stats
+    return enumerate_witnesses, None
+
+
 def run_pipeline(
     config: SynthesisConfig,
     ordered_programs: Iterable[tuple[OrderKey, Program]],
@@ -128,18 +187,7 @@ def run_pipeline(
     by_key = outcome.by_key
     seen_executions: set = set()
 
-    sat_stats = None
-    if config.witness_backend == "sat":
-        from ..sat import SolverStats
-        from .sat_backend import enumerate_witnesses_sat
-
-        sat_stats = SolverStats()
-
-        def witness_stream(program: Program):
-            return enumerate_witnesses_sat(program, stats=sat_stats)
-
-    else:
-        witness_stream = enumerate_witnesses
+    witness_stream, sat_stats = witness_stream_factory(config)
 
     for order_key, program in ordered_programs:
         if deadline is not None and time.monotonic() > deadline:

@@ -411,6 +411,7 @@ def enumerate_witnesses_sat(
     violated_axiom: Optional[str] = None,
     limit: Optional[int] = None,
     stats=None,
+    problem: Optional[WitnessProblem] = None,
 ) -> Iterator[Execution]:
     """Enumerate a program's candidate executions through the SAT pipeline.
 
@@ -421,8 +422,21 @@ def enumerate_witnesses_sat(
     this enumeration's solver counters into it (merged when the generator
     finishes or is closed) — how the synthesis engine aggregates SAT work
     across every program of a run.
+
+    ``problem`` supplies a prebuilt :class:`WitnessProblem` for the same
+    program, for callers that need both the encoding object (bounds
+    inspection, solver stats) and its enumeration without translating
+    twice.  A reused problem must not have been constrained by a
+    previous model query (constraints accumulate on the underlying
+    :class:`~repro.relational.Problem`).
+
+    Note the differential pipeline (:mod:`repro.conformance`) does not
+    need this hook: it shares the translation between the two models by
+    posing a *single* unconstrained query per program and classifying
+    the decoded witnesses concretely, so each program is translated and
+    solved once — already within its "at most twice" budget.
     """
-    encoded = WitnessProblem(program)
+    encoded = problem if problem is not None else WitnessProblem(program)
     if model is not None and violated_axiom is not None:
         encoded.constrain_axiom_violated(model, violated_axiom)
     elif model is not None:

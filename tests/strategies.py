@@ -4,13 +4,29 @@ The generator mirrors the legality rules the builder enforces (TLB hits
 only on live entries, remap IPI fan-out to every core, one dirty-bit ghost
 per write), so every drawn program is well-formed by construction and the
 property tests exercise the *semantics*, not input validation.
+
+Strategy menu:
+
+* :func:`programs` — whole well-formed transistency ``Program``\\ s (user
+  accesses, RMWs, spurious INVLPGs, PTE writes with remap IPI fan-out,
+  optional fences);
+* :func:`vm_programs` — programs guaranteed to exercise the VM
+  vocabulary (at least one PTE write), the interesting inputs for
+  model-differencing properties;
+* :func:`executions` — a random candidate execution of a random program;
+* :func:`witness_lists` — a program together with a prefix of its
+  candidate-execution enumeration (shared inputs for metamorphic
+  comparisons);
+* :func:`catalog_model_names` / :func:`catalog_model_pairs` — models
+  drawn from the catalog, for properties quantified over model pairs.
 """
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
-from repro.mtm import Event, Execution, Program, ProgramBuilder
+from repro.models import CATALOG
+from repro.mtm import Event, EventKind, Execution, Program, ProgramBuilder
 
 VAS = ("x", "y")
 INITIAL = {"x": "pa_x", "y": "pa_y"}
@@ -35,6 +51,7 @@ def programs(
     max_events: int = 8,
     mcm: bool = False,
     allow_vm: bool = True,
+    allow_fences: bool = False,
 ) -> Program:
     num_threads = draw(st.integers(min_value=1, max_value=max_threads))
     builder = ProgramBuilder(initial_map=dict(INITIAL), mcm_mode=mcm)
@@ -44,6 +61,8 @@ def programs(
     budget = max_events
 
     ops = ["r", "w"]
+    if allow_fences:
+        ops.append("fence")
     if not mcm:
         ops.append("rmw")
         if allow_vm:
@@ -74,6 +93,8 @@ def programs(
             read, _write = thread.rmw(va, walk=walk)
             if not mcm and not hit:
                 live[(tid, va)] = builder.walk_of(read)
+        elif op == "fence":
+            thread.fence()
         elif op == "inv":
             # Spurious INVLPG: only useful surrounded by accesses, but
             # structurally legal anywhere.
@@ -106,16 +127,83 @@ def programs(
 
 
 @st.composite
-def executions(draw, **program_kwargs) -> Execution:
-    """A random candidate execution: random program, random witness."""
+def vm_programs(draw, max_threads: int = 2, max_events: int = 8) -> Program:
+    """A well-formed transistency program guaranteed to exercise the VM
+    vocabulary: at least one PTE write (with its remap IPI fan-out) rides
+    alongside whatever :func:`programs` drew.  These are the inputs where
+    model differencing is interesting — catalog entries only disagree
+    through translation-visible behavior."""
+    program = draw(
+        programs(max_threads=max_threads, max_events=max(2, max_events - 3))
+    )
+    if any(
+        e.kind is EventKind.PTE_WRITE for e in program.events.values()
+    ):
+        return program
+    # Rebuild with a remap appended to a drawn thread (builders are
+    # single-shot, so replay the original threads' user instructions;
+    # RMW pairs replay as plain read+write, TLB hits re-walk — both stay
+    # well-formed, which is all these inputs promise).
+    builder = ProgramBuilder(initial_map=dict(INITIAL))
+    threads = [builder.thread() for _ in range(len(program.threads))]
+    for thread, eids in zip(threads, program.threads):
+        for eid in eids:
+            event = program.events[eid]
+            if event.kind is EventKind.READ:
+                thread.read(event.va)
+            elif event.kind is EventKind.WRITE:
+                thread.write(event.va)
+            elif event.kind is EventKind.INVLPG:
+                thread.invlpg(event.va)
+            elif event.kind is EventKind.FENCE:
+                thread.fence()
+    target_thread = threads[draw(st.integers(0, len(threads) - 1))]
+    wpte = target_thread.pte_write(
+        draw(st.sampled_from(VAS)), "pa_fresh"
+    )
+    for other in threads:
+        if other is not target_thread:
+            other.invlpg_for(wpte)
+    return builder.build()
+
+
+def catalog_model_names() -> st.SearchStrategy:
+    """A model name drawn from the catalog, in catalog order."""
+    return st.sampled_from(list(CATALOG))
+
+
+@st.composite
+def catalog_model_pairs(draw, distinct: bool = True):
+    """An ordered (reference, subject) pair of instantiated catalog
+    models."""
+    names = list(CATALOG)
+    ref = draw(st.sampled_from(names))
+    pool = [n for n in names if n != ref] if distinct else names
+    sub = draw(st.sampled_from(pool))
+    return CATALOG[ref](), CATALOG[sub]()
+
+
+@st.composite
+def witness_lists(
+    draw, max_witnesses: int = 40, **program_kwargs
+) -> tuple[Program, list[Execution]]:
+    """A program plus a prefix of its candidate-execution enumeration —
+    the shared input shape for metamorphic comparison properties."""
     from repro.synth import enumerate_witnesses
 
     program = draw(programs(**program_kwargs))
     witnesses = []
     for index, witness in enumerate(enumerate_witnesses(program)):
         witnesses.append(witness)
-        if index >= 40:
+        if index + 1 >= max_witnesses:
             break
+    return program, witnesses
+
+
+@st.composite
+def executions(draw, **program_kwargs) -> Execution:
+    """A random candidate execution: random program, random witness."""
+    _program, witnesses = draw(witness_lists(**program_kwargs))
     if not witnesses:  # pragma: no cover - every valid program has some
-        return Execution(program)
+        return Execution(_program)
     return draw(st.sampled_from(witnesses))

@@ -1,0 +1,135 @@
+"""Differential fuzzing of the shared-translation diff path.
+
+The diff pipeline classifies each candidate execution once through
+:class:`~repro.models.PairClassifier` (shared axiom evaluation, shared
+witness enumeration, canonical-key bookkeeping).  The oracle here is the
+naive loop: enumerate the same witnesses and call each model's
+``permits`` independently per execution.  On randomly generated
+well-formed programs, both must agree on every bucket count and on the
+asymmetric canonical-key sets — any divergence means the sharing
+machinery changed semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.conformance import DiffConfig, run_diff_pipeline
+from repro.models import catalog_models
+from repro.synth import (
+    SynthesisConfig,
+    canonical_execution_key,
+    enumerate_witnesses,
+)
+
+from .strategies import catalog_model_pairs, programs, vm_programs
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def naive_buckets(reference, subject, witnesses):
+    """The oracle: independent ``permits`` calls per execution."""
+    counts = {
+        "both_permit": 0,
+        "both_forbid": 0,
+        "only_reference_forbids": 0,
+        "only_subject_forbids": 0,
+    }
+    reference_only = set()
+    subject_only = set()
+    for execution in witnesses:
+        ref_permits = reference.permits(execution)
+        sub_permits = subject.permits(execution)
+        if ref_permits and sub_permits:
+            counts["both_permit"] += 1
+        elif not ref_permits and not sub_permits:
+            counts["both_forbid"] += 1
+        elif sub_permits:
+            counts["only_reference_forbids"] += 1
+            reference_only.add(canonical_execution_key(execution))
+        else:
+            counts["only_subject_forbids"] += 1
+            subject_only.add(canonical_execution_key(execution))
+    return counts, reference_only, subject_only
+
+
+def assert_diff_matches_naive(reference, subject, program) -> None:
+    witnesses = list(enumerate_witnesses(program))
+    counts, reference_only, subject_only = naive_buckets(
+        reference, subject, witnesses
+    )
+    diff = DiffConfig(
+        base=SynthesisConfig(bound=max(1, program.size), model=reference),
+        subject=subject,
+    )
+    outcome = run_diff_pipeline(diff, [((0,), program)])
+    stats = outcome.stats
+    assert stats.executions_enumerated == len(witnesses)
+    assert stats.both_permit == counts["both_permit"]
+    assert stats.both_forbid == counts["both_forbid"]
+    assert stats.only_reference_forbids == counts["only_reference_forbids"]
+    assert stats.only_subject_forbids == counts["only_subject_forbids"]
+    assert outcome.reference_only_keys == reference_only
+    assert outcome.subject_only_keys == subject_only
+    # Every discriminating ELT is evidence from the asymmetric bucket.
+    for elt in outcome.by_key.values():
+        assert elt.execution_key in reference_only
+        assert reference.forbids(elt.execution)
+        assert subject.permits(elt.execution)
+
+
+@settings(**SETTINGS)
+@given(pair=catalog_model_pairs(), program=programs())
+def test_diff_pipeline_matches_naive_loop(pair, program) -> None:
+    reference, subject = pair
+    assert_diff_matches_naive(reference, subject, program)
+
+
+@settings(**SETTINGS)
+@given(pair=catalog_model_pairs(), program=vm_programs())
+def test_diff_pipeline_matches_naive_loop_on_vm_programs(
+    pair, program
+) -> None:
+    reference, subject = pair
+    assert_diff_matches_naive(reference, subject, program)
+
+
+def test_diff_pipeline_matches_naive_on_full_bound_enumeration() -> None:
+    """One deterministic end-to-end cross-check at a whole bound: every
+    (reference, subject) catalog pair over the complete bound-4 candidate
+    space."""
+    from repro.synth import enumerate_programs
+
+    models = catalog_models()
+    base = SynthesisConfig(bound=4, model=models["x86t_elt"])
+    all_programs = list(enumerate_programs(base))
+    witnesses = [
+        w for program in all_programs for w in enumerate_witnesses(program)
+    ]
+    for ref_name, reference in models.items():
+        for sub_name, subject in models.items():
+            if ref_name == sub_name:
+                continue
+            counts, reference_only, subject_only = naive_buckets(
+                reference, subject, witnesses
+            )
+            diff = DiffConfig(
+                base=SynthesisConfig(bound=4, model=reference),
+                subject=subject,
+            )
+            outcome = run_diff_pipeline(
+                diff,
+                (((index,), p) for index, p in enumerate(all_programs)),
+            )
+            assert outcome.stats.both_permit == counts["both_permit"]
+            assert outcome.stats.both_forbid == counts["both_forbid"]
+            assert (
+                outcome.stats.only_reference_forbids
+                == counts["only_reference_forbids"]
+            )
+            assert (
+                outcome.stats.only_subject_forbids
+                == counts["only_subject_forbids"]
+            )
+            assert outcome.reference_only_keys == reference_only
+            assert outcome.subject_only_keys == subject_only

@@ -1,0 +1,165 @@
+"""Golden-digest regression tests for synthesized suites.
+
+Each entry pins the SHA-256 of the canonical ``.elts`` text for one
+(model, target axiom, bound, witness backend) at CI-fast bounds.  The
+point is to freeze the *artifact*: a refactor that silently changes the
+synthesized suite — different ELT set, different representative
+witnesses, different ordering, different serialization — fails here even
+if every behavioral test still passes.
+
+What the digests encode:
+
+* **jobs invariance** — sharded runs must reproduce the serial bytes,
+  so one digest covers every ``--jobs``/``--shards`` plan (asserted
+  explicitly against a 4-shard run);
+* **backend agreement** — the explicit and SAT enumerators produce the
+  same canonical ELT classes everywhere, and at the bound-4 tier the
+  same bytes; the one pinned divergence (invlpg @ 5, where the SAT
+  stream order picks a different representative witness for one class)
+  documents the known caveat and would catch it silently widening;
+* **diff-suite backend invariance** — the differential pipeline picks
+  representatives by canonical key, so its suite bytes are pinned once
+  for *both* backends.
+
+When an intentional engine change alters output, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_digests.py --tb=short
+
+and update the constants below in the same commit that changes the
+engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.litmus import suite_from_diff, suite_from_synthesis
+from repro.models import x86t_amd_bug, x86t_elt
+from repro.orchestrate import run_sharded
+from repro.synth import SynthesisConfig, synthesize
+
+#: (target axiom, bound, witness backend) -> sha256 of the suite text.
+GOLDEN_SUITES = {
+    ("sc_per_loc", 4, "explicit"): (
+        "ac49991e56d2736b12172f6a90de99d911ddd1db978c4efd2cc59b42a5255a54"
+    ),
+    ("sc_per_loc", 4, "sat"): (
+        "ac49991e56d2736b12172f6a90de99d911ddd1db978c4efd2cc59b42a5255a54"
+    ),
+    ("rmw_atomicity", 4, "explicit"): (
+        "0b86a9e706cda4e3456915754986b5c2f7979b1a2fb8ce519606d56b1a29a0de"
+    ),
+    ("rmw_atomicity", 4, "sat"): (
+        "0b86a9e706cda4e3456915754986b5c2f7979b1a2fb8ce519606d56b1a29a0de"
+    ),
+    ("causality", 4, "explicit"): (
+        "e6164443bdbacb8c19965d2f2e88e6a674e8e6ee5309325b26f9304114dc9aee"
+    ),
+    ("causality", 4, "sat"): (
+        "e6164443bdbacb8c19965d2f2e88e6a674e8e6ee5309325b26f9304114dc9aee"
+    ),
+    ("invlpg", 4, "explicit"): (
+        "9344a49955896b85c31e5d04e643578a76f8ba0c8ff821cccb8df3c7414a1701"
+    ),
+    ("invlpg", 4, "sat"): (
+        "9344a49955896b85c31e5d04e643578a76f8ba0c8ff821cccb8df3c7414a1701"
+    ),
+    ("tlb_causality", 4, "explicit"): (
+        "939b1aa931d16249981ebdc5fb99a6d4efe247ad246daf8d54995b1fb4509a4c"
+    ),
+    ("tlb_causality", 4, "sat"): (
+        "939b1aa931d16249981ebdc5fb99a6d4efe247ad246daf8d54995b1fb4509a4c"
+    ),
+    # The one pinned cross-backend divergence: same 3 canonical ELT
+    # classes, different representative witness for one of them.
+    ("invlpg", 5, "explicit"): (
+        "88fceb81be0e0844b116b1f4bfe971df3ec4c85ef19d8c17b9e38b13e5fc722c"
+    ),
+    ("invlpg", 5, "sat"): (
+        "218e8afe7e3329402811e362422ee4bfc2145967be81a56daa7cec7e605f4e10"
+    ),
+}
+
+#: The x86t_elt-vs-x86t_amd_bug diff suite at the paper's bound — one
+#: digest for both backends (diff representatives are canonical-key
+#: selected, so the bytes are backend-invariant by construction).
+GOLDEN_DIFF_SUITE = (
+    "2c9e0302228da425574d82f8e0785475e44cd623b62721fab88f943db19a5248"
+)
+
+
+def suite_digest(axiom: str, bound: int, backend: str, **kwargs) -> str:
+    config = SynthesisConfig(
+        bound=bound,
+        model=x86t_elt(),
+        target_axiom=axiom,
+        witness_backend=backend,
+        **kwargs,
+    )
+    result = synthesize(config)
+    text = suite_from_synthesis(result, prefix=axiom).dumps()
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "axiom,bound,backend", sorted(GOLDEN_SUITES), ids=lambda v: str(v)
+)
+def test_serial_suite_matches_golden_digest(axiom, bound, backend) -> None:
+    assert suite_digest(axiom, bound, backend) == GOLDEN_SUITES[
+        (axiom, bound, backend)
+    ]
+
+
+@pytest.mark.parametrize("backend", ["explicit", "sat"])
+def test_sharded_run_matches_golden_digest(backend) -> None:
+    """--jobs 1 vs --jobs 4 byte-identity, via the 4-shard plan a
+    4-worker run executes (shard plans, not process counts, are what
+    could change bytes — worker processes run the identical code)."""
+    config = SynthesisConfig(
+        bound=4,
+        model=x86t_elt(),
+        target_axiom="sc_per_loc",
+        witness_backend=backend,
+    )
+    orchestrated = run_sharded(config, jobs=1, shard_count=4)
+    text = suite_from_synthesis(
+        orchestrated.result, prefix="sc_per_loc"
+    ).dumps()
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    assert digest == GOLDEN_SUITES[("sc_per_loc", 4, backend)]
+
+
+def test_backends_agree_on_canonical_classes_at_invlpg5() -> None:
+    """The pinned bound-5 divergence is *representative bytes only*: the
+    canonical program classes are identical."""
+    results = {}
+    for backend in ("explicit", "sat"):
+        results[backend] = synthesize(
+            SynthesisConfig(
+                bound=5,
+                model=x86t_elt(),
+                target_axiom="invlpg",
+                witness_backend=backend,
+            )
+        )
+    assert results["explicit"].keys() == results["sat"].keys()
+    assert results["explicit"].count == results["sat"].count == 3
+
+
+@pytest.mark.parametrize("backend", ["explicit", "sat"])
+def test_diff_suite_matches_golden_digest(backend) -> None:
+    from repro.conformance import DiffConfig, diff_models
+
+    cell = diff_models(
+        DiffConfig(
+            base=SynthesisConfig(
+                bound=5, model=x86t_elt(), witness_backend=backend
+            ),
+            subject=x86t_amd_bug(),
+        )
+    )
+    text = suite_from_diff(cell).dumps()
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    assert digest == GOLDEN_DIFF_SUITE

@@ -107,3 +107,40 @@ class TestInstanceLevelAgreement:
             instance = execution.to_instance()
             assert eval_formula(model.formula(), instance)
             assert model.permits(execution)
+
+
+class TestPrebuiltProblemReuse:
+    def test_prebuilt_problem_enumerates_identically(self) -> None:
+        """The ``problem=`` hook: building the translation up front (for
+        bounds inspection / stats access) and handing it to the
+        enumerator must match the build-internally path exactly."""
+        program = fig11_stale_mapping_after_ipi().execution.program
+        internal = {project(e) for e in enumerate_witnesses_sat(program)}
+        prebuilt = WitnessProblem(program)
+        external = {
+            project(e)
+            for e in enumerate_witnesses_sat(program, problem=prebuilt)
+        }
+        assert external == internal
+        assert prebuilt.solver_stats is not None  # caller sees the stats
+
+    def test_prebuilt_problem_accepts_model_constraint(self) -> None:
+        program = fig11_stale_mapping_after_ipi().execution.program
+        model = x86t_elt()
+        direct = {
+            project(e)
+            for e in enumerate_witnesses_sat(
+                program, model=model, violated_axiom="invlpg"
+            )
+        }
+        prebuilt = WitnessProblem(program)
+        reused = {
+            project(e)
+            for e in enumerate_witnesses_sat(
+                program,
+                model=model,
+                violated_axiom="invlpg",
+                problem=prebuilt,
+            )
+        }
+        assert reused == direct
