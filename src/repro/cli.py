@@ -96,6 +96,7 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         mcm_mode=args.mcm,
         time_budget_s=args.budget,
         witness_backend=args.witness_backend,
+        incremental=not args.fresh_solver,
     )
     store = _store(args)
     orchestrated = None
@@ -121,12 +122,15 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         f"{', TIMED OUT' if stats.timed_out else ''})"
     )
     if args.witness_backend == "sat":
-        print(
-            f"sat backend: {stats.sat_decisions} decisions, "
-            f"{stats.sat_propagations} propagations, "
-            f"{stats.sat_conflicts} conflicts, "
-            f"{stats.sat_learned_clauses} learned clauses"
-        )
+        from .reporting import render_sat_counters
+
+        print()
+        print(render_sat_counters(stats))
+    if args.profile:
+        from .reporting import render_stage_profile
+
+        print()
+        print(render_stage_profile(stats, stats.runtime_s))
     if orchestrated is not None and (
         orchestrated.shard_results or orchestrated.suite_cache_hit
     ):
@@ -170,7 +174,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
         sweep, records = run_sweep_sharded(
             SynthesisConfig(
-                bound=4, model=x86t_elt(), witness_backend=args.witness_backend
+                bound=4,
+                model=x86t_elt(),
+                witness_backend=args.witness_backend,
+                incremental=not args.fresh_solver,
             ),
             axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
             min_bound=4,
@@ -187,6 +194,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_bounds=bounds,
             time_budget_per_run_s=budget,
             witness_backend=args.witness_backend,
+            incremental=not args.fresh_solver,
         )
     print(render_fig9a(sweep))
     print()
@@ -195,6 +203,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print()
         skipped = ", ".join(f"{a}@{b}" for a, b in sweep.skipped)
         print(f"bounds skipped after timeout: {skipped}")
+    if args.profile:
+        from .reporting import render_stage_profile
+        from .synth import SuiteStats
+
+        aggregate = SuiteStats()
+        total = 0.0
+        for point in sweep.points:
+            aggregate.absorb(point.result.stats)
+            total += point.result.stats.runtime_s
+        print()
+        print(render_stage_profile(aggregate, total))
     return 0
 
 
@@ -266,12 +285,21 @@ def cmd_diff(args: argparse.Namespace) -> int:
                 max_threads=args.threads,
                 time_budget_s=args.budget,
                 witness_backend=args.witness_backend,
+                incremental=not args.fresh_solver,
             ),
             models=models,
             jobs=args.jobs,
             shard_count=args.shards,
             store=store,
         )
+        aggregate = None
+        if args.witness_backend == "sat" or args.profile:
+            from .synth import SuiteStats
+
+            aggregate = SuiteStats()
+            for cell in matrix.cells.values():
+                aggregate.absorb(cell.stats)
+                aggregate.runtime_s += cell.stats.runtime_s
         if args.json:
             print(json.dumps(matrix.to_json(), indent=2, sort_keys=True))
         else:
@@ -279,10 +307,22 @@ def cmd_diff(args: argparse.Namespace) -> int:
             if store is not None:
                 print()
                 print(render_pair_cache_summary(records))
+            if args.witness_backend == "sat":
+                from .reporting import render_sat_counters
+
+                print()
+                print(render_sat_counters(aggregate))
             violations = matrix.inclusion_violations(models)
             if violations:
                 rendered = ", ".join(f"{r}⊑{s}" for r, s in violations)
                 print(f"\nWARNING: axiom-subset inclusions violated: {rendered}")
+        if args.profile:
+            from .reporting import render_stage_profile
+
+            print(
+                render_stage_profile(aggregate, aggregate.runtime_s),
+                file=sys.stderr if args.json else sys.stdout,
+            )
         return 1 if matrix.discriminating_total else 0
 
     reference = _diff_model(args.reference)
@@ -294,6 +334,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
             max_threads=args.threads,
             time_budget_s=args.budget,
             witness_backend=args.witness_backend,
+            incremental=not args.fresh_solver,
         ),
         subject=subject,
     )
@@ -318,12 +359,24 @@ def cmd_diff(args: argparse.Namespace) -> int:
                 f"shard_hits={run_record.shard_cache_hits} "
                 f"shard_misses={run_record.shard_cache_misses}"
             )
+        if args.witness_backend == "sat":
+            from .reporting import render_sat_counters
+
+            print()
+            print(render_sat_counters(cell.stats))
         for index, elt in enumerate(cell.elts, start=1):
             print(
                 f"\n--- discriminating ELT {index} "
                 f"(violates: {', '.join(elt.violated_axioms)}) ---"
             )
             print(format_execution(elt.execution, show_derived=args.verbose))
+    if args.profile:
+        from .reporting import render_stage_profile
+
+        print(
+            render_stage_profile(cell.stats, cell.stats.runtime_s),
+            file=sys.stderr if args.json else sys.stdout,
+        )
     if args.save:
         from .litmus import suite_from_diff
 
@@ -363,6 +416,19 @@ def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
         "enumerator or the relational SAT (Alloy-port) pipeline; both "
         "yield the same canonical ELT suite (representative witness "
         "details may differ), and each is byte-reproducible",
+    )
+    parser.add_argument(
+        "--fresh-solver",
+        action="store_true",
+        help="disable incremental witness sessions: rebuild the relational "
+        "translation and solver for every query (the differential oracle "
+        "path; output is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage wall-time JSON (translate / solve / decode / "
+        "classify / minimality) after the report",
     )
     parser.add_argument(
         "--jobs",

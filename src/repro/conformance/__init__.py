@@ -25,6 +25,7 @@ from .diff import (
     diff_models,
     finalize_cell,
     run_diff_pipeline,
+    run_multi_diff_pipeline,
 )
 from .matrix import (
     ConformanceMatrix,
@@ -41,7 +42,14 @@ from .runner import (
     run_all_pairs,
     run_diff,
 )
-from .worker import DiffShardElt, DiffShardResult, DiffShardTask, run_diff_shard
+from .worker import (
+    DiffShardElt,
+    DiffShardResult,
+    DiffShardTask,
+    MultiDiffShardTask,
+    run_diff_shard,
+    run_multi_diff_shard,
+)
 
 __all__ = [
     "ConformanceCell",
@@ -52,6 +60,7 @@ __all__ = [
     "DiffShardElt",
     "DiffShardResult",
     "DiffShardTask",
+    "MultiDiffShardTask",
     "DiscriminatingElt",
     "Refinement",
     "axiom_subset",
@@ -67,4 +76,6 @@ __all__ = [
     "run_diff",
     "run_diff_pipeline",
     "run_diff_shard",
+    "run_multi_diff_pipeline",
+    "run_multi_diff_shard",
 ]

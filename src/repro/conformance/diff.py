@@ -9,14 +9,16 @@ of targeting one axiom it classifies every candidate execution under a
 (reference, subject) model pair in a single pass:
 
 * the candidate enumeration happens **once** per program — the witness
-  stream is shared between the two models, and under the SAT backend the
-  relational translation is built once per program, so the solver
-  attacks each program's candidate problem at most twice (here: exactly
-  once, unconstrained);
-* classification goes through :class:`~repro.models.PairClassifier`,
-  which evaluates each *distinct* axiom once per execution (catalog
-  variants share most of their axioms, so e.g. x86t_elt vs x86t_amd_bug
-  costs five axiom evaluations, not nine);
+  stream is shared between the two models (and, in the fused multi-pair
+  pipeline, across *every* pair in flight), and under the SAT backend
+  the relational translation is built once per program via the witness
+  sessions of :mod:`repro.synth.sat_backend`;
+* classification shares axiom verdicts through one
+  :class:`~repro.models.AxiomTable` spanning all models in flight: each
+  *distinct* axiom is evaluated once per execution (catalog variants
+  share most of their axioms, so e.g. x86t_elt vs x86t_amd_bug costs
+  five axiom evaluations, not nine — and the 20-pair catalog matrix
+  costs six, not forty-five);
 * executions *forbidden by the reference but permitted by the subject*
   that are also §IV-B minimal become the **discriminating ELT suite** —
   run one on hardware and an observed outcome proves the subject model
@@ -37,11 +39,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Sequence, Set, Tuple
 
 from ..errors import SynthesisError
 from ..litmus.format import serialize_elt
-from ..models import Agreement, MemoryModel, PairClassifier
+from ..models import Agreement, AxiomTable, MemoryModel
 from ..mtm import Execution, Program
 from ..synth import SuiteStats, SynthesisConfig
 from ..synth.canon import (
@@ -51,7 +53,7 @@ from ..synth.canon import (
     canonical_program_key,
 )
 from ..synth.engine import OrderKey, witness_stream_factory
-from ..synth.relax import is_minimal
+from ..synth.relax import cached_is_minimal, is_minimal, model_fingerprint
 from ..synth.skeletons import enumerate_programs
 
 
@@ -131,6 +133,286 @@ class DiffOutcome:
     subject_only_keys: Set[ExecutionKey] = field(default_factory=set)
 
 
+class _DiffAccumulator:
+    """One (reference, subject) pair's state inside the fused pipeline:
+    exactly the per-witness logic the dedicated single-pair loop used to
+    run, fed shared verdicts instead of computing its own."""
+
+    def __init__(
+        self, diff: DiffConfig, minimal_cache: dict, stage_acc: dict
+    ) -> None:
+        self.diff = diff
+        self.reference = diff.reference
+        self.outcome = DiffOutcome()
+        #: shared per-reference minimality verdicts (exec key -> bool).
+        self.minimal_cache = minimal_cache
+        #: shared stage-time accumulator (minimality seconds land here).
+        self.stage_acc = stage_acc
+        #: Minimal discriminating keys already credited to an entry.
+        self.counted_keys: Set[ExecutionKey] = set()
+        self.program_key: Optional[ProgramKey] = None
+
+    def start_program(self) -> None:
+        self.program_key = None
+
+    def observe(
+        self,
+        order_key: OrderKey,
+        program: Program,
+        execution: Execution,
+        ref_permits: bool,
+        sub_permits: bool,
+        execution_key_of,
+        program_key_of,
+        use_shared_minimality: bool,
+    ) -> None:
+        outcome = self.outcome
+        stats = outcome.stats
+        if ref_permits:
+            if sub_permits:
+                stats.both_permit += 1
+                return
+            stats.interesting += 1
+            stats.only_subject_forbids += 1
+            outcome.subject_only_keys.add(execution_key_of())
+            return
+        if not sub_permits:
+            stats.both_forbid += 1
+            return
+        stats.interesting += 1
+        execution_key = execution_key_of()
+        stats.only_reference_forbids += 1
+        outcome.reference_only_keys.add(execution_key)
+
+        reference = self.reference
+        started = time.perf_counter()
+        if use_shared_minimality:
+            minimal = cached_is_minimal(execution, reference, execution_key)
+        else:
+            minimal = self.minimal_cache.get(execution_key)
+            if minimal is None:
+                minimal = is_minimal(execution, reference)
+                self.minimal_cache[execution_key] = minimal
+        self.stage_acc["minimality"] += time.perf_counter() - started
+        if not minimal:
+            return
+        if self.program_key is None:
+            self.program_key = program_key_of()
+        program_key = self.program_key
+        by_key = outcome.by_key
+        entry = by_key.get(program_key)
+        if execution_key not in self.counted_keys:
+            self.counted_keys.add(execution_key)
+            stats.minimal += 1
+            if entry is None:
+                entry = DiscriminatingElt(
+                    program=program,
+                    execution=execution,
+                    key=program_key,
+                    execution_key=execution_key,
+                    text=serialize_elt(execution),
+                    violated_axioms=reference.check(execution).violated,
+                )
+                by_key[program_key] = entry
+                outcome.order[program_key] = order_key
+                return
+            entry.outcome_count += 1
+        # Representative selection: only the class winner (the entry's
+        # own program) competes, over ALL its minimal discriminating
+        # witnesses — including canonical-key duplicates, so the min
+        # is a property of the witness *set* and stays identical
+        # across witness backends whose stream orders differ.  The
+        # key decides almost always; serialization is the tie-break.
+        if entry is not None and outcome.order[program_key] == order_key:
+            if execution_key > entry.execution_key:
+                return
+            text = serialize_elt(execution)
+            if (execution_key, text) < (entry.execution_key, entry.text):
+                entry.execution = execution
+                entry.execution_key = execution_key
+                entry.text = text
+                entry.violated_axioms = reference.check(execution).violated
+
+
+#: SynthesisConfig fields that shape the shared program/witness
+#: enumeration — every diff of a fused run must agree on all of them
+#: (``model`` deliberately excluded: it is the per-pair reference and
+#: plays no part in enumeration).
+_ENUMERATION_FIELDS = tuple(
+    name for name in SynthesisConfig.__dataclass_fields__ if name != "model"
+)
+
+
+def run_multi_diff_pipeline(
+    diffs: Sequence[DiffConfig],
+    ordered_programs: Iterable[Tuple[OrderKey, Program]],
+    deadline: Optional[float] = None,
+) -> list[DiffOutcome]:
+    """Classify one shared candidate enumeration under many (reference,
+    subject) pairs at once — the witness-session payoff for conformance.
+
+    Every program is enumerated (and, under the SAT backend, translated)
+    **once** for all pairs; per-witness axiom verdicts are shared through
+    one :class:`~repro.models.AxiomTable` spanning every model in flight;
+    minimality verdicts are shared between pairs with the same reference.
+    Each pair's :class:`DiffOutcome` is what its dedicated single-pair
+    run would produce — same agreement counters, same keys, same
+    representatives — because each accumulator replays the identical
+    per-witness logic over the identical stream.  SAT counters are the
+    shared enumeration's snapshot on every pair, with the translations
+    actually run credited to the first pair and recorded as *avoided* on
+    the rest.
+
+    All diffs must share every enumeration-shaping knob of their base
+    config (bound, caps, feature toggles, backend); only the models may
+    differ.  ``deadline`` spans the whole fused pass: exceeding it marks
+    *every* outcome timed out.
+    """
+    if not diffs:
+        raise SynthesisError("fused diff pipeline needs at least one pair")
+    base = diffs[0].base
+    for diff in diffs[1:]:
+        for name in _ENUMERATION_FIELDS:
+            if getattr(diff.base, name) != getattr(base, name):
+                raise SynthesisError(
+                    "fused diff pipeline needs identical enumeration "
+                    f"configs; field {name!r} differs"
+                )
+
+    # One axiom slot table across every distinct model in flight; each
+    # pair resolves its (reference, subject) to table indices.
+    model_index: dict = {}
+    models = []
+    def index_of(model: MemoryModel) -> int:
+        key = model_fingerprint(model)
+        index = model_index.get(key)
+        if index is None:
+            index = len(models)
+            model_index[key] = index
+            models.append(model)
+        return index
+
+    pair_indices = [
+        (index_of(diff.reference), index_of(diff.subject)) for diff in diffs
+    ]
+    table = AxiomTable(models)
+
+    use_shared_minimality = base.incremental
+    minimal_caches: dict = {}
+    stage_acc = {"minimality": 0.0}
+    accumulators = []
+    for diff in diffs:
+        ref_key = model_fingerprint(diff.reference)
+        cache = minimal_caches.setdefault(ref_key, {})
+        accumulators.append(_DiffAccumulator(diff, cache, stage_acc))
+
+    lead_stats = accumulators[0].outcome.stats
+    witness_stream, sat_stats = witness_stream_factory(
+        base, stage_times=lead_stats.stage_times
+    )
+    clock = time.perf_counter
+    enumerate_s = classify_s = 0.0
+    witnesses_seen = 0
+    timed_out = False
+
+    for order_key, program in ordered_programs:
+        if deadline is not None and time.monotonic() > deadline:
+            timed_out = True
+            break
+        for accumulator in accumulators:
+            accumulator.outcome.stats.programs_enumerated += 1
+            accumulator.start_program()
+        program_key_memo: list = []
+
+        def program_key_of() -> ProgramKey:
+            if not program_key_memo:
+                program_key_memo.append(canonical_program_key(program))
+            return program_key_memo[0]
+
+        started = clock()
+        iterator = iter(witness_stream(program))
+        while True:
+            execution = next(iterator, None)
+            enumerate_s += clock() - started
+            if execution is None:
+                break
+            witnesses_seen += 1
+            for accumulator in accumulators:
+                accumulator.outcome.stats.executions_enumerated += 1
+            if (
+                deadline is not None
+                and witnesses_seen % 64 == 0
+                and time.monotonic() > deadline
+            ):
+                timed_out = True
+                break
+            started = clock()
+            permits = table.evaluator(execution)
+            execution_key_memo: list = []
+
+            def execution_key_of() -> ExecutionKey:
+                if not execution_key_memo:
+                    execution_key_memo.append(
+                        canonical_execution_key(execution)
+                    )
+                return execution_key_memo[0]
+
+            for accumulator, (ref_index, sub_index) in zip(
+                accumulators, pair_indices
+            ):
+                accumulator.observe(
+                    order_key,
+                    program,
+                    execution,
+                    permits(ref_index),
+                    permits(sub_index),
+                    execution_key_of,
+                    program_key_of,
+                    use_shared_minimality,
+                )
+            classify_s += clock() - started
+            started = clock()
+        if timed_out or (
+            deadline is not None and time.monotonic() > deadline
+        ):
+            timed_out = True
+            break
+
+    outcomes = [accumulator.outcome for accumulator in accumulators]
+    if timed_out:
+        for outcome in outcomes:
+            outcome.stats.timed_out = True
+    if sat_stats is not None:
+        # Every pair's stats absorb the shared enumeration's (snapshot)
+        # solver counters — what each pair's dedicated run would report.
+        # Translations actually performed are credited to the lead pair
+        # only; the other pairs record them as *avoided*, so summing the
+        # matrix still reflects the work done once, and a cell cached
+        # from a fused run never reads as "zero solver work".
+        from ..sat import SolverStats
+
+        lead_stats.absorb_solver(sat_stats)
+        if len(outcomes) > 1:
+            shared = SolverStats()
+            shared.merge(sat_stats)
+            shared.translations_avoided += shared.translations
+            shared.translations = 0
+            shared.sessions = 0
+            for outcome in outcomes[1:]:
+                outcome.stats.absorb_solver(shared)
+    minimality_s = stage_acc["minimality"]
+    for stage, seconds in (
+        ("enumerate", enumerate_s),
+        ("classify", max(0.0, classify_s - minimality_s)),
+        ("minimality", minimality_s),
+    ):
+        if seconds:
+            lead_stats.stage_times[stage] = (
+                lead_stats.stage_times.get(stage, 0.0) + seconds
+            )
+    return outcomes
+
+
 def run_diff_pipeline(
     diff: DiffConfig,
     ordered_programs: Iterable[Tuple[OrderKey, Program]],
@@ -144,98 +426,11 @@ def run_diff_pipeline(
     member with the smallest order key, and ``outcome_count``/key sets
     are class-invariant — so shard results merge to exactly the serial
     outcome (see :mod:`repro.orchestrate.merge` for the argument).
+
+    The single-pair specialization of :func:`run_multi_diff_pipeline`
+    (which is where the shared-enumeration logic lives).
     """
-    reference = diff.reference
-    classifier = PairClassifier(reference, diff.subject)
-    outcome = DiffOutcome()
-    stats = outcome.stats
-    by_key = outcome.by_key
-    #: is_minimal is invariant under program/witness isomorphism, so its
-    #: verdict is cached per canonical execution key.
-    minimal_cache: dict = {}
-    #: Minimal discriminating keys already credited to an entry.
-    counted_keys: Set[ExecutionKey] = set()
-
-    witness_stream, sat_stats = witness_stream_factory(diff.base)
-
-    for order_key, program in ordered_programs:
-        if deadline is not None and time.monotonic() > deadline:
-            stats.timed_out = True
-            break
-        stats.programs_enumerated += 1
-        program_key: Optional[ProgramKey] = None
-        for execution in witness_stream(program):
-            stats.executions_enumerated += 1
-            if (
-                deadline is not None
-                and stats.executions_enumerated % 64 == 0
-                and time.monotonic() > deadline
-            ):
-                stats.timed_out = True
-                break
-            agreement = classifier.classify(execution)
-            if agreement is Agreement.BOTH_PERMIT:
-                stats.both_permit += 1
-                continue
-            if agreement is Agreement.BOTH_FORBID:
-                stats.both_forbid += 1
-                continue
-            stats.interesting += 1
-            execution_key = canonical_execution_key(execution)
-            if agreement is Agreement.ONLY_SUBJECT_FORBIDS:
-                stats.only_subject_forbids += 1
-                outcome.subject_only_keys.add(execution_key)
-                continue
-            stats.only_reference_forbids += 1
-            outcome.reference_only_keys.add(execution_key)
-
-            minimal = minimal_cache.get(execution_key)
-            if minimal is None:
-                minimal = is_minimal(execution, reference)
-                minimal_cache[execution_key] = minimal
-            if not minimal:
-                continue
-            if program_key is None:
-                program_key = canonical_program_key(program)
-            entry = by_key.get(program_key)
-            if execution_key not in counted_keys:
-                counted_keys.add(execution_key)
-                stats.minimal += 1
-                if entry is None:
-                    entry = DiscriminatingElt(
-                        program=program,
-                        execution=execution,
-                        key=program_key,
-                        execution_key=execution_key,
-                        text=serialize_elt(execution),
-                        violated_axioms=reference.check(execution).violated,
-                    )
-                    by_key[program_key] = entry
-                    outcome.order[program_key] = order_key
-                    continue
-                entry.outcome_count += 1
-            # Representative selection: only the class winner (the entry's
-            # own program) competes, over ALL its minimal discriminating
-            # witnesses — including canonical-key duplicates, so the min
-            # is a property of the witness *set* and stays identical
-            # across witness backends whose stream orders differ.  The
-            # key decides almost always; serialization is the tie-break.
-            if entry is not None and outcome.order[program_key] == order_key:
-                if execution_key > entry.execution_key:
-                    continue
-                text = serialize_elt(execution)
-                if (execution_key, text) < (entry.execution_key, entry.text):
-                    entry.execution = execution
-                    entry.execution_key = execution_key
-                    entry.text = text
-                    entry.violated_axioms = reference.check(execution).violated
-        if deadline is not None and time.monotonic() > deadline:
-            stats.timed_out = True
-            break
-
-    if sat_stats is not None:
-        stats.absorb_solver(sat_stats)
-    return outcome
+    return run_multi_diff_pipeline([diff], ordered_programs, deadline)[0]
 
 
 @dataclass

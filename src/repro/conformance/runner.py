@@ -40,7 +40,13 @@ from ..synth import SynthesisConfig
 from .diff import ConformanceCell, DiffConfig
 from .matrix import ConformanceMatrix
 from .merge import merge_diff_shards
-from .worker import DiffShardResult, DiffShardTask, run_diff_shard
+from .worker import (
+    DiffShardResult,
+    DiffShardTask,
+    MultiDiffShardTask,
+    run_diff_shard,
+    run_multi_diff_shard,
+)
 
 Pair = Tuple[str, str]
 
@@ -132,23 +138,24 @@ def _make_executor(jobs: int) -> ProcessPoolExecutor:
 
 
 def _execute_tasks(
-    tasks: List[DiffShardTask],
+    tasks: List,
     jobs: int,
     executor: Optional[Executor] = None,
-) -> List[DiffShardResult]:
+    worker=run_diff_shard,
+) -> List:
     """Run shard tasks inline (``jobs == 1``) or on a spawn pool,
     creating and tearing down the pool only when the caller did not
     share one.  Results come back in task order — the single executor-
     lifecycle policy behind both :func:`run_diff` and
-    :func:`run_all_pairs`."""
+    :func:`run_all_pairs` (which passes the fused multi-pair worker)."""
     own_executor: Optional[ProcessPoolExecutor] = None
     try:
         if tasks and jobs > 1 and executor is None:
             own_executor = _make_executor(jobs)
         pool = executor if executor is not None else own_executor
         if pool is None:
-            return [run_diff_shard(task) for task in tasks]
-        futures = [pool.submit(run_diff_shard, task) for task in tasks]
+            return [worker(task) for task in tasks]
+        futures = [pool.submit(worker, task) for task in tasks]
         return [future.result() for future in futures]
     finally:
         if own_executor is not None:
@@ -247,11 +254,19 @@ def run_all_pairs(
     """Differential conformance over every ordered pair of a catalog.
 
     ``base`` supplies the enumeration knobs (bound, thread/VA caps,
-    witness backend, per-pair time budget); its ``model`` field is
-    replaced by each pair's reference.  Returns the matrix plus per-pair
-    run records in pair order.  With a ``store``, finished cells and
-    shards are reused, making an interrupted ``--all-pairs`` run
-    resumable by rerunning the same command.
+    witness backend, time budget); its ``model`` field is replaced by
+    each pair's reference.  Returns the matrix plus per-pair run records
+    in pair order.  With a ``store``, finished cells and shards are
+    reused, making an interrupted ``--all-pairs`` run resumable by
+    rerunning the same command.
+
+    Scheduling is *fused*: each shard spec becomes one
+    :class:`~repro.conformance.worker.MultiDiffShardTask` covering every
+    pair still missing that shard, so the shard's program slice is
+    enumerated — and, under the SAT backend, translated — once for all
+    of them instead of once per pair (the per-pair merge, store keys,
+    and output bytes are unchanged).  Consequently ``time_budget_s``
+    bounds each fused task rather than each (pair, shard) separately.
     """
     if jobs < 1:
         raise SynthesisError(f"jobs must be positive, got {jobs}")
@@ -295,18 +310,18 @@ def run_all_pairs(
         misses: Dict[Pair, int] = {pair: 0 for pair in remaining}
         started: Dict[Pair, float] = {}
         shard_diffs: Dict[Pair, DiffConfig] = {}
-        pending: List[Tuple[Pair, int, DiffShardTask]] = []
         pending_by_pair: Dict[Pair, List[int]] = {
             pair: [] for pair in remaining
         }
+        pending_pairs_by_index: Dict[int, List[Pair]] = {}
+        wall_deadline = (
+            None
+            if base.time_budget_s is None
+            else time.time() + base.time_budget_s
+        )
         for pair in remaining:
             started[pair] = time.monotonic()
             diff = diffs[pair]
-            wall_deadline = (
-                None
-                if diff.base.time_budget_s is None
-                else time.time() + diff.base.time_budget_s
-            )
             shard_diff = replace(
                 diff, base=replace(diff.base, time_budget_s=None)
             )
@@ -321,20 +336,31 @@ def run_all_pairs(
                 else:
                     if store is not None:
                         misses[pair] += 1
-                    pending.append(
-                        (
-                            pair,
-                            index,
-                            DiffShardTask(shard_diff, spec, wall_deadline),
-                        )
-                    )
+                    pending_pairs_by_index.setdefault(index, []).append(pair)
                     pending_by_pair[pair].append(index)
 
-        executed = _execute_tasks(
-            [task for _pair, _index, task in pending], jobs
-        )
-        for (pair, index, _task), shard in zip(pending, executed):
-            shard_results[pair][index] = shard
+        # One *fused* task per shard spec: its program slice is enumerated
+        # (and, under the SAT backend, translated) once for every pair
+        # still missing that shard, instead of once per pair.  The shared
+        # budget spans each fused task, and per-pair results land under
+        # the same store keys the per-pair tasks used.
+        tasks: List[MultiDiffShardTask] = []
+        task_slots: List[Tuple[int, List[Pair]]] = []
+        for index in sorted(pending_pairs_by_index):
+            pairs_here = pending_pairs_by_index[index]
+            tasks.append(
+                MultiDiffShardTask(
+                    diffs=tuple(shard_diffs[pair] for pair in pairs_here),
+                    spec=specs[index],
+                    wall_deadline=wall_deadline,
+                )
+            )
+            task_slots.append((index, pairs_here))
+
+        executed = _execute_tasks(tasks, jobs, worker=run_multi_diff_shard)
+        for (index, pairs_here), task_results in zip(task_slots, executed):
+            for pair, shard in zip(pairs_here, task_results):
+                shard_results[pair][index] = shard
 
         for pair in remaining:
             diff = diffs[pair]

@@ -21,7 +21,13 @@ from typing import Optional, Set
 
 from ..orchestrate.shards import ShardSpec, shard_programs
 from ..synth import SuiteStats
-from .diff import DiffConfig, DiscriminatingElt, run_diff_pipeline
+from .diff import (
+    DiffConfig,
+    DiffOutcome,
+    DiscriminatingElt,
+    run_diff_pipeline,
+    run_multi_diff_pipeline,
+)
 
 
 @dataclass(frozen=True)
@@ -31,6 +37,23 @@ class DiffShardTask:
     diff: DiffConfig
     spec: ShardSpec
     #: Absolute wall-clock deadline (``time.time()``), or None.
+    wall_deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MultiDiffShardTask:
+    """One *fused* unit: every pending pair's share of one shard.
+
+    The all-pairs driver ships one of these per shard spec instead of one
+    :class:`DiffShardTask` per (pair, shard): the worker enumerates the
+    shard's program slice (and translates it, under the SAT backend)
+    once, classifying each witness under every pair in the task.  All
+    diffs share the base enumeration config; the deadline spans the whole
+    fused task.
+    """
+
+    diffs: tuple  # tuple[DiffConfig, ...], in pair order
+    spec: ShardSpec
     wall_deadline: Optional[float] = None
 
 
@@ -57,6 +80,27 @@ class DiffShardResult:
         return self.stats.timed_out
 
 
+def _shard_result_from_outcome(
+    spec: ShardSpec, outcome: DiffOutcome, runtime_s: float
+) -> DiffShardResult:
+    elts = [
+        DiffShardElt(order=outcome.order[key], elt=elt)
+        for key, elt in outcome.by_key.items()
+    ]
+    elts.sort(key=lambda shard_elt: shard_elt.order)
+    result = DiffShardResult(
+        spec=spec,
+        elts=elts,
+        stats=outcome.stats,
+        reference_only_keys=outcome.reference_only_keys,
+        subject_only_keys=outcome.subject_only_keys,
+    )
+    result.stats.unique_programs = len(elts)
+    result.runtime_s = runtime_s
+    result.stats.runtime_s = runtime_s
+    return result
+
+
 def run_diff_shard(task: DiffShardTask) -> DiffShardResult:
     """Execute one differential shard (in-process or in a worker)."""
     started = time.monotonic()
@@ -68,19 +112,32 @@ def run_diff_shard(task: DiffShardTask) -> DiffShardResult:
         shard_programs(task.diff.base, task.spec),
         deadline=deadline,
     )
-    elts = [
-        DiffShardElt(order=outcome.order[key], elt=elt)
-        for key, elt in outcome.by_key.items()
-    ]
-    elts.sort(key=lambda shard_elt: shard_elt.order)
-    result = DiffShardResult(
-        spec=task.spec,
-        elts=elts,
-        stats=outcome.stats,
-        reference_only_keys=outcome.reference_only_keys,
-        subject_only_keys=outcome.subject_only_keys,
+    return _shard_result_from_outcome(
+        task.spec, outcome, time.monotonic() - started
     )
-    result.stats.unique_programs = len(elts)
-    result.runtime_s = time.monotonic() - started
-    result.stats.runtime_s = result.runtime_s
-    return result
+
+
+def run_multi_diff_shard(task: MultiDiffShardTask) -> list:
+    """Execute one fused shard: the shard's program slice enumerated once,
+    classified under every pair; returns one :class:`DiffShardResult` per
+    pair, in task order.  Each result carries the elts, keys, and
+    agreement counters its dedicated single-pair shard would have
+    produced; ``runtime_s`` is the fused task's wall time split evenly
+    across its pairs (per-pair sums reflect the work actually done once,
+    at the cost of per-pair attribution), and SAT counters follow
+    :func:`~repro.conformance.diff.run_multi_diff_pipeline`'s
+    lead-pair-translations / rest-avoided convention."""
+    started = time.monotonic()
+    deadline = None
+    if task.wall_deadline is not None:
+        deadline = started + max(0.0, task.wall_deadline - time.time())
+    outcomes = run_multi_diff_pipeline(
+        list(task.diffs),
+        shard_programs(task.diffs[0].base, task.spec),
+        deadline=deadline,
+    )
+    share = (time.monotonic() - started) / max(1, len(outcomes))
+    return [
+        _shard_result_from_outcome(task.spec, outcome, share)
+        for outcome in outcomes
+    ]

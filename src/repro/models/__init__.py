@@ -27,6 +27,7 @@ from .catalog import (
 )
 from .compare import (
     Agreement,
+    AxiomTable,
     ModelComparison,
     PairClassifier,
     compare_models,
@@ -59,6 +60,7 @@ __all__ = [
     "x86t_amd_bug",
     "sc_t",
     "Agreement",
+    "AxiomTable",
     "ModelComparison",
     "PairClassifier",
     "compare_models",

@@ -59,6 +59,62 @@ class ModelComparison:
         )
 
 
+class AxiomTable:
+    """Deduplicated axiom slots across *any* number of models.
+
+    The n-model generalization of :class:`PairClassifier`'s sharing
+    trick: all models' axioms are merged into one slot list keyed by
+    (name, predicate), so an axiom shared by k models occupies one slot
+    and is evaluated at most once per execution no matter how many model
+    pairs are being classified.  The fused all-pairs conformance pipeline
+    (:func:`repro.conformance.run_multi_diff_pipeline`) builds one table
+    over every reference and subject in flight: classifying a witness
+    under 20 catalog pairs costs one evaluation per *distinct* axiom
+    (typically 6), not one per pair-slot (45).
+    """
+
+    def __init__(self, models: Iterable[MemoryModel]) -> None:
+        self.models: List[MemoryModel] = list(models)
+        self._axioms: List[Axiom] = []
+        self._slots: List[List[int]] = []
+        slot_of: dict = {}
+        for model in self.models:
+            slots: List[int] = []
+            for axiom in model.axioms:
+                identity = (axiom.name, axiom.predicate)
+                index = slot_of.get(identity)
+                if index is None:
+                    index = len(self._axioms)
+                    slot_of[identity] = index
+                    self._axioms.append(axiom)
+                slots.append(index)
+            self._slots.append(slots)
+
+    @property
+    def distinct_axiom_count(self) -> int:
+        return len(self._axioms)
+
+    def evaluator(self, execution: Execution):
+        """A ``permits(model_index) -> bool`` callable for one execution,
+        memoizing each distinct axiom's verdict across models (and
+        preserving the all-true / first-false short-circuit per model)."""
+        cache: List[Optional[bool]] = [None] * len(self._axioms)
+        axioms = self._axioms
+        slots = self._slots
+
+        def permits(model_index: int) -> bool:
+            for index in slots[model_index]:
+                result = cache[index]
+                if result is None:
+                    result = axioms[index].holds(execution)
+                    cache[index] = result
+                if not result:
+                    return False
+            return True
+
+        return permits
+
+
 class PairClassifier:
     """Single-pass verdict-pair classification under two models.
 

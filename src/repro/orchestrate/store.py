@@ -72,6 +72,11 @@ def config_identity(config: SynthesisConfig) -> dict[str, Any]:
     for name, value in asdict(config).items():
         if name == "model":
             continue
+        if name == "incremental":
+            # Output-invariant execution strategy (like --jobs): the
+            # incremental-session path is contractually byte-identical to
+            # the fresh-solver path, so both share cache entries.
+            continue
         identity[name] = value
     return identity
 

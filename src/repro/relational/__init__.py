@@ -49,13 +49,14 @@ from .ast import (
 )
 from .instance import Instance
 from .eval import eval_expr, eval_formula
-from .translate import Problem, RelationBound
+from .translate import Problem, ProblemSession, RelationBound
 from .tuples import TupleSet
 
 __all__ = [
     "TupleSet",
     "Instance",
     "Problem",
+    "ProblemSession",
     "RelationBound",
     "eval_expr",
     "eval_formula",

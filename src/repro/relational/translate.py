@@ -72,6 +72,11 @@ class Problem:
         self._bounds: dict[str, RelationBound] = {}
         self._defs: dict[str, tuple[int, ast.Expr]] = {}
         self._constraints: list[ast.Formula] = []
+        #: Named, individually selectable constraint sets.  Base
+        #: constraints (group None) always hold; a group's constraints
+        #: hold only in queries that select it — hard-compiled by the
+        #: fresh path, activation-literal-guarded by sessions.
+        self._group_constraints: dict[str, list[ast.Formula]] = {}
         #: Live counters of the solver behind the most recent
         #: :meth:`solve`/:meth:`iter_instances` call (None before the first).
         self.last_solver_stats: Optional[SolverStats] = None
@@ -126,20 +131,47 @@ class Problem:
         self._defs[name] = (arity, expr)
         return ast.Rel(name, arity)
 
-    def constrain(self, formula: ast.Formula) -> None:
-        self._constraints.append(formula)
+    def constrain(
+        self, formula: ast.Formula, group: Optional[str] = None
+    ) -> None:
+        """Add a constraint — unconditionally (``group=None``), or into the
+        named selectable group (see :meth:`session` and the ``groups``
+        parameter of :meth:`solve`/:meth:`iter_instances`)."""
+        if group is None:
+            self._constraints.append(formula)
+        else:
+            self._group_constraints.setdefault(group, []).append(formula)
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """Registered constraint-group names, in registration order."""
+        return tuple(self._group_constraints)
+
+    def _group_formulas(self, name: str) -> list[ast.Formula]:
+        formulas = self._group_constraints.get(name)
+        if formulas is None:
+            raise RelationalError(f"unknown constraint group {name!r}")
+        return formulas
 
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def solve(self) -> Optional[Instance]:
+    def solve(self, groups: Iterable[str] = ()) -> Optional[Instance]:
         """Return one satisfying instance, or None."""
-        for instance in self.iter_instances(limit=1):
+        for instance in self.iter_instances(limit=1, groups=groups):
             return instance
         return None
 
-    def iter_instances(self, limit: Optional[int] = None) -> Iterator[Instance]:
+    def iter_instances(
+        self, limit: Optional[int] = None, groups: Iterable[str] = ()
+    ) -> Iterator[Instance]:
         """Enumerate satisfying instances, distinct on declared relations.
+
+        ``groups`` selects constraint groups to enforce alongside the base
+        constraints; they are compiled as hard constraints by this fresh
+        path (one translation, one cold solver per call) — the
+        differential oracle for :class:`ProblemSession`'s
+        activation-literal encoding of the same selection.
 
         After each call (and while one is in flight) ``last_solver_stats``
         holds the live :class:`~repro.sat.SolverStats` of the underlying
@@ -154,7 +186,7 @@ class Problem:
         """
         if limit is not None and limit <= 0:
             return
-        compiled = _Compilation(self)
+        compiled = _Compilation(self, groups=tuple(groups))
         solver = CdclSolver(compiled.cnf)
         self.last_solver_stats = solver.stats
         count = 0
@@ -163,6 +195,12 @@ class Problem:
             count += 1
             if limit is not None and count >= limit:
                 return
+
+    def session(self) -> "ProblemSession":
+        """Open an incremental session: one translation, one persistent
+        solver, constraint groups toggled per query by activation-literal
+        assumptions (see :class:`ProblemSession`)."""
+        return ProblemSession(self)
 
 
 def _all_tuples(atoms: tuple[Atom, ...], arity: int) -> list[Tuple_]:
@@ -173,9 +211,17 @@ def _all_tuples(atoms: tuple[Atom, ...], arity: int) -> list[Tuple_]:
 
 
 class _Compilation:
-    """Compiled form of a Problem: CNF + decoding tables."""
+    """Compiled form of a Problem: CNF + decoding tables.
 
-    def __init__(self, problem: Problem) -> None:
+    ``groups`` selects constraint groups to hard-compile alongside the
+    base constraints (the fresh-solver path).  The circuit builder, memo
+    caches, and Tseitin cache stay live after construction, so a session
+    can keep compiling *additional* formulas (group roots, guarded by
+    activation literals) into the same CNF at marginal cost — the
+    "translate once" half of incremental witness sessions.
+    """
+
+    def __init__(self, problem: Problem, groups: tuple[str, ...] = ()) -> None:
         self.problem = problem
         self.builder = BoolBuilder()
         self.cnf = Cnf()
@@ -205,12 +251,22 @@ class _Compilation:
                     self.tuple_vars.append(var)
             self._rel_matrices[name] = matrix
 
+        constraints = list(problem._constraints)
+        for name in groups:
+            constraints.extend(problem._group_formulas(name))
         root_nodes = [
-            self._formula(constraint, {}) for constraint in problem._constraints
+            self._formula(constraint, {}) for constraint in constraints
         ]
         root = self.builder.and_(root_nodes)
         root_lit = self._tseitin(root)
         self.cnf.add_clause([root_lit])
+
+    def compile_root(self, formulas: Iterable[ast.Formula]) -> int:
+        """Compile a conjunction of formulas into the live CNF and return
+        its root literal (no unit clause is added — the caller decides how
+        the root is asserted, e.g. guarded by an activation literal)."""
+        nodes = [self._formula(formula, {}) for formula in formulas]
+        return self._tseitin(self.builder.and_(nodes))
 
     # ------------------------------------------------------------------
     # Compilation memoization
@@ -519,3 +575,207 @@ class _Compilation:
                     tuples.add(t)
             relations[name] = TupleSet(bound.arity, tuples)
         return Instance(self.problem.atoms, relations)
+
+
+class _CnfSlice:
+    """A read-only prefix view of a growing CNF — just enough of the
+    :class:`~repro.sat.Cnf` surface for :class:`~repro.sat.CdclSolver`
+    construction (``num_vars`` + ``clauses``)."""
+
+    __slots__ = ("num_vars", "clauses")
+
+    def __init__(self, num_vars: int, clauses) -> None:
+        self.num_vars = num_vars
+        self.clauses = clauses
+
+
+class ProblemSession:
+    """Incremental, assumption-scoped solving over one shared translation.
+
+    The Kodkod-style trick behind Alloy's incremental workflows: the
+    problem's base constraints are translated to CNF **once**; every
+    selectable constraint group compiles (lazily, into the same live
+    CNF/Tseitin state) under a fresh *activation literal* ``a`` via the
+    implication clause ``¬a ∨ root(group)``.  A query then becomes
+    ``solve(assumptions)`` against one persistent :class:`CdclSolver`,
+    with assumptions asserting ``a`` for each selected group and ``¬a``
+    for every other registered group (so an unselected group can never be
+    spuriously activated by a decision).  Learned clauses, VSIDS
+    activities, saved phases, and watch lists all persist across queries.
+
+    Enumeration retracts cleanly: :meth:`iter_instances` allocates a
+    fresh *tag* variable, assumes it for the run, and — because
+    assumptions sit on decision levels — every in-place blocking clause
+    automatically carries ``¬tag``; retiring the tag with the unit clause
+    ``¬tag`` afterwards permanently satisfies all of them.
+
+    Two further guarantees matter to callers:
+
+    * :meth:`iter_base_instances` enumerates the *base* problem (no
+      groups) on a **cold** solver built over the shared compilation's
+      base-CNF prefix — clause-for-clause the formula
+      :meth:`Problem.iter_instances` would build, so the instance
+      sequence is bit-identical to the fresh path.  The synthesis
+      pipelines rely on this for byte-identical suites.
+    * the fresh path (:meth:`Problem.solve`/:meth:`Problem.iter_instances`
+      with ``groups=...``) hard-compiles the same selections and serves
+      as the differential oracle for this encoding.
+    """
+
+    def __init__(self, problem: Problem) -> None:
+        self.problem = problem
+        self._compiled = _Compilation(problem)
+        cnf = self._compiled.cnf
+        self._base_num_vars = cnf.num_vars
+        self._base_num_clauses = cnf.num_clauses
+        self._solver: Optional[CdclSolver] = None
+        self._synced_clauses = 0
+        #: group name -> activation variable (insertion-ordered: the
+        #: assumption vector is rebuilt in this deterministic order).
+        self._activation: dict[str, int] = {}
+        #: groups registered directly on the session (on top of any
+        #: declared via Problem.constrain(..., group=...)).
+        self._dynamic_groups: dict[str, list[ast.Formula]] = {}
+        #: counters for the session layer (incremental solves, retained
+        #: learned clauses); the persistent solver's own counters are at
+        #: ``solver_stats``.
+        self.stats = SolverStats()
+        self.stats.translations += 1
+
+    # -- group management ----------------------------------------------
+    def add_group(self, name: str, formulas: Iterable[ast.Formula]) -> None:
+        """Register a selectable constraint group on the session (for
+        constraints only known after problem construction, e.g. a memory
+        model's predicate)."""
+        if name in self._dynamic_groups or name in self.problem._group_constraints:
+            raise RelationalError(f"constraint group {name!r} already exists")
+        formulas = list(formulas)
+        if not formulas:
+            raise RelationalError(f"constraint group {name!r} is empty")
+        self._dynamic_groups[name] = formulas
+
+    def has_group(self, name: str) -> bool:
+        return (
+            name in self._dynamic_groups
+            or name in self.problem._group_constraints
+        )
+
+    def _formulas_of(self, name: str) -> list[ast.Formula]:
+        formulas = self._dynamic_groups.get(name)
+        if formulas is not None:
+            return formulas
+        return self.problem._group_formulas(name)
+
+    def _ensure_solver(self) -> CdclSolver:
+        if self._solver is None:
+            self._solver = CdclSolver(self._compiled.cnf)
+            self._synced_clauses = self._compiled.cnf.num_clauses
+        return self._solver
+
+    def _sync_clauses(self) -> None:
+        """Push CNF clauses emitted since the last sync into the live
+        solver (the "clause pushes between solves" of the session API)."""
+        solver = self._ensure_solver()
+        clauses = self._compiled.cnf.clauses
+        for index in range(self._synced_clauses, len(clauses)):
+            solver.add_clause(clauses[index])
+        self._synced_clauses = len(clauses)
+
+    def _activate(self, name: str) -> int:
+        var = self._activation.get(name)
+        if var is None:
+            formulas = self._formulas_of(name)
+            self._ensure_solver()
+            root = self._compiled.compile_root(formulas)
+            var = self._compiled.cnf.new_var()
+            self._compiled.cnf.add_clause_trusted([-var, root])
+            self._sync_clauses()
+            self._activation[name] = var
+        return var
+
+    def _assumptions(self, groups: Iterable[str]) -> list[int]:
+        selected = set()
+        for name in groups:
+            self._activate(name)
+            selected.add(name)
+        return [
+            var if name in selected else -var
+            for name, var in self._activation.items()
+        ]
+
+    def _note_query(self, solver: CdclSolver) -> None:
+        self.stats.incremental_solves += 1
+        self.stats.retained_learned_clauses += solver.learned_count
+
+    # -- queries --------------------------------------------------------
+    @property
+    def solver_stats(self) -> Optional[SolverStats]:
+        """Live counters of the persistent query solver (None before the
+        first query)."""
+        return self._solver.stats if self._solver is not None else None
+
+    def solve(self, groups: Iterable[str] = ()) -> Optional[Instance]:
+        """One satisfying instance under the selected groups, or None.
+        UNSAT under a selection leaves the session fully usable."""
+        assumptions = self._assumptions(groups)
+        solver = self._ensure_solver()
+        self._note_query(solver)
+        result = solver.solve(assumptions)
+        if not result:
+            return None
+        return self._compiled.decode(result.model)
+
+    def iter_instances(
+        self, groups: Iterable[str] = (), limit: Optional[int] = None
+    ) -> Iterator[Instance]:
+        """Enumerate instances under the selected groups, incrementally.
+
+        Blocking clauses carry this enumeration's fresh activation tag
+        (via the decision-literal blocking scheme), and the tag is retired
+        with a unit clause when the generator finishes or is closed — so
+        a later query, under any selection, sees none of them.
+        """
+        if limit is not None and limit <= 0:
+            return
+        assumptions = self._assumptions(groups)
+        solver = self._ensure_solver()
+        tag = self._compiled.cnf.new_var()
+        self._note_query(solver)
+        count = 0
+        try:
+            for model in solver.iter_solutions(
+                assumptions=[tag] + assumptions
+            ):
+                yield self._compiled.decode(model)
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+        finally:
+            solver.add_clause([-tag])
+
+    def iter_base_instances(
+        self, limit: Optional[int] = None
+    ) -> Iterator[Instance]:
+        """Enumerate the base problem (no groups) on a **cold** solver
+        over the shared compilation — bit-identical to the fresh
+        :meth:`Problem.iter_instances` sequence, without re-translating.
+
+        The session's persistent solver is not involved, so warm-solver
+        state can never perturb this enumeration's order (which suite
+        byte-determinism rests on); the shared translation is the whole
+        point.
+        """
+        if limit is not None and limit <= 0:
+            return
+        base = _CnfSlice(
+            self._base_num_vars,
+            self._compiled.cnf.clauses[: self._base_num_clauses],
+        )
+        solver = CdclSolver(base)  # type: ignore[arg-type]
+        self.problem.last_solver_stats = solver.stats
+        count = 0
+        for model in solver.iter_solutions():
+            yield self._compiled.decode(model)
+            count += 1
+            if limit is not None and count >= limit:
+                return

@@ -22,10 +22,17 @@ from .conformance import (
 )
 from .figures import render_log_plot
 from .orchestration import render_shard_runtimes, render_sweep_cache_summary
-from .tables import render_series_table, render_table
+from .tables import (
+    render_sat_counters,
+    render_series_table,
+    render_stage_profile,
+    render_table,
+)
 
 __all__ = [
     "render_table",
+    "render_sat_counters",
+    "render_stage_profile",
     "render_series_table",
     "render_log_plot",
     "render_shard_runtimes",

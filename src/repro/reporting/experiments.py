@@ -85,6 +85,7 @@ def fig9_sweep(
     max_bounds: Optional[Mapping[str, int]] = None,
     time_budget_per_run_s: Optional[float] = None,
     witness_backend: str = "explicit",
+    incremental: bool = True,
 ) -> SweepResult:
     """Run (or fetch from cache) the Fig 9 per-axiom bound sweep."""
     max_bounds = resolve_max_bounds(max_bounds)
@@ -93,6 +94,7 @@ def fig9_sweep(
         tuple(sorted(max_bounds.items())),
         time_budget_per_run_s,
         witness_backend,
+        incremental,
     )
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
@@ -104,6 +106,7 @@ def fig9_sweep(
             bound=max_bounds[axiom],
             model=x86t_elt(),
             witness_backend=witness_backend,
+            incremental=incremental,
         )
         partial = synthesize_sweep(
             base,

@@ -39,6 +39,53 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_sat_counters(stats) -> str:
+    """The SAT backend's counter table for one run's
+    :class:`~repro.synth.SuiteStats`: core (deterministic) solver
+    counters plus the incremental-session counters — how many programs
+    got a session, how many translations ran vs were served by session
+    reuse, and how much warm-solver state assumption queries retained."""
+    rows = [
+        ("decisions", stats.sat_decisions),
+        ("propagations", stats.sat_propagations),
+        ("conflicts", stats.sat_conflicts),
+        ("learned clauses", stats.sat_learned_clauses),
+        ("sessions opened", stats.sat_sessions),
+        ("translations", stats.sat_translations),
+        ("translations avoided", stats.sat_translations_avoided),
+        ("incremental solves", stats.sat_incremental_solves),
+        ("retained learned clauses", stats.sat_retained_learned_clauses),
+    ]
+    return render_table(["sat counter", "value"], rows)
+
+
+def render_stage_profile(stats, runtime_s: float) -> str:
+    """``--profile`` output: per-stage wall time as a JSON document.
+
+    Stage semantics: ``translate`` / ``solve`` / ``decode`` are the
+    witness-session breakdown of candidate production (recorded when the
+    work actually runs — replays from the session cache add nothing);
+    ``enumerate`` is total time pulling witnesses in the pipeline loop
+    (on the session path it overlaps the breakdown, covering both live
+    production and cached replay); ``classify`` and ``minimality`` are
+    consumption stages.
+    """
+    import json
+
+    stages = {name: round(seconds, 6) for name, seconds in
+              sorted(stats.stage_times.items())}
+    return json.dumps(
+        {
+            "kind": "stage-profile",
+            "schema": 1,
+            "stages": stages,
+            "total_s": round(runtime_s, 6),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
 def render_series_table(
     series: dict[str, dict[int, object]],
     x_label: str,

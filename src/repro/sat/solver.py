@@ -69,6 +69,22 @@ class SolverStats:
     db_reductions: int = 0
     #: Learned clauses deleted by those reductions.
     deleted_clauses: int = 0
+    # ---- incremental-session counters (maintained by the session layers:
+    # :class:`repro.relational.translate.ProblemSession` and the witness
+    # session cache in :mod:`repro.synth.sat_backend`) ------------------
+    #: Persistent witness sessions opened (one per translated program).
+    sessions: int = 0
+    #: Relational-to-CNF translations performed.
+    translations: int = 0
+    #: Queries served by a live session that a fresh-solver run would
+    #: have paid a full translation for.
+    translations_avoided: int = 0
+    #: Assumption-scoped solves/enumerations answered by a live session
+    #: (reusing its translation and accumulated solver state).
+    incremental_solves: int = 0
+    #: Learned clauses already present (and reused) at the start of each
+    #: incremental solve, summed over solves.
+    retained_learned_clauses: int = 0
 
     def merge(self, other: "SolverStats") -> None:
         """Accumulate another counter set into this one (used when stats
@@ -85,6 +101,11 @@ class SolverStats:
         self.minimized_literals += other.minimized_literals
         self.db_reductions += other.db_reductions
         self.deleted_clauses += other.deleted_clauses
+        self.sessions += other.sessions
+        self.translations += other.translations
+        self.translations_avoided += other.translations_avoided
+        self.incremental_solves += other.incremental_solves
+        self.retained_learned_clauses += other.retained_learned_clauses
 
 
 @dataclass
@@ -194,11 +215,15 @@ class CdclSolver:
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT.
 
-        Must be called at decision level 0 (i.e. between solve calls).
-        Duplicate literals and tautologies are detected in one linear pass.
+        Intended for use between solve calls; if the solver was abandoned
+        mid-search (an enumeration generator closed early), the search is
+        first cancelled back to decision level 0 so the clause — and any
+        unit it implies — lands on the root level.  Duplicate literals
+        and tautologies are detected in one linear pass.
         """
         if not self._ok:
             return False
+        self._cancel_until(0)
         seen: set[int] = set()
         lits: list[int] = []
         max_var = 0
@@ -758,7 +783,7 @@ class CdclSolver:
     # ------------------------------------------------------------------
     # Incremental AllSAT
     # ------------------------------------------------------------------
-    def iter_solutions(self, blocking_literals=None):
+    def iter_solutions(self, blocking_literals=None, assumptions: Sequence[int] = ()):
         """Enumerate models without restarting the search between them.
 
         After each yielded model a blocking clause is attached *in place*:
@@ -774,13 +799,27 @@ class CdclSolver:
         the model's decision literals, which excludes exactly that one
         total model.
 
+        ``assumptions`` scopes the enumeration: the given literals are
+        held as pseudo-decisions for the whole run (exactly as in
+        :meth:`solve`), and enumeration ends — leaving the solver usable —
+        as soon as the formula is exhausted *under the assumptions*.
+        Because assumption literals sit on decision levels, the default
+        blocking clauses automatically carry their negations, so an
+        incremental session that retires one assumption literal (e.g. a
+        fresh per-enumeration activation tag asserted false afterwards)
+        retracts every blocking clause of that enumeration in one unit
+        clause.
+
         The generator yields each model dict exactly once; the solver must
         not be used for other queries while enumeration is in progress.
         Enumeration is deterministic and complete: it ends when the
-        formula plus blocking clauses becomes unsatisfiable.
+        formula plus blocking clauses becomes unsatisfiable (under the
+        assumptions, if any).
         """
         if not self._ok:
             return
+        for lit in assumptions:
+            self._grow_to(abs(lit))
         self._cancel_until(0)
         if self._propagate() is not None:
             self._ok = False
@@ -799,14 +838,35 @@ class CdclSolver:
                     self._cancel_until(0)
                     self._ok = False
                     return
-                if self._learn_and_backjump(conflict) is None:
+                if assumptions and not self._all_assumptions_hold(assumptions):
+                    # The conflict needs an assumption flipped: the model
+                    # space under the assumptions is exhausted, but the
+                    # solver (and its learned clauses) stay usable.
+                    self._cancel_until(0)
+                    return
+                outcome = self._learn_and_backjump(conflict)
+                if outcome is None:
+                    return
+                if (
+                    outcome == "unit"
+                    and assumptions
+                    and not self._replay_assumptions(assumptions)
+                ):
                     return
                 if conflicts_here >= conflict_budget:
                     restart_index += 1
                     conflict_budget = 32 * luby(restart_index)
                     conflicts_here = 0
                     self._restart()
+                    if assumptions and not self._replay_assumptions(assumptions):
+                        return
                 continue
+
+            if assumptions:
+                if not self._replay_assumptions(assumptions):
+                    return
+                if self._qhead < len(self._trail):
+                    continue
 
             decision = self._decide()
             if decision is not None:
@@ -881,6 +941,13 @@ class CdclSolver:
         :func:`repro.sat.enumerate.iter_models`).
         """
         return list(self._last_model_decisions)
+
+    @property
+    def learned_count(self) -> int:
+        """Learned clauses currently retained in the database (what an
+        incremental session reuses across queries; binary learned clauses
+        live in the binary watch lists and are not counted here)."""
+        return len(self._learned)
 
     # ------------------------------------------------------------------
     # Assumption handling

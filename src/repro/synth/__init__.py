@@ -33,6 +33,8 @@ from .engine import (
     witness_stream_factory,
 )
 from .relax import (
+    cached_is_minimal,
+    clear_minimality_cache,
     is_minimal,
     relaxation_becomes_permitted,
     relaxations,
@@ -45,6 +47,11 @@ from .skeletons import (
     enumerate_programs_with_order,
     enumerate_skeletons,
     program_cost,
+)
+from .sat_backend import (
+    WitnessSession,
+    WitnessSessionCache,
+    shared_session_cache,
 )
 from .witnesses import enumerate_witnesses, enumerate_witnesses_constrained
 
@@ -72,6 +79,11 @@ __all__ = [
     "enumerate_witnesses_constrained",
     "program_cost",
     "is_minimal",
+    "cached_is_minimal",
+    "clear_minimality_cache",
+    "WitnessSession",
+    "WitnessSessionCache",
+    "shared_session_cache",
     "relaxations",
     "relaxation_becomes_permitted",
     "relaxed_program",

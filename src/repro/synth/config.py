@@ -59,6 +59,16 @@ class SynthesisConfig:
     #: also populates the ``sat_*`` counters on :class:`SuiteStats`.  Both
     #: backends are deterministic and produce the same canonical suites.
     witness_backend: str = "explicit"
+    #: Incremental witness sessions (SAT backend): each program is
+    #: translated once into a persistent session whose witness list is
+    #: shared across axiom suites, sweep points, and diff pairs in the
+    #: same process (see :mod:`repro.synth.sat_backend`).  Output is
+    #: byte-identical either way — the session's full enumeration runs on
+    #: a cold solver over the shared translation — so this knob trades
+    #: nothing but serves as the differential oracle switch; it also
+    #: enables the cross-run minimality cache.  Off: rebuild everything
+    #: per query (the fresh-solver path).
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.bound < 1:

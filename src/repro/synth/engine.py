@@ -33,9 +33,15 @@ from ..models import MemoryModel, x86t_elt
 from ..mtm import Execution, Program
 from .canon import ProgramKey, canonical_execution_key, canonical_program_key
 from .config import SynthesisConfig
-from .relax import is_minimal
+from .relax import cached_is_minimal, is_minimal
 from .skeletons import enumerate_programs
 from .witnesses import enumerate_witnesses
+
+
+def _uncached_is_minimal(execution, model, execution_key) -> bool:
+    """The fresh-path minimality check (same signature as
+    :func:`~repro.synth.relax.cached_is_minimal`, no shared state)."""
+    return is_minimal(execution, model)
 
 #: Order keys are tuples of ints; comparisons only ever happen between
 #: keys produced by the same enumeration scheme.
@@ -70,6 +76,20 @@ class SuiteStats:
     sat_propagations: int = 0
     sat_conflicts: int = 0
     sat_learned_clauses: int = 0
+    # Incremental-session counters (witness_backend == "sat" with
+    # ``incremental`` on): how many sessions were opened, how many
+    # relational-to-CNF translations ran vs were avoided by session
+    # reuse, and how much warm-solver state assumption queries reused.
+    sat_sessions: int = 0
+    sat_translations: int = 0
+    sat_translations_avoided: int = 0
+    sat_incremental_solves: int = 0
+    sat_retained_learned_clauses: int = 0
+    #: Per-stage wall time (seconds) keyed by stage name — translate /
+    #: solve / decode / classify / minimality (plus "enumerate" for
+    #: witness backends that don't split production stages).  Summed
+    #: key-wise across shards; surfaced by ``--profile``.
+    stage_times: dict = field(default_factory=dict)
     # Per-pair verdict counters, populated by differential conformance
     # runs (:mod:`repro.conformance`): how many enumerated candidate
     # executions landed in each (reference, subject) agreement bucket.
@@ -92,6 +112,11 @@ class SuiteStats:
         "sat_propagations",
         "sat_conflicts",
         "sat_learned_clauses",
+        "sat_sessions",
+        "sat_translations",
+        "sat_translations_avoided",
+        "sat_incremental_solves",
+        "sat_retained_learned_clauses",
         "both_permit",
         "both_forbid",
         "only_reference_forbids",
@@ -103,13 +128,22 @@ class SuiteStats:
         for name in self.SUMMED_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.timed_out = self.timed_out or other.timed_out
+        for stage, seconds in other.stage_times.items():
+            self.stage_times[stage] = self.stage_times.get(stage, 0.0) + seconds
 
     def absorb_solver(self, solver_stats) -> None:
-        """Fold a :class:`~repro.sat.SolverStats` into the suite counters."""
+        """Fold a :class:`~repro.sat.SolverStats` into the suite counters
+        (core search counters plus the incremental-session counters the
+        session layers maintain on the same object)."""
         self.sat_decisions += solver_stats.decisions
         self.sat_propagations += solver_stats.propagations
         self.sat_conflicts += solver_stats.conflicts
         self.sat_learned_clauses += solver_stats.learned_clauses
+        self.sat_sessions += solver_stats.sessions
+        self.sat_translations += solver_stats.translations
+        self.sat_translations_avoided += solver_stats.translations_avoided
+        self.sat_incremental_solves += solver_stats.incremental_solves
+        self.sat_retained_learned_clauses += solver_stats.retained_learned_clauses
 
 
 @dataclass
@@ -140,27 +174,46 @@ class PipelineOutcome:
     stats: SuiteStats = field(default_factory=SuiteStats)
 
 
-def witness_stream_factory(config: SynthesisConfig):
+def witness_stream_factory(config: SynthesisConfig, stage_times=None):
     """The candidate-execution enumerator selected by
     ``config.witness_backend``.
 
     Returns ``(stream, sat_stats)``: ``stream`` maps a
-    :class:`~repro.mtm.Program` to its witness iterator; ``sat_stats`` is
+    :class:`~repro.mtm.Program` to its witness iterable; ``sat_stats`` is
     the :class:`~repro.sat.SolverStats` the SAT backend accumulates into
     across every program (``None`` for the explicit backend — fold it
     into a :class:`SuiteStats` via :meth:`SuiteStats.absorb_solver` when
     the run finishes).  Shared by the synthesis pipeline and the
     differential conformance pipeline (:mod:`repro.conformance`), so both
     workloads enumerate candidates identically.
+
+    With ``config.incremental`` (the default), the SAT backend routes
+    through the process-level :class:`~repro.synth.sat_backend.
+    WitnessSessionCache`: each program is translated once into a witness
+    session whose (byte-identical) execution list is replayed for every
+    later suite or pair that reaches the same program.  ``stage_times``,
+    when given a dict, receives per-stage wall time (translate / solve /
+    decode on the session path; one "enumerate" bucket otherwise).
     """
     if config.witness_backend == "sat":
         from ..sat import SolverStats
-        from .sat_backend import enumerate_witnesses_sat
 
         sat_stats = SolverStats()
+        if config.incremental:
+            from .sat_backend import shared_session_cache
 
-        def witness_stream(program: Program):
-            return enumerate_witnesses_sat(program, stats=sat_stats)
+            cache = shared_session_cache()
+
+            def witness_stream(program: Program):
+                return cache.witnesses(
+                    program, sink=sat_stats, stage_times=stage_times
+                )
+
+        else:
+            from .sat_backend import enumerate_witnesses_sat
+
+            def witness_stream(program: Program):
+                return enumerate_witnesses_sat(program, stats=sat_stats)
 
         return witness_stream, sat_stats
     return enumerate_witnesses, None
@@ -186,8 +239,15 @@ def run_pipeline(
     stats = outcome.stats
     by_key = outcome.by_key
     seen_executions: set = set()
+    clock = time.perf_counter
+    enumerate_s = classify_s = minimality_s = 0.0
 
-    witness_stream, sat_stats = witness_stream_factory(config)
+    witness_stream, sat_stats = witness_stream_factory(
+        config, stage_times=stats.stage_times
+    )
+    check_minimal = (
+        cached_is_minimal if config.incremental else _uncached_is_minimal
+    )
 
     for order_key, program in ordered_programs:
         if deadline is not None and time.monotonic() > deadline:
@@ -195,7 +255,13 @@ def run_pipeline(
             break
         stats.programs_enumerated += 1
         program_key: Optional[ProgramKey] = None
-        for execution in witness_stream(program):
+        started = clock()
+        iterator = iter(witness_stream(program))
+        while True:
+            execution = next(iterator, None)
+            enumerate_s += clock() - started
+            if execution is None:
+                break
             stats.executions_enumerated += 1
             if (
                 deadline is not None
@@ -204,18 +270,26 @@ def run_pipeline(
             ):
                 stats.timed_out = True
                 break
+            started = clock()
             if target is not None:
-                if target.holds(execution):
-                    continue
+                interesting = not target.holds(execution)
             else:
-                if model.permits(execution):
-                    continue
+                interesting = not model.permits(execution)
+            classify_s += clock() - started
+            if not interesting:
+                started = clock()
+                continue
             stats.interesting += 1
             execution_key = canonical_execution_key(execution)
             if execution_key in seen_executions:
+                started = clock()
                 continue
             seen_executions.add(execution_key)
-            if not is_minimal(execution, model):
+            started = clock()
+            minimal = check_minimal(execution, model, execution_key)
+            minimality_s += clock() - started
+            if not minimal:
+                started = clock()
                 continue
             stats.minimal += 1
             if program_key is None:
@@ -232,12 +306,21 @@ def run_pipeline(
                 outcome.order[program_key] = order_key
             else:
                 existing.outcome_count += 1
+            started = clock()
         if deadline is not None and time.monotonic() > deadline:
             stats.timed_out = True
             break
 
     if sat_stats is not None:
         stats.absorb_solver(sat_stats)
+    times = stats.stage_times
+    for stage, seconds in (
+        ("enumerate", enumerate_s),
+        ("classify", classify_s),
+        ("minimality", minimality_s),
+    ):
+        if seconds:
+            times[stage] = times.get(stage, 0.0) + seconds
     return outcome
 
 

@@ -23,13 +23,55 @@ encoding, expressed in :mod:`repro.relational` and solved by
 The test suite checks this enumerator agrees exactly with the explicit
 Python enumerator (:mod:`repro.synth.witnesses`) — the reproduction's
 deepest cross-validation.
+
+Incremental witness sessions
+----------------------------
+
+The synthesis and conformance pipelines ask many closely related
+questions about the *same* program — "enumerate its candidate
+executions", "is any permitted under x86t?", "does any violate axiom A?",
+"is any forbidden by the reference but permitted by the subject?".  A
+:class:`WitnessSession` answers all of them from **one** relational
+translation:
+
+* the placement constraints compile once, into a shared
+  :class:`~repro.relational.ProblemSession`;
+* every model/axiom constraint is registered as a *constraint group* and
+  compiled (lazily, into the same live CNF) under a fresh **activation
+  literal** ``a`` via the implication ``¬a ∨ root``; a query is then one
+  ``solve(assumptions)`` against the session's persistent CDCL solver,
+  asserting ``a`` for each selected group and ``¬a`` for the rest, so
+  learned clauses, VSIDS scores, and watch lists carry over between
+  queries;
+* assumption-scoped enumerations allocate a per-run *tag* assumption;
+  their in-place blocking clauses carry ``¬tag`` (assumptions sit on
+  decision levels, and blocking negates the decision literals), so
+  retiring the tag with the unit ``¬tag`` afterwards **retracts** every
+  blocking clause of that run — the retraction rule that keeps the
+  persistent solver reusable;
+* the one *full* witness enumeration each pipeline needs is served by a
+  cold solver over the shared compilation's base-CNF prefix
+  (:meth:`~repro.relational.ProblemSession.iter_base_instances`), so its
+  execution stream — and therefore every synthesized suite's bytes — is
+  bit-identical to the fresh-solver path, and its result is cached on
+  the session for replay by later suites and model pairs.
+
+:class:`WitnessSessionCache` shares sessions per program across
+``synthesize`` axiom suites, ``sweep`` runs, and ``diff`` pairs within a
+process; ``SynthesisConfig.incremental`` (default on) routes the engine
+through it, with the fresh path kept as the differential oracle.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from typing import Iterator, Optional
 
+from ..errors import SynthesisError
 from ..models import MemoryModel
+from ..sat import SolverStats
+from .relax import model_fingerprint
 from ..mtm import EventKind, Execution, Program, names
 from ..mtm.execution import derive_rf_ptw
 from ..relational import (
@@ -405,6 +447,329 @@ class WitnessProblem:
         return (rf, co, co_pa)
 
 
+def program_identity_key(program: Program) -> tuple:
+    """An exact structural identity for a program (NOT the canonical
+    class key: isomorphic programs with different event ids have
+    different witness streams and must not share sessions)."""
+    return (
+        tuple(
+            sorted(
+                (e.eid, e.kind.value, e.core, e.va, e.pa)
+                for e in program.events.values()
+            )
+        ),
+        program.threads,
+        tuple(sorted(program.ghosts.items())),
+        tuple(sorted(program.remap)),
+        tuple(sorted(program.rmw)),
+        tuple(sorted(program.initial_map.items())),
+        program.mcm_mode,
+    )
+
+
+class WitnessSession:
+    """One program's witness space, translated once and queried many times.
+
+    See the module docstring for the encoding.  The session serves two
+    kinds of work:
+
+    * :meth:`witnesses` — the full candidate-execution list (what the
+      pipelines consume), enumerated once on a cold solver over the
+      shared compilation (bit-identical to the fresh path) and cached;
+    * assumption-scoped queries (:meth:`has_witness`,
+      :meth:`query_executions`, :meth:`has_discriminating_witness`) —
+      model/axiom constraints as activation-literal groups against the
+      persistent solver.
+
+    ``stats`` carries the session-layer counters (`sessions`,
+    `translations`, `incremental_solves`, `retained_learned_clauses`);
+    ``enum_stats`` snapshots the full enumeration's solver counters for
+    cache-warmth-independent reporting.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        started = time.perf_counter()
+        self.problem: Optional[WitnessProblem] = WitnessProblem(program)
+        self._psession = self.problem.problem.session()
+        self.translate_s = time.perf_counter() - started
+        self.stats = SolverStats()
+        self.stats.sessions = 1
+        self.stats.translations = 1
+        self._witnesses: Optional[list[Execution]] = None
+        #: model/axiom fingerprint -> registered group name.
+        self._groups: dict[tuple, str] = {}
+        #: Counter snapshot of the (cold) full-enumeration solver, kept
+        #: so replays report the work the enumeration *represents*.
+        self.enum_stats: Optional[SolverStats] = None
+        self.solve_s = 0.0
+        self.decode_s = 0.0
+
+    # -- the full enumeration (pipeline path) ---------------------------
+    def witnesses(self) -> list[Execution]:
+        """The program's deduplicated candidate executions, in the exact
+        order the fresh-solver path yields them; enumerated once, then
+        replayed from cache.  ``enum_stats`` snapshots the enumerating
+        solver's counters — replays re-report the same snapshot, so the
+        deterministic counter totals of a run are identical whether its
+        witnesses came from live solving or from cache."""
+        if self._witnesses is None:
+            psession = self._ensure_psession()
+            decode = self.problem._decode
+            program = self.program
+            seen: set[tuple] = set()
+            out: list[Execution] = []
+            iterator = psession.iter_base_instances()
+            clock = time.perf_counter
+            while True:
+                started = clock()
+                instance = next(iterator, None)
+                self.solve_s += clock() - started
+                if instance is None:
+                    break
+                started = clock()
+                witness = decode(instance)
+                if witness not in seen:
+                    seen.add(witness)
+                    rf, co, co_pa = witness
+                    out.append(Execution(program, rf=rf, co=co, co_pa=co_pa))
+                self.decode_s += clock() - started
+            self._witnesses = out
+            self.enum_stats = self.problem.problem.last_solver_stats
+        return self._witnesses
+
+    def release_problem(self) -> None:
+        """Drop the translation and solver, keeping the cached witness
+        list (the memory-lean state the pipeline cache puts sessions in
+        once their enumeration is done).  A later query transparently
+        re-translates — and counts the translation."""
+        self.problem = None
+        self._psession = None
+        self._groups = {}
+
+    def _ensure_psession(self):
+        if self._psession is None:
+            started = time.perf_counter()
+            self.problem = WitnessProblem(self.program)
+            self._psession = self.problem.problem.session()
+            self.translate_s += time.perf_counter() - started
+            self.stats.translations += 1
+        return self._psession
+
+    # -- constraint groups ----------------------------------------------
+    def _group_for(
+        self,
+        model: MemoryModel,
+        violated_axiom: Optional[str] = None,
+        violated: bool = False,
+    ) -> str:
+        """The group name encoding one model/axiom constraint, registering
+        (and lazily compiling) it on first use."""
+        psession = self._ensure_psession()
+        if violated_axiom is not None:
+            key = ("axiom", model_fingerprint(model), violated_axiom)
+            formula = Not(model.axiom(violated_axiom).formula())
+        elif violated:
+            key = ("model-violated", model_fingerprint(model))
+            formula = Not(model.formula())
+        else:
+            key = ("model-holds", model_fingerprint(model))
+            formula = model.formula()
+        name = self._groups.get(key)
+        if name is None:
+            name = f"g{len(self._groups)}:{key[0]}:{model.name}" + (
+                f":{violated_axiom}" if violated_axiom is not None else ""
+            )
+            psession.add_group(name, [formula])
+            self._groups[key] = name
+        return name
+
+    def _note_query(self) -> None:
+        psession = self._ensure_psession()
+        self.stats.incremental_solves += 1
+        solver_stats = psession.solver_stats
+        if solver_stats is not None and psession._solver is not None:
+            self.stats.retained_learned_clauses += psession._solver.learned_count
+
+    # -- assumption-scoped queries --------------------------------------
+    def _selection(
+        self,
+        model: Optional[MemoryModel],
+        violated_axiom: Optional[str],
+        violated: bool,
+    ) -> list[str]:
+        if model is None:
+            if violated_axiom is not None or violated:
+                raise SynthesisError(
+                    "violated_axiom/violated need a model to apply to"
+                )
+            return []
+        return [self._group_for(model, violated_axiom, violated)]
+
+    def has_witness(
+        self,
+        model: Optional[MemoryModel] = None,
+        violated_axiom: Optional[str] = None,
+        violated: bool = False,
+    ) -> bool:
+        """Does any candidate execution satisfy the selection?  (`model`
+        alone: permitted by it — or forbidden, with ``violated=True``;
+        `model` + `violated_axiom`: violates that axiom.)  One incremental
+        solve."""
+        groups = self._selection(model, violated_axiom, violated)
+        self._note_query()
+        return self._ensure_psession().solve(groups=groups) is not None
+
+    def has_discriminating_witness(
+        self, reference: MemoryModel, subject: MemoryModel
+    ) -> bool:
+        """Does any candidate execution witness ``reference`` forbidding
+        what ``subject`` permits?  One incremental solve under two
+        activation literals."""
+        groups = [
+            self._group_for(reference, violated=True),
+            self._group_for(subject, violated=False),
+        ]
+        self._note_query()
+        return self._ensure_psession().solve(groups=groups) is not None
+
+    def query_executions(
+        self,
+        model: Optional[MemoryModel] = None,
+        violated_axiom: Optional[str] = None,
+        violated: bool = False,
+        limit: Optional[int] = None,
+    ) -> list[Execution]:
+        """Decode the executions satisfying the selection, via an
+        assumption-scoped enumeration whose blocking clauses retract when
+        it finishes (the session stays reusable)."""
+        groups = self._selection(model, violated_axiom, violated)
+        psession = self._ensure_psession()
+        self._note_query()
+        decode = self.problem._decode
+        seen: set[tuple] = set()
+        out: list[Execution] = []
+        for instance in psession.iter_instances(groups=groups):
+            witness = decode(instance)
+            if witness in seen:
+                continue
+            seen.add(witness)
+            rf, co, co_pa = witness
+            out.append(Execution(self.program, rf=rf, co=co, co_pa=co_pa))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+
+#: Default capacity of the process-level session cache (entries are
+#: post-enumeration sessions, i.e. a program plus its witness list).
+DEFAULT_SESSION_CACHE_SIZE = 4096
+
+
+class WitnessSessionCache:
+    """Process-local LRU of :class:`WitnessSession` per exact program.
+
+    This is what lets one translation serve many suites: consecutive
+    per-axiom synthesize runs, sweep points, and diff pairs in the same
+    process all map a given program to the same session (and therefore
+    the same cached witness list).  With ``keep_problems=False`` (the
+    default) a session is shrunk to its witness list once the pipeline's
+    full enumeration completes — the compiled CNF and solver of a
+    queried-again program are rebuilt transparently.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_SESSION_CACHE_SIZE,
+        keep_problems: bool = False,
+    ) -> None:
+        if max_entries < 1:
+            raise SynthesisError(
+                f"session cache needs a positive capacity, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.keep_problems = keep_problems
+        self._entries: "OrderedDict[tuple, WitnessSession]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, program: Program) -> tuple[WitnessSession, bool]:
+        """The session for ``program`` plus whether it was already cached."""
+        key = program_identity_key(program)
+        session = self._entries.get(key)
+        if session is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return session, True
+        session = WitnessSession(program)
+        self._entries[key] = session
+        self.misses += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return session, False
+
+    def witnesses(
+        self,
+        program: Program,
+        sink: Optional[SolverStats] = None,
+        stage_times: Optional[dict] = None,
+    ) -> list[Execution]:
+        """The pipeline entry point: cached witness list for ``program``,
+        with session counters and solver counters folded into ``sink``.
+        The solver counters merged are the enumeration's *snapshot* —
+        identical whether this call solved or replayed, so a run's
+        deterministic counter totals never depend on cache warmth (the
+        translations/avoided counters record the actual reuse).
+        ``stage_times`` receives the translate / solve / decode wall-time
+        breakdown of work actually performed by this call (replays add
+        nothing)."""
+        session, cached = self.get(program)
+        if sink is not None:
+            if cached:
+                sink.translations_avoided += 1
+            else:
+                sink.sessions += 1
+                sink.translations += 1
+        fresh = session._witnesses is None
+        witnesses = session.witnesses()
+        if sink is not None and session.enum_stats is not None:
+            sink.merge(session.enum_stats)
+        if stage_times is not None:
+            if not cached:
+                stage_times["translate"] = (
+                    stage_times.get("translate", 0.0) + session.translate_s
+                )
+            if fresh:
+                stage_times["solve"] = (
+                    stage_times.get("solve", 0.0) + session.solve_s
+                )
+                stage_times["decode"] = (
+                    stage_times.get("decode", 0.0) + session.decode_s
+                )
+        if fresh and not self.keep_problems:
+            session.release_problem()
+        return witnesses
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_SHARED_SESSION_CACHE: Optional[WitnessSessionCache] = None
+
+
+def shared_session_cache() -> WitnessSessionCache:
+    """The per-process session cache the engine's incremental path uses."""
+    global _SHARED_SESSION_CACHE
+    if _SHARED_SESSION_CACHE is None:
+        _SHARED_SESSION_CACHE = WitnessSessionCache()
+    return _SHARED_SESSION_CACHE
+
+
 def enumerate_witnesses_sat(
     program: Program,
     model: Optional[MemoryModel] = None,
@@ -436,6 +801,7 @@ def enumerate_witnesses_sat(
     the decoded witnesses concretely, so each program is translated and
     solved once — already within its "at most twice" budget.
     """
+    translated = problem is None
     encoded = problem if problem is not None else WitnessProblem(program)
     if model is not None and violated_axiom is not None:
         encoded.constrain_axiom_violated(model, violated_axiom)
@@ -444,5 +810,8 @@ def enumerate_witnesses_sat(
     try:
         yield from encoded.executions(limit=limit)
     finally:
-        if stats is not None and encoded.solver_stats is not None:
-            stats.merge(encoded.solver_stats)
+        if stats is not None:
+            if translated:
+                stats.translations += 1
+            if encoded.solver_stats is not None:
+                stats.merge(encoded.solver_stats)

@@ -18,6 +18,18 @@ The constrained variant re-enumerates completions of a *relaxed* witness
 for the minimality check (§IV-B): surviving rf edges are kept where still
 expressible, dropped reads read the initial value, and partial coherence
 orders are completed in every linear extension.
+
+This module is the *explicit* backend of the engine's witness streams
+(:func:`repro.synth.engine.witness_stream_factory`); the SAT backend's
+incremental witness sessions (:mod:`repro.synth.sat_backend`) enumerate
+the same streams through the relational pipeline, translated once per
+program and replayed from cache.  Both backends feed the same consumers:
+under either one, the fused conformance pipeline
+(:func:`repro.conformance.run_multi_diff_pipeline`) iterates a program's
+witnesses once for every model pair in flight, and the §IV-B minimality
+verdicts computed from :func:`enumerate_witnesses_constrained` are
+shared across suites and pairs through the cache in
+:mod:`repro.synth.relax`.
 """
 
 from __future__ import annotations

@@ -107,6 +107,7 @@ class TestSatWitnessBackend:
             model=x86t_elt(),
             target_axiom="tlb_causality",
             witness_backend="sat",
+            incremental=False,
         )
         first = synthesize(config)
         second = synthesize(config)
@@ -114,6 +115,31 @@ class TestSatWitnessBackend:
         assert first.stats.sat_propagations > 0
         assert first.stats.sat_propagations == second.stats.sat_propagations
         assert first.stats.sat_decisions == second.stats.sat_decisions
+
+    def test_incremental_rerun_replays_sessions(self) -> None:
+        """The second incremental run of the same config answers every
+        program from the session cache: same suite, no new translations."""
+        from repro.synth import shared_session_cache
+
+        shared_session_cache().clear()
+        config = SynthesisConfig(
+            bound=4,
+            model=x86t_elt(),
+            target_axiom="tlb_causality",
+            witness_backend="sat",
+            incremental=True,
+        )
+        first = synthesize(config)
+        second = synthesize(config)
+        assert first.keys() == second.keys()
+        assert first.stats.sat_propagations > 0
+        assert first.stats.sat_translations == first.stats.programs_enumerated
+        assert first.stats.sat_sessions == first.stats.programs_enumerated
+        assert second.stats.sat_translations == 0
+        assert (
+            second.stats.sat_translations_avoided
+            == second.stats.programs_enumerated
+        )
 
     def test_explicit_backend_reports_no_sat_work(self) -> None:
         result = run("sc_per_loc", 4)

@@ -19,7 +19,13 @@ What the digests encode:
   documents the known caveat and would catch it silently widening;
 * **diff-suite backend invariance** — the differential pipeline picks
   representatives by canonical key, so its suite bytes are pinned once
-  for *both* backends.
+  for *both* backends;
+* **solver-path invariance** — every digest is asserted under both
+  ``incremental=True`` (witness sessions: one translation per program,
+  cached execution lists replayed across suites) and
+  ``incremental=False`` (the fresh-solver oracle); the session path's
+  full enumeration runs on a cold solver over the shared translation
+  precisely so these digests cannot drift apart.
 
 When an intentional engine change alters output, regenerate with::
 
@@ -103,13 +109,21 @@ def suite_digest(axiom: str, bound: int, backend: str, **kwargs) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+@pytest.mark.parametrize("incremental", [False, True], ids=["fresh", "incremental"])
 @pytest.mark.parametrize(
     "axiom,bound,backend", sorted(GOLDEN_SUITES), ids=lambda v: str(v)
 )
-def test_serial_suite_matches_golden_digest(axiom, bound, backend) -> None:
-    assert suite_digest(axiom, bound, backend) == GOLDEN_SUITES[
-        (axiom, bound, backend)
-    ]
+def test_serial_suite_matches_golden_digest(
+    axiom, bound, backend, incremental
+) -> None:
+    """Every pinned digest must hold on BOTH solver paths: the
+    incremental-session path (default) and the fresh-solver oracle.
+    Session reuse across these parametrized cases is exactly the
+    production sweep workload, so cache warmth is deliberately not
+    reset between them."""
+    assert suite_digest(
+        axiom, bound, backend, incremental=incremental
+    ) == GOLDEN_SUITES[(axiom, bound, backend)]
 
 
 @pytest.mark.parametrize("backend", ["explicit", "sat"])
@@ -148,14 +162,18 @@ def test_backends_agree_on_canonical_classes_at_invlpg5() -> None:
     assert results["explicit"].count == results["sat"].count == 3
 
 
+@pytest.mark.parametrize("incremental", [False, True], ids=["fresh", "incremental"])
 @pytest.mark.parametrize("backend", ["explicit", "sat"])
-def test_diff_suite_matches_golden_digest(backend) -> None:
+def test_diff_suite_matches_golden_digest(backend, incremental) -> None:
     from repro.conformance import DiffConfig, diff_models
 
     cell = diff_models(
         DiffConfig(
             base=SynthesisConfig(
-                bound=5, model=x86t_elt(), witness_backend=backend
+                bound=5,
+                model=x86t_elt(),
+                witness_backend=backend,
+                incremental=incremental,
             ),
             subject=x86t_amd_bug(),
         )
