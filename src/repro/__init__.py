@@ -18,6 +18,10 @@ Subpackages
 ``repro.synth``
     The ELT synthesis engine (Fig 7 pipeline): bounded enumeration,
     interestingness pruning, minimality, deduplication.
+``repro.symmetry``
+    Symmetry-aware enumeration: program automorphism groups,
+    witness-orbit pruning with exact weights, SAT-level lex-leader
+    breaking, orbit-level program dedup.
 ``repro.litmus``
     ELT text formats, the reconstructed COATCheck suite, and the §VI-B
     comparison tool.

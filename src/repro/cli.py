@@ -97,6 +97,7 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         time_budget_s=args.budget,
         witness_backend=args.witness_backend,
         incremental=not args.fresh_solver,
+        symmetry=not args.no_symmetry,
     )
     store = _store(args)
     orchestrated = None
@@ -126,6 +127,11 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
         print()
         print(render_sat_counters(stats))
+    if not args.no_symmetry:
+        from .reporting import render_symmetry_counters
+
+        print()
+        print(render_symmetry_counters(stats))
     if args.profile:
         from .reporting import render_stage_profile
 
@@ -178,6 +184,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 model=x86t_elt(),
                 witness_backend=args.witness_backend,
                 incremental=not args.fresh_solver,
+                symmetry=not args.no_symmetry,
             ),
             axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
             min_bound=4,
@@ -195,6 +202,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             time_budget_per_run_s=budget,
             witness_backend=args.witness_backend,
             incremental=not args.fresh_solver,
+            symmetry=not args.no_symmetry,
         )
     print(render_fig9a(sweep))
     print()
@@ -286,6 +294,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
                 time_budget_s=args.budget,
                 witness_backend=args.witness_backend,
                 incremental=not args.fresh_solver,
+                symmetry=not args.no_symmetry,
             ),
             models=models,
             jobs=args.jobs,
@@ -335,6 +344,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
             time_budget_s=args.budget,
             witness_backend=args.witness_backend,
             incremental=not args.fresh_solver,
+            symmetry=not args.no_symmetry,
         ),
         subject=subject,
     )
@@ -423,6 +433,13 @@ def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable incremental witness sessions: rebuild the relational "
         "translation and solver for every query (the differential oracle "
         "path; output is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--no-symmetry",
+        action="store_true",
+        help="disable symmetry-aware enumeration (witness-orbit pruning, "
+        "SAT lex-leader clauses, orbit-level program dedup) — the "
+        "differential oracle path; output is byte-identical either way",
     )
     parser.add_argument(
         "--profile",

@@ -6,13 +6,24 @@ erratum variant) — as a first-class workload on top of every subsystem
 built so far:
 
 * :class:`DiffConfig` / :func:`diff_models` / :func:`run_diff_pipeline`
-  — the single-pass differential pipeline (one candidate enumeration,
+  — the single-pair differential pipeline (one candidate enumeration,
   both verdicts, shared axiom evaluation, discriminating-ELT suite);
+* :func:`run_multi_diff_pipeline` — the fused core every sharded path
+  actually runs: one shared program/witness enumeration classified under
+  *every* pair in flight, with per-witness axiom verdicts shared through
+  one :class:`~repro.models.AxiomTable` and, under the SAT backend,
+  one incremental witness session per program
+  (:mod:`repro.synth.sat_backend`) — each program is translated once
+  for all pairs, not once per query.  With ``SynthesisConfig.symmetry``
+  the shared stream additionally arrives orbit-pruned and weighted, and
+  duplicate isomorphic programs replay from the orbit cache
+  (:mod:`repro.symmetry`);
 * :class:`ConformanceCell` / :class:`Refinement` — one pair's
   Agreement-bucketed counts and refinement verdict at a bound;
 * :func:`run_diff` — sharded, store-cached execution of one pair;
 * :func:`run_all_pairs` / :class:`ConformanceMatrix` — the catalog-wide
-  matrix with axiom-subset consistency obligations;
+  matrix (one fused enumeration shared by all 20 catalog pairs) with
+  axiom-subset consistency obligations;
 * the ``repro diff`` CLI command front-ends all of it.
 """
 

@@ -27,11 +27,16 @@ of targeting one axiom it classifies every candidate execution under a
   :class:`~repro.synth.SuiteStats`, and the canonical keys of both
   asymmetric buckets are collected for refinement verdicts.
 
-Determinism is stronger than the synthesis engine's: the representative
-execution of each discriminating ELT is chosen by *canonical key* (with
-the serialized text as tie-break), not by stream position, so the
-``.elts`` bytes of a diff suite are identical across ``--jobs`` settings
-AND across witness backends.
+Determinism is order-free at both selection levels: each discriminating
+ELT belongs to the class member with the smallest identity rank, and its
+representative execution is chosen by *(canonical key, witness sort
+key)* — the same total order the symmetry layer's lex-leader clauses
+enforce (:mod:`repro.symmetry`) — never by stream position.  The
+``.elts`` bytes of a diff suite are therefore identical across
+``--jobs`` settings, witness backends, ``--fresh-solver``, and
+``--no-symmetry``; with symmetry on (the default), witness streams
+arrive orbit-pruned and weighted, and duplicate isomorphic programs are
+replayed from the orbit cache instead of being translated again.
 """
 
 from __future__ import annotations
@@ -46,11 +51,13 @@ from ..litmus.format import serialize_elt
 from ..models import Agreement, AxiomTable, MemoryModel
 from ..mtm import Execution, Program
 from ..synth import SuiteStats, SynthesisConfig
+from ..symmetry import execution_key_via, program_symmetry, witness_sort_key
 from ..synth.canon import (
     ExecutionKey,
     ProgramKey,
     canonical_execution_key,
     canonical_program_key,
+    identity_program_key,
 )
 from ..synth.engine import OrderKey, witness_stream_factory
 from ..synth.relax import cached_is_minimal, is_minimal, model_fingerprint
@@ -101,21 +108,27 @@ class DiffConfig:
 class DiscriminatingElt:
     """One discriminating test: a program class whose candidate set
     contains a reference-forbidden, subject-permitted, §IV-B-minimal
-    execution.  ``execution`` is the canonical representative (smallest
-    (canonical key, serialized text) among the class winner's minimal
-    discriminating witnesses); ``outcome_count`` counts the class's
-    distinct such witnesses."""
+    execution.  ``program`` is the class member with the smallest
+    identity rank; ``execution`` is the canonical representative among
+    that winner's minimal discriminating witnesses — smallest
+    ``(canonical key, witness sort key)``, the same total order the
+    symmetry layer's lex-leader clauses enforce, so orbit pruning can
+    never change which bytes are emitted.  ``outcome_count`` counts the
+    class's distinct such witnesses (by canonical key)."""
 
     program: Program
     execution: Execution
     key: ProgramKey
     execution_key: ExecutionKey
-    #: ``serialize_elt(execution)`` — the deterministic tie-break used
-    #: during representative selection, kept because the suite writer
+    #: ``serialize_elt(execution)`` — kept because the suite writer
     #: reuses it.
     text: str
     violated_axioms: tuple  # reference axioms the representative violates
     outcome_count: int = 1
+    #: Identity rank of the winning program (class-member tie-break).
+    rep_rank: tuple = ()
+    #: :func:`repro.symmetry.witness_sort_key` of the representative.
+    witness_rank: tuple = ()
 
 
 @dataclass
@@ -160,28 +173,31 @@ class _DiffAccumulator:
         order_key: OrderKey,
         program: Program,
         execution: Execution,
+        weight: int,
         ref_permits: bool,
         sub_permits: bool,
         execution_key_of,
         program_key_of,
+        rep_rank_of,
+        witness_rank_of,
         use_shared_minimality: bool,
     ) -> None:
         outcome = self.outcome
         stats = outcome.stats
         if ref_permits:
             if sub_permits:
-                stats.both_permit += 1
+                stats.both_permit += weight
                 return
-            stats.interesting += 1
-            stats.only_subject_forbids += 1
+            stats.interesting += weight
+            stats.only_subject_forbids += weight
             outcome.subject_only_keys.add(execution_key_of())
             return
         if not sub_permits:
-            stats.both_forbid += 1
+            stats.both_forbid += weight
             return
-        stats.interesting += 1
+        stats.interesting += weight
         execution_key = execution_key_of()
-        stats.only_reference_forbids += 1
+        stats.only_reference_forbids += weight
         outcome.reference_only_keys.add(execution_key)
 
         reference = self.reference
@@ -204,34 +220,44 @@ class _DiffAccumulator:
         if execution_key not in self.counted_keys:
             self.counted_keys.add(execution_key)
             stats.minimal += 1
-            if entry is None:
-                entry = DiscriminatingElt(
-                    program=program,
-                    execution=execution,
-                    key=program_key,
-                    execution_key=execution_key,
-                    text=serialize_elt(execution),
-                    violated_axioms=reference.check(execution).violated,
-                )
-                by_key[program_key] = entry
-                outcome.order[program_key] = order_key
-                return
-            entry.outcome_count += 1
-        # Representative selection: only the class winner (the entry's
-        # own program) competes, over ALL its minimal discriminating
-        # witnesses — including canonical-key duplicates, so the min
-        # is a property of the witness *set* and stays identical
-        # across witness backends whose stream orders differ.  The
-        # key decides almost always; serialization is the tie-break.
-        if entry is not None and outcome.order[program_key] == order_key:
-            if execution_key > entry.execution_key:
-                return
-            text = serialize_elt(execution)
-            if (execution_key, text) < (entry.execution_key, entry.text):
-                entry.execution = execution
-                entry.execution_key = execution_key
-                entry.text = text
-                entry.violated_axioms = reference.check(execution).violated
+            if entry is not None:
+                entry.outcome_count += 1
+        rep_rank = rep_rank_of()
+        witness_rank = witness_rank_of()
+        if entry is None:
+            by_key[program_key] = DiscriminatingElt(
+                program=program,
+                execution=execution,
+                key=program_key,
+                execution_key=execution_key,
+                text=serialize_elt(execution),
+                violated_axioms=reference.check(execution).violated,
+                rep_rank=rep_rank,
+                witness_rank=witness_rank,
+            )
+            outcome.order[program_key] = order_key
+            return
+        # Representative selection, order-free at both levels: the class
+        # member with the smallest identity rank owns the entry, and
+        # among the owner's minimal discriminating witnesses — including
+        # canonical-key duplicates, so the min is a property of the
+        # witness *set* — the smallest (canonical key, witness sort key)
+        # wins.  The sort key is the order the symmetry layer's
+        # lex-leader clauses enforce, so orbit pruning keeps exactly the
+        # witnesses that can win.
+        if rep_rank < entry.rep_rank or (
+            rep_rank == entry.rep_rank
+            and (execution_key, witness_rank)
+            < (entry.execution_key, entry.witness_rank)
+        ):
+            entry.program = program
+            entry.execution = execution
+            entry.execution_key = execution_key
+            entry.text = serialize_elt(execution)
+            entry.violated_axioms = reference.check(execution).violated
+            entry.rep_rank = rep_rank
+            entry.witness_rank = witness_rank
+            outcome.order[program_key] = order_key
 
 
 #: SynthesisConfig fields that shape the shared program/witness
@@ -298,6 +324,7 @@ def run_multi_diff_pipeline(
     table = AxiomTable(models)
 
     use_shared_minimality = base.incremental
+    use_symmetry = base.symmetry
     minimal_caches: dict = {}
     stage_acc = {"minimality": 0.0}
     accumulators = []
@@ -305,6 +332,18 @@ def run_multi_diff_pipeline(
         ref_key = model_fingerprint(diff.reference)
         cache = minimal_caches.setdefault(ref_key, {})
         accumulators.append(_DiffAccumulator(diff, cache, stage_acc))
+
+    #: Counters replayed for orbit-level dedup (per accumulator).
+    _REPLAYED = (
+        "interesting",
+        "both_permit",
+        "both_forbid",
+        "only_reference_forbids",
+        "only_subject_forbids",
+    )
+    #: canonical program key -> (identity rank, weighted executions,
+    #: per-accumulator replayed-counter deltas).
+    orbit_cache: dict = {}
 
     lead_stats = accumulators[0].outcome.stats
     witness_stream, sat_stats = witness_stream_factory(
@@ -322,23 +361,67 @@ def run_multi_diff_pipeline(
         for accumulator in accumulators:
             accumulator.outcome.stats.programs_enumerated += 1
             accumulator.start_program()
+        sym = program_symmetry(program) if use_symmetry else None
         program_key_memo: list = []
+        rep_rank_memo: list = []
 
         def program_key_of() -> ProgramKey:
             if not program_key_memo:
-                program_key_memo.append(canonical_program_key(program))
+                program_key_memo.append(
+                    sym.canonical_key
+                    if sym is not None
+                    else canonical_program_key(program)
+                )
             return program_key_memo[0]
 
+        def rep_rank_of() -> tuple:
+            if not rep_rank_memo:
+                rep_rank_memo.append(
+                    sym.identity_key
+                    if sym is not None
+                    else identity_program_key(program)
+                )
+            return rep_rank_memo[0]
+
+        if sym is not None:
+            if sym.prunable:
+                for accumulator in accumulators:
+                    accumulator.outcome.stats.symmetric_programs += 1
+            record = orbit_cache.get(sym.canonical_key)
+            if record is not None and record[0] < sym.identity_key:
+                # Orbit-level dedup: replay the class's weighted totals
+                # without enumerating (or translating) the duplicate.
+                for accumulator, deltas in zip(accumulators, record[2]):
+                    stats = accumulator.outcome.stats
+                    stats.orbit_replays += 1
+                    stats.executions_enumerated += record[1]
+                    for name, delta in zip(_REPLAYED, deltas):
+                        setattr(stats, name, getattr(stats, name) + delta)
+                continue
+        before = [
+            tuple(
+                getattr(accumulator.outcome.stats, name)
+                for name in _REPLAYED
+            )
+            for accumulator in accumulators
+        ]
+        program_executions = 0
+
         started = clock()
-        iterator = iter(witness_stream(program))
+        iterator = iter(witness_stream(program, sym))
         while True:
-            execution = next(iterator, None)
+            item = next(iterator, None)
             enumerate_s += clock() - started
-            if execution is None:
+            if item is None:
                 break
+            execution, weight = item
             witnesses_seen += 1
+            program_executions += weight
             for accumulator in accumulators:
-                accumulator.outcome.stats.executions_enumerated += 1
+                stats = accumulator.outcome.stats
+                stats.executions_enumerated += weight
+                if weight > 1:
+                    stats.orbit_witnesses_pruned += weight - 1
             if (
                 deadline is not None
                 and witnesses_seen % 64 == 0
@@ -349,13 +432,28 @@ def run_multi_diff_pipeline(
             started = clock()
             permits = table.evaluator(execution)
             execution_key_memo: list = []
+            witness_rank_memo: list = []
 
             def execution_key_of() -> ExecutionKey:
                 if not execution_key_memo:
                     execution_key_memo.append(
-                        canonical_execution_key(execution)
+                        execution_key_via(sym, execution)
+                        if sym is not None
+                        else canonical_execution_key(execution)
                     )
                 return execution_key_memo[0]
+
+            def witness_rank_of() -> tuple:
+                if not witness_rank_memo:
+                    witness_rank_memo.append(
+                        witness_sort_key(
+                            program,
+                            execution._rf,
+                            execution.co,
+                            execution.co_pa,
+                        )
+                    )
+                return witness_rank_memo[0]
 
             for accumulator, (ref_index, sub_index) in zip(
                 accumulators, pair_indices
@@ -364,10 +462,13 @@ def run_multi_diff_pipeline(
                     order_key,
                     program,
                     execution,
+                    weight,
                     permits(ref_index),
                     permits(sub_index),
                     execution_key_of,
                     program_key_of,
+                    rep_rank_of,
+                    witness_rank_of,
                     use_shared_minimality,
                 )
             classify_s += clock() - started
@@ -377,6 +478,21 @@ def run_multi_diff_pipeline(
         ):
             timed_out = True
             break
+        if sym is not None:
+            record = orbit_cache.get(sym.canonical_key)
+            if record is None or sym.identity_key < record[0]:
+                deltas = tuple(
+                    tuple(
+                        getattr(accumulator.outcome.stats, name) - start
+                        for name, start in zip(_REPLAYED, snapshot)
+                    )
+                    for accumulator, snapshot in zip(accumulators, before)
+                )
+                orbit_cache[sym.canonical_key] = (
+                    sym.identity_key,
+                    program_executions,
+                    deltas,
+                )
 
     outcomes = [accumulator.outcome for accumulator in accumulators]
     if timed_out:

@@ -5,13 +5,15 @@ carries over verbatim — canonical execution keys determine canonical
 program classes, order keys are assigned before shard filtering — with
 two diff-specific additions:
 
-* the raw Agreement-bucket counters are per-witness counts over a
-  *partitioned* program stream, so summing shard counters reproduces the
-  serial counts exactly (no cross-shard dedup subtleties);
-* each shard entry's representative execution is the minimum over the
-  class winner's own witness set (see :mod:`.diff`), so taking the entry
-  with the smallest order key reproduces both the serial winner *and*
-  its backend-invariant representative byte-for-byte.
+* the (orbit-weighted) Agreement-bucket counters are per-witness counts
+  over a *partitioned* program stream, so summing shard counters
+  reproduces the serial counts exactly (no cross-shard dedup
+  subtleties);
+* each shard entry carries its winner's identity rank and its
+  representative's ``(canonical key, witness sort key)`` minimum (see
+  :mod:`.diff`), so taking the entry minimizing ``(rep_rank, order)``
+  reproduces the serial winner *and* its backend-, symmetry-, and
+  order-invariant representative byte-for-byte.
 """
 
 from __future__ import annotations
@@ -48,7 +50,10 @@ def merge_diff_shards(
                 best[shard_elt.elt.key] = shard_elt
             else:
                 report.cross_shard_duplicates += 1
-                if shard_elt.order < current.order:
+                if (shard_elt.elt.rep_rank, shard_elt.order) < (
+                    current.elt.rep_rank,
+                    current.order,
+                ):
                     best[shard_elt.elt.key] = shard_elt
 
     cell = ConformanceCell(

@@ -102,6 +102,15 @@ class Program:
         """The user-facing event whose TLB miss triggered this walk."""
         return self.parent_of(walk_eid)
 
+    def __getstate__(self):
+        """Strip per-object computation memos (e.g. the
+        :func:`repro.symmetry.program_symmetry` cache) so pickled
+        programs — shard results, suite-store payloads — carry only the
+        structural fields."""
+        state = self.__dict__.copy()
+        state.pop("_symmetry_memo", None)
+        return state
+
     def position(self, eid: str) -> tuple[int, int]:
         """(core, slot) program position; ghosts inherit their parent's
         slot (DESIGN.md decision 2)."""

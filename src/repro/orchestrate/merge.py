@@ -16,16 +16,15 @@ program's key.  Consequences:
 1. **ELT membership is shard-invariant.**  A program class yields an ELT
    iff any one of its member programs does; each member yields the same
    canonical execution-key set regardless of which shard it lands in.
-2. **Representative choice is reconstructible.**  Serially, the entry for
-   class K is created by the first program (in enumeration order) whose
-   witness stream produces a new minimal forbidden execution; later
-   duplicate programs only re-produce already-seen execution keys and are
-   skipped.  Every shard enumerates its own slice *in the same global
-   order* (order keys are assigned before shard filtering), so the
-   shard-local winner for K with the smallest order key across shards is
-   exactly the serial winner — and its representative execution (the
-   first minimal witness of that very program) is byte-for-byte the
-   serial representative.
+2. **Representative choice is order-free.**  The pipeline selects, per
+   class, the member program with the smallest identity rank
+   (``SynthesizedElt.rep_rank``) and, within it, the minimal forbidden
+   witness minimizing *(canonical execution key, witness sort key)*.
+   Both ranks are properties of the entry, not of enumeration order, so
+   the cross-shard minimum over ``(rep_rank, order)`` reproduces the
+   serial entry byte-for-byte — whichever shard the class members landed
+   in, and whether or not symmetry pruning thinned their witness
+   streams (pruned witnesses are never rank-minimal).
 3. **Outcome counts are shard-invariant.**  ``outcome_count`` counts the
    distinct canonical minimal forbidden execution keys of class K, a
    quantity every member program reproduces in full; duplicated class
@@ -77,7 +76,10 @@ def merge_shards(
                 best[shard_elt.elt.key] = shard_elt
             else:
                 report.cross_shard_duplicates += 1
-                if shard_elt.order < current.order:
+                if (shard_elt.elt.rep_rank, shard_elt.order) < (
+                    current.elt.rep_rank,
+                    current.order,
+                ):
                     best[shard_elt.elt.key] = shard_elt
 
     result = SuiteResult(config.bound, config.target_axiom, stats=stats)

@@ -44,8 +44,10 @@ from ..synth import SynthesisConfig
 from .shards import ShardSpec
 
 #: Bump when engine output semantics change: cached entries from older
-#: schemas silently become misses.
-SCHEMA_VERSION = 1
+#: schemas silently become misses.  2: order-free representative
+#: selection (identity-ranked class winners, (canonical key, witness
+#: sort key)-minimal witnesses) and the symmetry-aware pipeline fields.
+SCHEMA_VERSION = 2
 
 KIND_SHARD = "shard"
 KIND_SUITE = "suite"
@@ -72,10 +74,12 @@ def config_identity(config: SynthesisConfig) -> dict[str, Any]:
     for name, value in asdict(config).items():
         if name == "model":
             continue
-        if name == "incremental":
-            # Output-invariant execution strategy (like --jobs): the
-            # incremental-session path is contractually byte-identical to
-            # the fresh-solver path, so both share cache entries.
+        if name in ("incremental", "symmetry"):
+            # Output-invariant execution strategies (like --jobs): the
+            # incremental-session path is contractually byte-identical
+            # to the fresh-solver path, and the symmetry-pruned path to
+            # the --no-symmetry oracle, so each pair shares cache
+            # entries.
             continue
         identity[name] = value
     return identity

@@ -8,7 +8,18 @@ compile to circuits; the Tseitin transformation yields CNF which the
 :class:`~repro.relational.instance.Instance` objects.
 
 This is exactly the pipeline TransForm relies on via Alloy 4.2 + Kodkod +
-MiniSat (paper §IV-C), re-implemented at the scale this reproduction needs.
+MiniSat (paper §IV-C), re-implemented at the scale this reproduction needs,
+plus two capabilities the synthesis pipelines lean on:
+
+* **constraint groups and sessions** — named, individually selectable
+  constraint sets (:meth:`Problem.constrain` with ``group=``) queried
+  incrementally through :class:`ProblemSession` (one translation, one
+  persistent solver, activation-literal assumptions; the contract is
+  spelled out on the class);
+* **symmetry breaking** — :meth:`Problem.add_symmetry` registers
+  solution-space symmetries that compile into static lex-leader clauses,
+  so enumerations visit one member per orbit (:mod:`repro.symmetry`
+  derives the permutations from program automorphism groups).
 """
 
 from __future__ import annotations
@@ -72,6 +83,14 @@ class Problem:
         self._bounds: dict[str, RelationBound] = {}
         self._defs: dict[str, tuple[int, ast.Expr]] = {}
         self._constraints: list[ast.Formula] = []
+        #: Registered symmetries: tuple permutations of declared free
+        #: relation entries, compiled into static lex-leader clauses (see
+        #: :meth:`add_symmetry`).
+        self._symmetries: list[dict[str, dict[Tuple_, Tuple_]]] = []
+        #: Lex-leader clauses emitted by the most recent compilation
+        #: (mirrored into :attr:`~repro.sat.SolverStats.symmetry_clauses`
+        #: of the enumerating solver).
+        self.last_symmetry_clauses = 0
         #: Named, individually selectable constraint sets.  Base
         #: constraints (group None) always hold; a group's constraints
         #: hold only in queries that select it — hard-compiled by the
@@ -147,6 +166,60 @@ class Problem:
         """Registered constraint-group names, in registration order."""
         return tuple(self._group_constraints)
 
+    def add_symmetry(
+        self, permutation: dict[str, dict[Tuple_, Tuple_]]
+    ) -> None:
+        """Register a solution-space symmetry for static lex-leader
+        breaking.
+
+        ``permutation`` maps relation names to tuple permutations: for
+        every declared relation ``r`` present, ``permutation[r]`` sends
+        each upper-bound tuple to its image under one structure-preserving
+        bijection of the problem (an automorphism of the constrained
+        solution space).  During translation, each registered symmetry
+        emits the static lex-leader constraint ``x ⪰ σ(x)`` over the free
+        tuple variables in declaration/allocation order (``0 < 1``, first
+        difference decides) — so the SAT enumeration only ever visits the
+        orbit member whose sorted concrete tuple listing is smallest (the
+        same member :func:`repro.symmetry.prune_weighted` keeps), instead
+        of decoding and discarding its isomorphs.
+
+        Soundness requirements, checked during compilation:
+
+        * only declared relations may appear, and every mapped entry and
+          its image must be *free* (not fixed by the lower bound) —
+          a genuine automorphism maps free entries to free entries;
+        * the map must be a permutation of each relation's upper bound.
+
+        The constraint is sound only if ``permutation`` really is an
+        automorphism (it maps solutions to solutions); callers are
+        responsible for that, and for weighting any counts by orbit size
+        when the pruned enumeration stands in for the full one.  The
+        clauses live in the base CNF, so they apply identically to the
+        fresh path, :class:`ProblemSession` queries, and
+        :meth:`ProblemSession.iter_base_instances`.
+        """
+        cleaned: dict[str, dict[Tuple_, Tuple_]] = {}
+        for name, mapping in permutation.items():
+            bound = self._bounds.get(name)
+            if bound is None:
+                raise RelationalError(
+                    f"symmetry permutes unknown relation {name!r}"
+                )
+            entries = {tuple(t): tuple(u) for t, u in mapping.items()}
+            domain = set(entries)
+            image = set(entries.values())
+            if not domain <= bound.upper or not image <= bound.upper:
+                raise RelationalError(
+                    f"symmetry on {name!r} leaves its upper bound"
+                )
+            if domain != image:
+                raise RelationalError(
+                    f"symmetry on {name!r} is not a permutation"
+                )
+            cleaned[name] = entries
+        self._symmetries.append(cleaned)
+
     def _group_formulas(self, name: str) -> list[ast.Formula]:
         formulas = self._group_constraints.get(name)
         if formulas is None:
@@ -188,6 +261,7 @@ class Problem:
             return
         compiled = _Compilation(self, groups=tuple(groups))
         solver = CdclSolver(compiled.cnf)
+        solver.stats.symmetry_clauses = compiled.symmetry_clauses
         self.last_solver_stats = solver.stats
         count = 0
         for model in solver.iter_solutions():
@@ -251,6 +325,11 @@ class _Compilation:
                     self.tuple_vars.append(var)
             self._rel_matrices[name] = matrix
 
+        self.symmetry_clauses = 0
+        for permutation in problem._symmetries:
+            self._emit_lex_leader(permutation)
+        problem.last_symmetry_clauses = self.symmetry_clauses
+
         constraints = list(problem._constraints)
         for name in groups:
             constraints.extend(problem._group_formulas(name))
@@ -260,6 +339,74 @@ class _Compilation:
         root = self.builder.and_(root_nodes)
         root_lit = self._tseitin(root)
         self.cnf.add_clause([root_lit])
+
+    def _emit_lex_leader(
+        self, permutation: dict[str, dict[Tuple_, Tuple_]]
+    ) -> None:
+        """Emit the static lex-leader constraint ``x ⪰_lex σ(x)`` for one
+        registered symmetry.
+
+        The variable vector runs over the free entries of the permuted
+        relations in declaration/allocation order (the order
+        ``tuple_vars`` was filled in); fixed points of the permutation
+        contribute nothing.  With ``0 < 1`` per component and the first
+        difference deciding, ``x ⪰_lex σ(x)`` keeps exactly the orbit
+        member whose sorted concrete tuple listing is smallest — aligned
+        with :func:`repro.symmetry.witness_sort_key`, which the decode-
+        side filter and the representative tie-breaks use.
+
+        Encoding: prefix-equality variables ``e_i ↔ e_{i-1} ∧ (x_i ↔
+        y_i)`` (full equivalences, so every auxiliary stays a function of
+        the tuple variables — the property decision-literal blocking
+        relies on) plus one ordering clause ``e_{i-1} → (x_i ∨ ¬y_i)``
+        per position.
+        """
+        cnf = self.cnf
+        pairs: list[tuple[int, int]] = []
+        for name, bound in self.problem._bounds.items():
+            mapping = permutation.get(name)
+            if not mapping:
+                continue
+            matrix = self._rel_matrices[name]
+            for t in sorted(bound.upper):
+                u = mapping.get(t)
+                if u is None or u == t:
+                    continue
+                x_node, y_node = matrix[t], matrix[u]
+                if not isinstance(x_node, BVar) or not isinstance(y_node, BVar):
+                    raise RelationalError(
+                        f"symmetry on {name!r} touches a fixed entry"
+                    )
+                pairs.append((x_node.var, y_node.var))
+
+        emitted = 0
+        prev: Optional[int] = None
+        for index, (x, y) in enumerate(pairs):
+            if prev is None:
+                cnf.add_clause_trusted([x, -y])
+            else:
+                cnf.add_clause_trusted([-prev, x, -y])
+            emitted += 1
+            if index + 1 == len(pairs):
+                break  # no later position needs the equality chain
+            e = cnf.new_var()
+            if prev is None:
+                # e ↔ (x ↔ y)
+                cnf.add_clause_trusted([-e, -x, y])
+                cnf.add_clause_trusted([-e, x, -y])
+                cnf.add_clause_trusted([e, -x, -y])
+                cnf.add_clause_trusted([e, x, y])
+                emitted += 4
+            else:
+                # e ↔ prev ∧ (x ↔ y)
+                cnf.add_clause_trusted([-e, prev])
+                cnf.add_clause_trusted([-e, -x, y])
+                cnf.add_clause_trusted([-e, x, -y])
+                cnf.add_clause_trusted([e, -prev, -x, -y])
+                cnf.add_clause_trusted([e, -prev, x, y])
+                emitted += 5
+            prev = e
+        self.symmetry_clauses += emitted
 
     def compile_root(self, formulas: Iterable[ast.Formula]) -> int:
         """Compile a conjunction of formulas into the live CNF and return
@@ -609,6 +756,27 @@ class ProblemSession:
     automatically carries ``¬tag``; retiring the tag with the unit clause
     ``¬tag`` afterwards permanently satisfies all of them.
 
+    **The constraint-group contract**, in full:
+
+    * groups come from two places — :meth:`Problem.constrain` with
+      ``group=`` (declared before the session opens) and
+      :meth:`add_group` (registered on the session afterwards, e.g. a
+      memory model's predicate only known per query); a name may be used
+      by exactly one of the two, and a group is never empty;
+    * a group's formulas are compiled **lazily**, on the first query
+      selecting it, into the same live CNF/Tseitin state as the base
+      translation — unused groups cost nothing;
+    * every query (:meth:`solve`, :meth:`iter_instances`) asserts the
+      activation literal of each *selected* group and the **negation**
+      of every other group ever activated on this session, so a
+      previously compiled group can never leak into a query that did
+      not select it;
+    * queries are non-destructive: UNSAT under a selection, or an
+      enumeration abandoned mid-stream, leaves the session fully usable
+      (blocking clauses retract through the per-run tag);
+    * base constraints (``group=None``) always hold, in every query and
+      in :meth:`iter_base_instances`.
+
     Two further guarantees matter to callers:
 
     * :meth:`iter_base_instances` enumerates the *base* problem (no
@@ -641,6 +809,7 @@ class ProblemSession:
         #: ``solver_stats``.
         self.stats = SolverStats()
         self.stats.translations += 1
+        self.stats.symmetry_clauses += self._compiled.symmetry_clauses
 
     # -- group management ----------------------------------------------
     def add_group(self, name: str, formulas: Iterable[ast.Formula]) -> None:
@@ -772,6 +941,7 @@ class ProblemSession:
             self._compiled.cnf.clauses[: self._base_num_clauses],
         )
         solver = CdclSolver(base)  # type: ignore[arg-type]
+        solver.stats.symmetry_clauses = self._compiled.symmetry_clauses
         self.problem.last_solver_stats = solver.stats
         count = 0
         for model in solver.iter_solutions():

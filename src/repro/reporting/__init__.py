@@ -24,6 +24,7 @@ from .figures import render_log_plot
 from .orchestration import render_shard_runtimes, render_sweep_cache_summary
 from .tables import (
     render_sat_counters,
+    render_symmetry_counters,
     render_series_table,
     render_stage_profile,
     render_table,
@@ -32,6 +33,7 @@ from .tables import (
 __all__ = [
     "render_table",
     "render_sat_counters",
+    "render_symmetry_counters",
     "render_stage_profile",
     "render_series_table",
     "render_log_plot",

@@ -86,6 +86,7 @@ def fig9_sweep(
     time_budget_per_run_s: Optional[float] = None,
     witness_backend: str = "explicit",
     incremental: bool = True,
+    symmetry: bool = True,
 ) -> SweepResult:
     """Run (or fetch from cache) the Fig 9 per-axiom bound sweep."""
     max_bounds = resolve_max_bounds(max_bounds)
@@ -95,6 +96,7 @@ def fig9_sweep(
         time_budget_per_run_s,
         witness_backend,
         incremental,
+        symmetry,
     )
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
@@ -107,6 +109,7 @@ def fig9_sweep(
             model=x86t_elt(),
             witness_backend=witness_backend,
             incremental=incremental,
+            symmetry=symmetry,
         )
         partial = synthesize_sweep(
             base,

@@ -85,6 +85,12 @@ class SolverStats:
     #: Learned clauses already present (and reused) at the start of each
     #: incremental solve, summed over solves.
     retained_learned_clauses: int = 0
+    # ---- symmetry-breaking counters (maintained by the relational
+    # translation, :mod:`repro.relational.translate`) --------------------
+    #: Static lex-leader symmetry-breaking clauses emitted into the CNF
+    #: during translation (see :meth:`repro.relational.Problem.
+    #: add_symmetry`).  Deterministic for a fixed problem.
+    symmetry_clauses: int = 0
 
     def merge(self, other: "SolverStats") -> None:
         """Accumulate another counter set into this one (used when stats
@@ -106,6 +112,7 @@ class SolverStats:
         self.translations_avoided += other.translations_avoided
         self.incremental_solves += other.incremental_solves
         self.retained_learned_clauses += other.retained_learned_clauses
+        self.symmetry_clauses += other.symmetry_clauses
 
 
 @dataclass

@@ -1,0 +1,36 @@
+"""Bridging automorphisms to SAT-level lex-leader breaking.
+
+:func:`witness_relation_permutation` turns one program automorphism (a
+concrete event bijection) into the relation-tuple permutation that
+:meth:`repro.relational.Problem.add_symmetry` compiles into static
+lex-leader clauses.  Only the *free* witness relations participate —
+``rf_pte``, ``rf_data``, ``co``, ``co_pa`` — because the fixed structural
+relations are constants the automorphism maps onto themselves by
+definition (that is what makes it an automorphism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+Edge = Tuple[str, str]
+
+
+def witness_relation_permutation(
+    auto: dict, uppers: Dict[str, Iterable[Edge]]
+) -> Dict[str, Dict[Edge, Edge]]:
+    """The tuple permutation one automorphism induces on the free witness
+    relations.
+
+    ``uppers`` maps each free relation name to its upper-bound edge list;
+    every edge maps to its image under the event bijection.  A genuine
+    automorphism permutes each upper bound onto itself, which
+    :meth:`~repro.relational.Problem.add_symmetry` re-checks at
+    registration time.
+    """
+    out: Dict[str, Dict[Edge, Edge]] = {}
+    for name, edges in uppers.items():
+        mapping = {(a, b): (auto[a], auto[b]) for a, b in edges}
+        if mapping:
+            out[name] = mapping
+    return out

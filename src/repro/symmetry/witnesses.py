@@ -1,0 +1,137 @@
+"""Witness orbits: deterministic representatives and exact weights.
+
+For a program with automorphism group *G*, the candidate executions fall
+into *G*-orbits of isomorphic witnesses.  This module quotients a witness
+stream by those orbits:
+
+* :func:`witness_sort_key` is the one concrete total order everything
+  agrees on — the witness's edge sets split and sorted in SAT variable
+  allocation order (``rf_pte``, ``rf_data``, ``co``, ``co_pa``).  The
+  orbit representative is the key-minimal member; the lex-leader clauses
+  of :meth:`repro.relational.Problem.add_symmetry` keep exactly that
+  member in-solver, and the pipelines' representative tie-breaks reuse
+  the same order so pruning can never change which bytes are emitted.
+* :func:`prune_weighted` filters a stream of executions down to orbit
+  representatives, each tagged with its orbit size.  Weighted counters
+  therefore reproduce the unpruned enumeration's numbers exactly —
+  the invariance the ``--no-symmetry`` differential oracle checks.
+
+The weights are exact because the automorphism list is the full group
+minus the identity (:func:`repro.symmetry.program_symmetry` tests every
+thread permutation), so the image set *is* the orbit: |orbit| = |G| /
+|stabilizer| falls out of plain set construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from ..mtm import EventKind, Execution, Program
+
+Edge = Tuple[str, str]
+WitnessKey = tuple
+
+
+def witness_sort_key(
+    program: Program,
+    rf: Iterable[Edge],
+    co: Iterable[Edge],
+    co_pa: Iterable[Edge],
+) -> WitnessKey:
+    """The canonical concrete order on one program's witnesses.
+
+    ``rf`` is split back into its PTE part (edges into page-table walks)
+    and its data part (edges into reads) because that is how the SAT
+    encoding declares — and therefore allocates variables for — the
+    witness relations; within each block, tuples sort ascending, matching
+    variable allocation order.  Comparing two witnesses by this key is
+    exactly comparing their characteristic vectors laid out in allocation
+    order with the *first difference deciding and presence winning* —
+    the order the lex-leader clauses enforce in-solver.
+    """
+    events = program.events
+    rf_pte: list[Edge] = []
+    rf_data: list[Edge] = []
+    for edge in rf:
+        if events[edge[1]].kind is EventKind.PT_WALK:
+            rf_pte.append(edge)
+        else:
+            rf_data.append(edge)
+    return (
+        tuple(sorted(rf_pte)),
+        tuple(sorted(rf_data)),
+        tuple(sorted(co)),
+        tuple(sorted(co_pa)),
+    )
+
+
+def apply_automorphism(
+    auto: dict, rf: frozenset, co: frozenset, co_pa: frozenset
+) -> tuple[frozenset, frozenset, frozenset]:
+    """Map a witness's edge sets through one event bijection."""
+    return (
+        frozenset((auto[a], auto[b]) for a, b in rf),
+        frozenset((auto[a], auto[b]) for a, b in co),
+        frozenset((auto[a], auto[b]) for a, b in co_pa),
+    )
+
+
+def witness_orbit(
+    program: Program,
+    automorphisms: Iterable[dict],
+    rf: frozenset,
+    co: frozenset,
+    co_pa: frozenset,
+) -> tuple[int, bool]:
+    """(orbit size, is this member the orbit's representative?).
+
+    The representative is the member with the smallest
+    :func:`witness_sort_key`.  Exactness relies on ``automorphisms``
+    being the full group minus the identity.
+    """
+    own_key = witness_sort_key(program, rf, co, co_pa)
+    images = {own_key}
+    minimal = True
+    for auto in automorphisms:
+        image = apply_automorphism(auto, rf, co, co_pa)
+        key = witness_sort_key(program, *image)
+        images.add(key)
+        if key < own_key:
+            minimal = False
+    return len(images), minimal
+
+
+def prune_weighted(
+    program: Program,
+    automorphisms: tuple,
+    executions: Iterable[Execution],
+) -> Iterator[tuple[Execution, int]]:
+    """Quotient an execution stream by the automorphism group.
+
+    Yields ``(execution, weight)`` pairs: one representative per orbit
+    (the :func:`witness_sort_key`-minimal member), weighted by orbit
+    size.  With an empty group this is the identity stream at weight 1.
+    The stream must be orbit-closed — true for the SAT enumeration (the
+    solution space is automorphism-invariant) and for the explicit
+    enumerator on ``co_pa``-trivial programs (the only ones
+    :attr:`~repro.symmetry.ProgramSymmetry.prunable` admits).
+
+    Idempotent over already-pruned streams: a lex-leader-constrained SAT
+    enumeration yields only representatives, which this filter passes
+    through while attaching their exact weights — so in-solver breaking
+    is purely an optimization, never a correctness dependency.
+    """
+    if not automorphisms:
+        for execution in executions:
+            yield execution, 1
+        return
+    for execution in executions:
+        size, minimal = witness_orbit(
+            program,
+            automorphisms,
+            execution._rf,
+            execution.co,
+            execution.co_pa,
+        )
+        if minimal:
+            yield execution, size

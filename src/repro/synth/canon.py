@@ -12,6 +12,20 @@ first-use VA/PA naming and keeps the lexicographically smallest form; the
 engine uses the same machinery both for *output* dedup and as generation-
 time symmetry reduction (the optimization the paper credits with making
 10+-instruction bounds practical, Fig 9b discussion).
+
+Three consumers share the serialization core:
+
+* :func:`canonical_program_key` / :func:`canonical_execution_key` — the
+  class keys the pipelines deduplicate on;
+* :func:`identity_program_key` — the fixed-arrangement serialization,
+  used as the deterministic *rank* that picks one representative program
+  per isomorphism class (generation-time pruning keeps exactly the
+  generable member with the smallest identity key, and the orbit-level
+  dedup in :func:`repro.synth.run_pipeline` re-derives that choice when
+  pruning is ablated);
+* :func:`repro.symmetry.program_symmetry` — reuses ``_serialize``'s
+  per-permutation index maps to extract automorphism groups alongside
+  both keys in one pass.
 """
 
 from __future__ import annotations
@@ -148,6 +162,14 @@ def _perms(program: Program) -> Iterable[tuple[int, ...]]:
 def canonical_program_key(program: Program) -> ProgramKey:
     """Lexicographically-least serialization over thread permutations."""
     return min(_serialize(program, perm)[0] for perm in _perms(program))
+
+
+def identity_program_key(program: Program) -> ProgramKey:
+    """Serialization under the identity thread order — a faithful,
+    comparable fingerprint of the *concrete* program (two generated
+    programs share it iff they are the same program), used to rank class
+    members when selecting representatives."""
+    return _serialize(program, tuple(range(program.num_cores)))[0]
 
 
 def canonical_execution_key(execution: Execution) -> ExecutionKey:

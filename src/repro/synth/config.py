@@ -26,9 +26,13 @@ class SynthesisConfig:
     ``mcm_mode``
         Ghost-free user-level synthesis (the [30] baseline).
     ``canonical_pruning``
-        Symmetry reduction during generation; disabling it is the ablation
-        of the Fig 9b discussion ("symmetry reduction enables synthesis
-        ... within practical runtimes").
+        Symmetry reduction during generation (one thread arrangement per
+        isomorphism class); disabling it is the ablation of the Fig 9b
+        discussion ("symmetry reduction enables synthesis ... within
+        practical runtimes").  Output is identical either way: the
+        pipelines select class representatives by canonical rank, and
+        the orbit-level dedup of :mod:`repro.symmetry` skips duplicate
+        class members before translation when ``symmetry`` is on.
     ``dirty_bit_as_rmw``
         Model dirty-bit updates as an RMW (read + write) instead of a
         single Write — the §III-A2 ablation; costs one extra instruction
@@ -69,6 +73,17 @@ class SynthesisConfig:
     #: enables the cross-run minimality cache.  Off: rebuild everything
     #: per query (the fresh-solver path).
     incremental: bool = True
+    #: Symmetry-aware enumeration (:mod:`repro.symmetry`): per-program
+    #: automorphism groups quotient the witness stream (one orbit
+    #: representative, orbit-size weights), the SAT backend emits static
+    #: lex-leader clauses so pruned witnesses are never even visited, and
+    #: duplicate isomorphic programs are skipped before translation
+    #: (orbit-level dedup).  Canonical suites and conformance matrices
+    #: are byte-identical either way — ``--no-symmetry`` (False) is the
+    #: differential oracle that runs the same pipelines unpruned.  Like
+    #: ``incremental``, this is an output-invariant execution strategy
+    #: and is excluded from suite-store cache identity.
+    symmetry: bool = True
 
     def __post_init__(self) -> None:
         if self.bound < 1:

@@ -4,11 +4,26 @@
 
 1. enumerate well-formed programs (skeletons → remap fan-out → TLB
    choices), with generation-time symmetry reduction;
-2. enumerate each program's candidate executions (witnesses);
+2. enumerate each program's candidate executions (witnesses) — through
+   the backend selected by ``config.witness_backend``: the explicit
+   Python enumerator, or the relational SAT pipeline, which under
+   ``config.incremental`` (the default) translates each program **once**
+   into a process-cached witness session (:mod:`repro.synth.sat_backend`)
+   whose execution list is replayed across axiom suites, sweep points,
+   and diff pairs;
 3. prune to *interesting* executions: at least one write (enforced at the
    program level) that violate the targeted axiom;
 4. prune to *minimal* executions (every relaxation becomes permitted);
 5. deduplicate into unique ELT programs (canonical forms).
+
+With ``config.symmetry`` (default on), :mod:`repro.symmetry` quotients
+the work first: each program's automorphism group prunes its witness
+stream to one representative per isomorphism orbit (in-solver, via
+lex-leader clauses, on the SAT backend), orbit-size weights keep the
+witness-level counters equal to the unpruned enumeration's, and
+duplicate isomorphic programs are skipped before translation.  The
+``--no-symmetry`` oracle runs the same pipeline unpruned and must
+produce byte-identical suites.
 
 ``synthesize_sweep`` reproduces the paper's Fig 9 methodology: for each
 axiom, sweep increasing bounds under a time budget (theirs: one week per
@@ -17,10 +32,12 @@ run on a server; ours: configurable seconds).
 The Fig 7 inner loop lives in :func:`run_pipeline`, which consumes an
 *ordered* program stream — ``(order_key, program)`` pairs — so that the
 serial path and the sharded path (:mod:`repro.orchestrate`) share one
-implementation.  Order keys are opaque comparable tuples recording each
-program's position in the global enumeration; the orchestrator's merge
-layer uses them to pick the same representative program per canonical
-class that a serial run would.
+implementation.  Representative selection is order-free: per class the
+program with the smallest identity rank wins, and its representative
+execution is its (canonical key, witness sort key)-minimal minimal
+witness — so suite bytes are invariant across ``--jobs``, witness
+backends, ``--fresh-solver``, and ``--no-symmetry``.  Order keys remain
+on each entry for reporting and deterministic merges.
 """
 
 from __future__ import annotations
@@ -31,7 +48,18 @@ from typing import Iterable, Optional
 
 from ..models import MemoryModel, x86t_elt
 from ..mtm import Execution, Program
-from .canon import ProgramKey, canonical_execution_key, canonical_program_key
+from ..symmetry import (
+    execution_key_via,
+    program_symmetry,
+    prune_weighted,
+    witness_sort_key,
+)
+from .canon import (
+    ProgramKey,
+    canonical_execution_key,
+    canonical_program_key,
+    identity_program_key,
+)
 from .config import SynthesisConfig
 from .relax import cached_is_minimal, is_minimal
 from .skeletons import enumerate_programs
@@ -51,13 +79,26 @@ OrderKey = tuple
 @dataclass
 class SynthesizedElt:
     """One unique synthesized ELT: a program plus one representative
-    forbidden (minimal, interesting) execution."""
+    forbidden (minimal, interesting) execution.
+
+    The representative is selected order-free: the class member program
+    with the smallest identity rank (``rep_rank``), and among its minimal
+    forbidden witnesses the one minimizing ``(canonical execution key,
+    witness sort key)`` — so the same bytes emerge from any enumeration
+    order, shard plan, witness backend, or symmetry setting."""
 
     program: Program
     execution: Execution
     key: ProgramKey
     violated_axioms: tuple[str, ...]
     outcome_count: int = 1  # distinct forbidden minimal executions found
+    #: Canonical key of the representative execution.
+    execution_key: tuple = ()
+    #: Identity rank of the representative program (class-member tie-break).
+    rep_rank: tuple = ()
+    #: :func:`repro.symmetry.witness_sort_key` of the representative
+    #: execution (witness tie-break within equal canonical keys).
+    witness_rank: tuple = ()
 
 
 @dataclass
@@ -85,6 +126,21 @@ class SuiteStats:
     sat_translations_avoided: int = 0
     sat_incremental_solves: int = 0
     sat_retained_learned_clauses: int = 0
+    # Symmetry counters (``config.symmetry``, :mod:`repro.symmetry`).
+    # The witness-level counters above (executions/interesting and the
+    # agreement buckets) are orbit-weighted, so they match the unpruned
+    # oracle exactly; these record the pruning actually performed.
+    #: Programs whose automorphism group admitted witness-orbit pruning.
+    symmetric_programs: int = 0
+    #: Duplicate isomorphic programs skipped before translation
+    #: (orbit-level dedup; non-zero only when generation-time pruning is
+    #: ablated or cannot see a duplicate class).
+    orbit_replays: int = 0
+    #: Witnesses never enumerated/classified because an orbit
+    #: representative stood in for them (sum of ``weight - 1``).
+    orbit_witnesses_pruned: int = 0
+    #: Static lex-leader clauses emitted during relational translation.
+    sat_symmetry_clauses: int = 0
     #: Per-stage wall time (seconds) keyed by stage name — translate /
     #: solve / decode / classify / minimality (plus "enumerate" for
     #: witness backends that don't split production stages).  Summed
@@ -117,6 +173,10 @@ class SuiteStats:
         "sat_translations_avoided",
         "sat_incremental_solves",
         "sat_retained_learned_clauses",
+        "symmetric_programs",
+        "orbit_replays",
+        "orbit_witnesses_pruned",
+        "sat_symmetry_clauses",
         "both_permit",
         "both_forbid",
         "only_reference_forbids",
@@ -144,6 +204,7 @@ class SuiteStats:
         self.sat_translations_avoided += solver_stats.translations_avoided
         self.sat_incremental_solves += solver_stats.incremental_solves
         self.sat_retained_learned_clauses += solver_stats.retained_learned_clauses
+        self.sat_symmetry_clauses += solver_stats.symmetry_clauses
 
 
 @dataclass
@@ -179,21 +240,27 @@ def witness_stream_factory(config: SynthesisConfig, stage_times=None):
     ``config.witness_backend``.
 
     Returns ``(stream, sat_stats)``: ``stream`` maps a
-    :class:`~repro.mtm.Program` to its witness iterable; ``sat_stats`` is
-    the :class:`~repro.sat.SolverStats` the SAT backend accumulates into
-    across every program (``None`` for the explicit backend — fold it
-    into a :class:`SuiteStats` via :meth:`SuiteStats.absorb_solver` when
-    the run finishes).  Shared by the synthesis pipeline and the
-    differential conformance pipeline (:mod:`repro.conformance`), so both
-    workloads enumerate candidates identically.
+    :class:`~repro.mtm.Program` — plus its precomputed
+    :class:`~repro.symmetry.ProgramSymmetry` (or ``None`` when
+    ``config.symmetry`` is off) — to an iterable of ``(execution,
+    weight)`` pairs: one representative per automorphism orbit, weighted
+    by orbit size (weight 1 everywhere when pruning does not apply).
+    ``sat_stats`` is the :class:`~repro.sat.SolverStats` the SAT backend
+    accumulates into across every program (``None`` for the explicit
+    backend — fold it into a :class:`SuiteStats` via
+    :meth:`SuiteStats.absorb_solver` when the run finishes).  Shared by
+    the synthesis pipeline and the differential conformance pipeline
+    (:mod:`repro.conformance`), so both workloads enumerate candidates
+    identically.
 
     With ``config.incremental`` (the default), the SAT backend routes
     through the process-level :class:`~repro.synth.sat_backend.
     WitnessSessionCache`: each program is translated once into a witness
-    session whose (byte-identical) execution list is replayed for every
-    later suite or pair that reaches the same program.  ``stage_times``,
-    when given a dict, receives per-stage wall time (translate / solve /
-    decode on the session path; one "enumerate" bucket otherwise).
+    session whose (byte-identical) weighted execution list is replayed
+    for every later suite or pair that reaches the same program.
+    ``stage_times``, when given a dict, receives per-stage wall time
+    (translate / solve / decode on the session path; one "enumerate"
+    bucket otherwise).
     """
     if config.witness_backend == "sat":
         from ..sat import SolverStats
@@ -204,19 +271,36 @@ def witness_stream_factory(config: SynthesisConfig, stage_times=None):
 
             cache = shared_session_cache()
 
-            def witness_stream(program: Program):
-                return cache.witnesses(
-                    program, sink=sat_stats, stage_times=stage_times
+            def witness_stream(program: Program, sym=None):
+                return cache.weighted_witnesses(
+                    program,
+                    symmetry=sym,
+                    sink=sat_stats,
+                    stage_times=stage_times,
                 )
 
         else:
             from .sat_backend import enumerate_witnesses_sat
 
-            def witness_stream(program: Program):
-                return enumerate_witnesses_sat(program, stats=sat_stats)
+            def witness_stream(program: Program, sym=None):
+                autos = sym.automorphisms if sym is not None and sym.prunable else ()
+                return prune_weighted(
+                    program,
+                    autos,
+                    enumerate_witnesses_sat(
+                        program, stats=sat_stats, symmetry=sym
+                    ),
+                )
 
         return witness_stream, sat_stats
-    return enumerate_witnesses, None
+
+    def explicit_stream(program: Program, sym=None):
+        autos = sym.automorphisms if sym is not None and sym.prunable else ()
+        # `enumerate_witnesses` resolved at call time so benchmark
+        # monkeypatching of the module global keeps working.
+        return prune_weighted(program, autos, enumerate_witnesses(program))
+
+    return explicit_stream, None
 
 
 def run_pipeline(
@@ -225,6 +309,16 @@ def run_pipeline(
     deadline: Optional[float] = None,
 ) -> PipelineOutcome:
     """Stages 2-5 of Fig 7 over an arbitrary ordered program stream.
+
+    With ``config.symmetry``, each program's witness stream arrives
+    orbit-pruned and weighted (see :func:`witness_stream_factory`), and
+    duplicate isomorphic programs are skipped before translation: the
+    orbit cache remembers, per canonical class, the identity rank of the
+    member that already did the work this pass plus its weighted witness
+    totals, so a later member with a larger rank only replays those
+    totals.  A later member with a *smaller* rank still runs in full —
+    it must supply the class representative — so suite bytes never
+    depend on arrival order.
 
     ``deadline`` is an absolute ``time.monotonic()`` timestamp; exceeding
     it sets ``stats.timed_out`` and stops cleanly with partial results.
@@ -238,7 +332,13 @@ def run_pipeline(
     outcome = PipelineOutcome()
     stats = outcome.stats
     by_key = outcome.by_key
-    seen_executions: set = set()
+    #: canonical execution key -> minimality verdict (doubles as the
+    #: seen-set: a key is present iff its first witness was classified).
+    minimal_by_key: dict = {}
+    #: canonical program key -> (identity rank, weighted executions,
+    #: weighted interesting) of the class member that ran in full.
+    orbit_cache: dict = {}
+    use_symmetry = config.symmetry
     clock = time.perf_counter
     enumerate_s = classify_s = minimality_s = 0.0
 
@@ -254,18 +354,43 @@ def run_pipeline(
             stats.timed_out = True
             break
         stats.programs_enumerated += 1
+        sym = None
         program_key: Optional[ProgramKey] = None
+        if use_symmetry:
+            sym = program_symmetry(program)
+            program_key = sym.canonical_key
+            if sym.prunable:
+                stats.symmetric_programs += 1
+            record = orbit_cache.get(program_key)
+            if record is not None and record[0] < sym.identity_key:
+                # Orbit-level dedup: a class member with a smaller rank
+                # already ran in full this pass; replay its weighted
+                # totals and skip translation/enumeration entirely.
+                stats.orbit_replays += 1
+                stats.executions_enumerated += record[1]
+                stats.interesting += record[2]
+                continue
+        program_executions = 0
+        program_interesting = 0
+        new_keys = 0
+        witnesses_seen = 0  # unweighted, for the periodic deadline check
+        candidate: Optional[tuple] = None  # (exec key, witness rank, execution)
         started = clock()
-        iterator = iter(witness_stream(program))
+        iterator = iter(witness_stream(program, sym))
         while True:
-            execution = next(iterator, None)
+            item = next(iterator, None)
             enumerate_s += clock() - started
-            if execution is None:
+            if item is None:
                 break
-            stats.executions_enumerated += 1
+            execution, weight = item
+            witnesses_seen += 1
+            stats.executions_enumerated += weight
+            program_executions += weight
+            if weight > 1:
+                stats.orbit_witnesses_pruned += weight - 1
             if (
                 deadline is not None
-                and stats.executions_enumerated % 64 == 0
+                and witnesses_seen % 64 == 0
                 and time.monotonic() > deadline
             ):
                 stats.timed_out = True
@@ -279,35 +404,74 @@ def run_pipeline(
             if not interesting:
                 started = clock()
                 continue
-            stats.interesting += 1
-            execution_key = canonical_execution_key(execution)
-            if execution_key in seen_executions:
+            stats.interesting += weight
+            program_interesting += weight
+            execution_key = (
+                execution_key_via(sym, execution)
+                if sym is not None
+                else canonical_execution_key(execution)
+            )
+            minimal = minimal_by_key.get(execution_key)
+            if minimal is None:
                 started = clock()
-                continue
-            seen_executions.add(execution_key)
+                minimal = check_minimal(execution, model, execution_key)
+                minimality_s += clock() - started
+                minimal_by_key[execution_key] = minimal
+                if minimal:
+                    stats.minimal += 1
+                    new_keys += 1
+            if minimal:
+                rank = witness_sort_key(
+                    program, execution._rf, execution.co, execution.co_pa
+                )
+                if candidate is None or (execution_key, rank) < candidate[:2]:
+                    candidate = (execution_key, rank, execution)
             started = clock()
-            minimal = check_minimal(execution, model, execution_key)
-            minimality_s += clock() - started
-            if not minimal:
-                started = clock()
-                continue
-            stats.minimal += 1
+
+        program_timed_out = (
+            deadline is not None and time.monotonic() > deadline
+        )
+        if candidate is not None:
             if program_key is None:
                 program_key = canonical_program_key(program)
-            existing = by_key.get(program_key)
-            if existing is None:
-                verdict = model.check(execution)
+            rep_rank = (
+                sym.identity_key
+                if sym is not None
+                else identity_program_key(program)
+            )
+            execution_key, rank, execution = candidate
+            entry = by_key.get(program_key)
+            if entry is None:
                 by_key[program_key] = SynthesizedElt(
                     program=program,
                     execution=execution,
                     key=program_key,
-                    violated_axioms=verdict.violated,
+                    violated_axioms=model.check(execution).violated,
+                    outcome_count=new_keys,
+                    execution_key=execution_key,
+                    rep_rank=rep_rank,
+                    witness_rank=rank,
                 )
                 outcome.order[program_key] = order_key
             else:
-                existing.outcome_count += 1
-            started = clock()
-        if deadline is not None and time.monotonic() > deadline:
+                entry.outcome_count += new_keys
+                if rep_rank < entry.rep_rank:
+                    entry.program = program
+                    entry.execution = execution
+                    entry.violated_axioms = model.check(execution).violated
+                    entry.execution_key = execution_key
+                    entry.rep_rank = rep_rank
+                    entry.witness_rank = rank
+                    outcome.order[program_key] = order_key
+        if use_symmetry and not program_timed_out and not stats.timed_out:
+            record = orbit_cache.get(program_key)
+            if record is None or sym.identity_key < record[0]:
+                orbit_cache[program_key] = (
+                    sym.identity_key,
+                    program_executions,
+                    program_interesting,
+                )
+        if program_timed_out:
             stats.timed_out = True
             break
 

@@ -71,6 +71,11 @@ from typing import Iterator, Optional
 from ..errors import SynthesisError
 from ..models import MemoryModel
 from ..sat import SolverStats
+from ..symmetry import (
+    ProgramSymmetry,
+    witness_orbit,
+    witness_relation_permutation,
+)
 from .relax import model_fingerprint
 from ..mtm import EventKind, Execution, Program, names
 from ..mtm.execution import derive_rf_ptw
@@ -106,10 +111,25 @@ def _pa_atom(pa: str) -> str:
 
 
 class WitnessProblem:
-    """The relational encoding of a program's witness space."""
+    """The relational encoding of a program's witness space.
 
-    def __init__(self, program: Program) -> None:
+    ``symmetry`` (a :class:`~repro.symmetry.ProgramSymmetry`, optional)
+    registers each program automorphism as a static lex-leader symmetry
+    on the free witness relations via
+    :meth:`~repro.relational.Problem.add_symmetry` — the CDCL enumeration
+    then only visits one witness per automorphism orbit (the
+    :func:`~repro.symmetry.witness_sort_key`-minimal member).  Only
+    :attr:`~repro.symmetry.ProgramSymmetry.prunable` symmetries are
+    applied; callers weighting counters by orbit size should filter the
+    decoded stream through :func:`~repro.symmetry.prune_weighted`, which
+    doubles as the exactness backstop.
+    """
+
+    def __init__(
+        self, program: Program, symmetry: Optional[ProgramSymmetry] = None
+    ) -> None:
         self.program = program
+        self.symmetry = symmetry if symmetry is not None and symmetry.prunable else None
         self.rf_ptw = derive_rf_ptw(program)
         events = program.events
         eids = list(events)
@@ -274,6 +294,17 @@ class WitnessProblem:
         ]
         self.co = p.declare(names.CO, 2, upper=co_upper)
         self.co_pa = p.declare(names.CO_PA, 2, upper=same_target)
+
+        # ---- symmetry breaking over the free witness relations ----------
+        if self.symmetry is not None:
+            uppers = {
+                "rf_pte": rf_pte_upper,
+                "rf_data": rf_data_upper,
+                names.CO: co_upper,
+                names.CO_PA: same_target,
+            }
+            for auto in self.symmetry.automorphisms:
+                p.add_symmetry(witness_relation_permutation(auto, uppers))
 
         # ---- derived relations (defined by substitution) ----------------
         self._constrain()
@@ -487,16 +518,26 @@ class WitnessSession:
     cache-warmth-independent reporting.
     """
 
-    def __init__(self, program: Program) -> None:
+    def __init__(
+        self, program: Program, symmetry: Optional[ProgramSymmetry] = None
+    ) -> None:
         self.program = program
+        self.symmetry = (
+            symmetry if symmetry is not None and symmetry.prunable else None
+        )
         started = time.perf_counter()
-        self.problem: Optional[WitnessProblem] = WitnessProblem(program)
+        self.problem: Optional[WitnessProblem] = WitnessProblem(
+            program, symmetry=self.symmetry
+        )
         self._psession = self.problem.problem.session()
         self.translate_s = time.perf_counter() - started
         self.stats = SolverStats()
         self.stats.sessions = 1
         self.stats.translations = 1
-        self._witnesses: Optional[list[Execution]] = None
+        #: Cached ``(execution, orbit weight)`` pairs, in enumeration order.
+        self._witnesses: Optional[list[tuple[Execution, int]]] = None
+        #: Cached unweighted view of the same list (:meth:`witnesses`).
+        self._plain_witnesses: Optional[list[Execution]] = None
         #: model/axiom fingerprint -> registered group name.
         self._groups: dict[tuple, str] = {}
         #: Counter snapshot of the (cold) full-enumeration solver, kept
@@ -506,19 +547,31 @@ class WitnessSession:
         self.decode_s = 0.0
 
     # -- the full enumeration (pipeline path) ---------------------------
-    def witnesses(self) -> list[Execution]:
-        """The program's deduplicated candidate executions, in the exact
-        order the fresh-solver path yields them; enumerated once, then
-        replayed from cache.  ``enum_stats`` snapshots the enumerating
-        solver's counters — replays re-report the same snapshot, so the
-        deterministic counter totals of a run are identical whether its
-        witnesses came from live solving or from cache."""
+    def weighted_witnesses(self) -> list[tuple[Execution, int]]:
+        """The program's deduplicated candidate executions with their
+        orbit weights, in the exact order the fresh-solver path yields
+        them; enumerated once, then replayed from cache.
+
+        Without symmetry every weight is 1.  With it, the lex-leader
+        clauses already keep the enumeration to orbit representatives;
+        the decode-side orbit check re-verifies that and attaches each
+        representative's exact orbit size, so weighted counters
+        reproduce the unpruned enumeration's totals.  ``enum_stats``
+        snapshots the enumerating solver's counters — replays re-report
+        the same snapshot, so the deterministic counter totals of a run
+        are identical whether its witnesses came from live solving or
+        from cache."""
         if self._witnesses is None:
             psession = self._ensure_psession()
             decode = self.problem._decode
             program = self.program
+            autos = (
+                self.symmetry.automorphisms
+                if self.symmetry is not None
+                else ()
+            )
             seen: set[tuple] = set()
-            out: list[Execution] = []
+            out: list[tuple[Execution, int]] = []
             iterator = psession.iter_base_instances()
             clock = time.perf_counter
             while True:
@@ -532,11 +585,34 @@ class WitnessSession:
                 if witness not in seen:
                     seen.add(witness)
                     rf, co, co_pa = witness
-                    out.append(Execution(program, rf=rf, co=co, co_pa=co_pa))
+                    weight = 1
+                    keep = True
+                    if autos:
+                        weight, keep = witness_orbit(
+                            program, autos, rf, co, co_pa
+                        )
+                    if keep:
+                        out.append(
+                            (
+                                Execution(program, rf=rf, co=co, co_pa=co_pa),
+                                weight,
+                            )
+                        )
                 self.decode_s += clock() - started
             self._witnesses = out
             self.enum_stats = self.problem.problem.last_solver_stats
         return self._witnesses
+
+    def witnesses(self) -> list[Execution]:
+        """The execution list alone (weights dropped) — the historical
+        surface, unchanged for sessions built without symmetry.  The
+        list is cached alongside the weighted one, so replays hand back
+        the very same object."""
+        if self._plain_witnesses is None:
+            self._plain_witnesses = [
+                execution for execution, _ in self.weighted_witnesses()
+            ]
+        return self._plain_witnesses
 
     def release_problem(self) -> None:
         """Drop the translation and solver, keeping the cached witness
@@ -550,7 +626,7 @@ class WitnessSession:
     def _ensure_psession(self):
         if self._psession is None:
             started = time.perf_counter()
-            self.problem = WitnessProblem(self.program)
+            self.problem = WitnessProblem(self.program, symmetry=self.symmetry)
             self._psession = self.problem.problem.session()
             self.translate_s += time.perf_counter() - started
             self.stats.translations += 1
@@ -696,20 +772,48 @@ class WitnessSessionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, program: Program) -> tuple[WitnessSession, bool]:
-        """The session for ``program`` plus whether it was already cached."""
-        key = program_identity_key(program)
+    def get(
+        self,
+        program: Program,
+        symmetry: Optional[ProgramSymmetry] = None,
+    ) -> tuple[WitnessSession, bool]:
+        """The session for ``program`` plus whether it was already cached.
+
+        Sessions built with an applied symmetry carry different CNF (the
+        lex-leader clauses) and a pruned witness list, so the cache keys
+        on the pruning bit alongside the exact program identity."""
+        prunable = symmetry is not None and symmetry.prunable
+        key = (program_identity_key(program), prunable)
         session = self._entries.get(key)
         if session is not None:
             self._entries.move_to_end(key)
             self.hits += 1
             return session, True
-        session = WitnessSession(program)
+        session = WitnessSession(program, symmetry=symmetry)
         self._entries[key] = session
         self.misses += 1
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
         return session, False
+
+    def weighted_witnesses(
+        self,
+        program: Program,
+        symmetry: Optional[ProgramSymmetry] = None,
+        sink: Optional[SolverStats] = None,
+        stage_times: Optional[dict] = None,
+    ) -> list[tuple[Execution, int]]:
+        """The pipeline entry point: cached ``(execution, orbit weight)``
+        list for ``program``, with session counters and solver counters
+        folded into ``sink``.  The solver counters merged are the
+        enumeration's *snapshot* — identical whether this call solved or
+        replayed, so a run's deterministic counter totals never depend on
+        cache warmth (the translations/avoided counters record the
+        actual reuse).  ``stage_times`` receives the translate / solve /
+        decode wall-time breakdown of work actually performed by this
+        call (replays add nothing)."""
+        session = self._serve(program, symmetry, sink, stage_times)
+        return session.weighted_witnesses()
 
     def witnesses(
         self,
@@ -717,16 +821,20 @@ class WitnessSessionCache:
         sink: Optional[SolverStats] = None,
         stage_times: Optional[dict] = None,
     ) -> list[Execution]:
-        """The pipeline entry point: cached witness list for ``program``,
-        with session counters and solver counters folded into ``sink``.
-        The solver counters merged are the enumeration's *snapshot* —
-        identical whether this call solved or replayed, so a run's
-        deterministic counter totals never depend on cache warmth (the
-        translations/avoided counters record the actual reuse).
-        ``stage_times`` receives the translate / solve / decode wall-time
-        breakdown of work actually performed by this call (replays add
-        nothing)."""
-        session, cached = self.get(program)
+        """Unweighted, symmetry-free variant of
+        :meth:`weighted_witnesses` (the historical surface); replays
+        hand back the very same list object."""
+        session = self._serve(program, None, sink, stage_times)
+        return session.witnesses()
+
+    def _serve(
+        self,
+        program: Program,
+        symmetry: Optional[ProgramSymmetry],
+        sink: Optional[SolverStats],
+        stage_times: Optional[dict],
+    ) -> WitnessSession:
+        session, cached = self.get(program, symmetry=symmetry)
         if sink is not None:
             if cached:
                 sink.translations_avoided += 1
@@ -734,7 +842,7 @@ class WitnessSessionCache:
                 sink.sessions += 1
                 sink.translations += 1
         fresh = session._witnesses is None
-        witnesses = session.witnesses()
+        session.weighted_witnesses()
         if sink is not None and session.enum_stats is not None:
             sink.merge(session.enum_stats)
         if stage_times is not None:
@@ -751,7 +859,7 @@ class WitnessSessionCache:
                 )
         if fresh and not self.keep_problems:
             session.release_problem()
-        return witnesses
+        return session
 
     def clear(self) -> None:
         self._entries.clear()
@@ -777,11 +885,19 @@ def enumerate_witnesses_sat(
     limit: Optional[int] = None,
     stats=None,
     problem: Optional[WitnessProblem] = None,
+    symmetry: Optional[ProgramSymmetry] = None,
 ) -> Iterator[Execution]:
     """Enumerate a program's candidate executions through the SAT pipeline.
 
     With ``model`` and ``violated_axiom`` set, only executions violating
     that axiom are produced (the synthesis-interesting subset).
+
+    ``symmetry`` applies static lex-leader breaking (see
+    :class:`WitnessProblem`): the stream then contains one witness per
+    automorphism orbit; pass it through
+    :func:`repro.symmetry.prune_weighted` when orbit weights are needed.
+    Ignored when a prebuilt ``problem`` is supplied (its construction
+    already decided).
 
     ``stats``, when given a :class:`~repro.sat.SolverStats`, accumulates
     this enumeration's solver counters into it (merged when the generator
@@ -802,7 +918,11 @@ def enumerate_witnesses_sat(
     solved once — already within its "at most twice" budget.
     """
     translated = problem is None
-    encoded = problem if problem is not None else WitnessProblem(program)
+    encoded = (
+        problem
+        if problem is not None
+        else WitnessProblem(program, symmetry=symmetry)
+    )
     if model is not None and violated_axiom is not None:
         encoded.constrain_axiom_violated(model, violated_axiom)
     elif model is not None:

@@ -34,6 +34,7 @@ from itertools import product
 from typing import Callable, Iterator, Optional
 
 from ..mtm import Event, EventKind, Program
+from ..symmetry import program_symmetry
 from .canon import is_canonical_thread_order
 from .config import SynthesisConfig
 
@@ -480,10 +481,17 @@ def enumerate_programs_with_order(
                     program = _assemble(placed, flags, config)
                     if program_cost(program, config) > config.bound:
                         continue
-                    if config.canonical_pruning and not is_canonical_thread_order(
-                        program
-                    ):
-                        continue
+                    if config.canonical_pruning:
+                        if config.symmetry:
+                            # One serialization pass serves both the
+                            # arrangement check here and the engine's
+                            # orbit machinery (memoized on the program).
+                            if not program_symmetry(
+                                program
+                            ).arrangement_canonical:
+                                continue
+                        elif not is_canonical_thread_order(program):
+                            continue
                     yield (skeleton_index, fanout_index), program
 
 

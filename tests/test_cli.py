@@ -43,6 +43,24 @@ class TestSynthesizeCommand:
         with pytest.raises(SystemExit):
             main(["synthesize", "--bound", "4", "--model", "bogus"])
 
+    def test_symmetry_counters_shown_by_default(self, capsys) -> None:
+        assert main(["synthesize", "--bound", "4", "--axiom", "invlpg"]) == 0
+        assert "symmetry counter" in capsys.readouterr().out
+
+    def test_no_symmetry_oracle_matches_default(self, capsys, tmp_path) -> None:
+        """--no-symmetry hides the counter table and writes identical
+        suite bytes (the oracle contract, end to end through the CLI)."""
+        default_path = tmp_path / "default.elts"
+        oracle_path = tmp_path / "oracle.elts"
+        base = ["synthesize", "--bound", "4", "--axiom", "sc_per_loc"]
+        assert main(base + ["--save", str(default_path)]) == 0
+        assert main(
+            base + ["--no-symmetry", "--save", str(oracle_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("symmetry counter") == 1  # default run only
+        assert default_path.read_bytes() == oracle_path.read_bytes()
+
 
 class TestCheckCommand:
     def test_forbidden_elt_exits_nonzero(self, tmp_path, capsys) -> None:
