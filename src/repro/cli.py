@@ -71,6 +71,62 @@ def _diff_model(name: str) -> MemoryModel:
         )
 
 
+def _emit_profile(
+    args: argparse.Namespace,
+    stats,
+    runtime_s: float,
+    stream=None,
+    leading_blank: bool = True,
+) -> None:
+    """The one ``--profile`` emitter (synthesize, sweep, and both diff
+    paths all route here): renders the stage-profile JSON document as a
+    view over the unified metrics registry."""
+    if not getattr(args, "profile", False) or stats is None:
+        return
+    from .reporting import render_stage_profile
+
+    out = sys.stdout if stream is None else stream
+    if leading_blank:
+        print(file=out)
+    print(render_stage_profile(stats, runtime_s), file=out)
+
+
+def _observation(args: argparse.Namespace):
+    """The run's :class:`~repro.obs.Observation` (a no-op unless
+    ``--trace`` asked for one)."""
+    from .obs import Observation
+
+    return Observation(trace_path=getattr(args, "trace", None))
+
+
+def _finish_observation(
+    obs,
+    args: argparse.Namespace,
+    command: str,
+    identity: dict,
+    stats,
+    artifacts=None,
+    extra=None,
+) -> None:
+    """Export the trace + write the run manifest (store-side too when a
+    cache dir is in play).  No-op when observation is disabled."""
+    if not obs.enabled:
+        return
+    from .orchestrate.store import identity_key
+
+    obs.finish(
+        command=command,
+        identity=identity,
+        identity_key=identity_key(identity),
+        stats=stats,
+        artifacts=artifacts,
+        cache_dir=getattr(args, "cache_dir", None),
+        extra=extra,
+    )
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+
+
 def _store(args: argparse.Namespace):
     """Build the suite store requested by --cache-dir/--resume (or None)."""
     if args.jobs < 1:
@@ -101,18 +157,20 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     )
     store = _store(args)
     orchestrated = None
-    if args.jobs > 1 or args.shards is not None or store is not None:
-        from .orchestrate import run_sharded
+    obs = _observation(args)
+    with obs:
+        if args.jobs > 1 or args.shards is not None or store is not None:
+            from .orchestrate import run_sharded
 
-        orchestrated = run_sharded(
-            config,
-            jobs=args.jobs,
-            shard_count=args.shards,
-            store=store,
-        )
-        result = orchestrated.result
-    else:
-        result = synthesize(config)
+            orchestrated = run_sharded(
+                config,
+                jobs=args.jobs,
+                shard_count=args.shards,
+                store=store,
+            )
+            result = orchestrated.result
+        else:
+            result = synthesize(config)
     stats = result.stats
     print(
         f"suite[{args.axiom or 'any-axiom'} @ bound {args.bound}]: "
@@ -132,11 +190,7 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
         print()
         print(render_symmetry_counters(stats))
-    if args.profile:
-        from .reporting import render_stage_profile
-
-        print()
-        print(render_stage_profile(stats, stats.runtime_s))
+    _emit_profile(args, stats, stats.runtime_s)
     if orchestrated is not None and (
         orchestrated.shard_results or orchestrated.suite_cache_hit
     ):
@@ -147,12 +201,25 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     for index, elt in enumerate(result.elts):
         print(f"\n--- ELT {index + 1} (violates: {', '.join(elt.violated_axioms)}) ---")
         print(format_execution(elt.execution, show_derived=args.verbose))
+    artifacts = None
     if args.save:
         from .litmus import suite_from_synthesis
 
         prefix = args.axiom or "elt"
         path = suite_from_synthesis(result, prefix=prefix).save(args.save)
         print(f"\nsuite written to {path}")
+        artifacts = {"suite": path}
+    if obs.enabled:
+        from .orchestrate.store import config_identity
+
+        _finish_observation(
+            obs,
+            args,
+            "synthesize",
+            config_identity(config),
+            stats,
+            artifacts=artifacts,
+        )
     return 0
 
 
@@ -174,36 +241,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     bounds = resolve_max_bounds(explicit, axioms=args.axiom or None)
     budget = resolve_sweep_budget(args.budget)
-    if args.jobs > 1 or args.shards is not None or store is not None:
-        from .orchestrate import run_sweep_sharded
-        from .reporting import render_sweep_cache_summary
+    obs = _observation(args)
+    with obs:
+        if args.jobs > 1 or args.shards is not None or store is not None:
+            from .orchestrate import run_sweep_sharded
+            from .reporting import render_sweep_cache_summary
 
-        sweep, records = run_sweep_sharded(
-            SynthesisConfig(
-                bound=4,
-                model=x86t_elt(),
+            sweep, records = run_sweep_sharded(
+                SynthesisConfig(
+                    bound=4,
+                    model=x86t_elt(),
+                    witness_backend=args.witness_backend,
+                    incremental=not args.fresh_solver,
+                    symmetry=not args.no_symmetry,
+                ),
+                axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
+                min_bound=4,
+                max_bound=bounds,
+                time_budget_per_run_s=budget,
+                jobs=args.jobs,
+                shard_count=args.shards,
+                store=store,
+            )
+            cache_summary = render_sweep_cache_summary(records)
+        else:
+            sweep = fig9_sweep(
+                max_bounds=bounds,
+                time_budget_per_run_s=budget,
                 witness_backend=args.witness_backend,
                 incremental=not args.fresh_solver,
                 symmetry=not args.no_symmetry,
-            ),
-            axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
-            min_bound=4,
-            max_bound=bounds,
-            time_budget_per_run_s=budget,
-            jobs=args.jobs,
-            shard_count=args.shards,
-            store=store,
-        )
-        print(render_sweep_cache_summary(records))
+            )
+            cache_summary = None
+    if cache_summary is not None:
+        print(cache_summary)
         print()
-    else:
-        sweep = fig9_sweep(
-            max_bounds=bounds,
-            time_budget_per_run_s=budget,
-            witness_backend=args.witness_backend,
-            incremental=not args.fresh_solver,
-            symmetry=not args.no_symmetry,
-        )
     print(render_fig9a(sweep))
     print()
     print(render_fig9b(sweep))
@@ -211,8 +283,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print()
         skipped = ", ".join(f"{a}@{b}" for a, b in sweep.skipped)
         print(f"bounds skipped after timeout: {skipped}")
-    if args.profile:
-        from .reporting import render_stage_profile
+    if args.profile or obs.enabled:
         from .synth import SuiteStats
 
         aggregate = SuiteStats()
@@ -220,8 +291,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for point in sweep.points:
             aggregate.absorb(point.result.stats)
             total += point.result.stats.runtime_s
-        print()
-        print(render_stage_profile(aggregate, total))
+        aggregate.runtime_s = total
+        _emit_profile(args, aggregate, total)
+        _finish_observation(
+            obs,
+            args,
+            "sweep",
+            {
+                "kind": "sweep",
+                "max_bounds": dict(sorted(bounds.items())),
+                "budget_s": budget,
+                "witness_backend": args.witness_backend,
+                "incremental": not args.fresh_solver,
+                "symmetry": not args.no_symmetry,
+            },
+            aggregate,
+        )
     return 0
 
 
@@ -286,23 +371,26 @@ def cmd_diff(args: argparse.Namespace) -> int:
         )
 
         models = catalog_models()
-        matrix, records = run_all_pairs(
-            SynthesisConfig(
-                bound=args.bound,
-                model=x86t_elt(),
-                max_threads=args.threads,
-                time_budget_s=args.budget,
-                witness_backend=args.witness_backend,
-                incremental=not args.fresh_solver,
-                symmetry=not args.no_symmetry,
-            ),
-            models=models,
-            jobs=args.jobs,
-            shard_count=args.shards,
-            store=store,
+        base = SynthesisConfig(
+            bound=args.bound,
+            model=x86t_elt(),
+            max_threads=args.threads,
+            time_budget_s=args.budget,
+            witness_backend=args.witness_backend,
+            incremental=not args.fresh_solver,
+            symmetry=not args.no_symmetry,
         )
+        obs = _observation(args)
+        with obs:
+            matrix, records = run_all_pairs(
+                base,
+                models=models,
+                jobs=args.jobs,
+                shard_count=args.shards,
+                store=store,
+            )
         aggregate = None
-        if args.witness_backend == "sat" or args.profile:
+        if args.witness_backend == "sat" or args.profile or obs.enabled:
             from .synth import SuiteStats
 
             aggregate = SuiteStats()
@@ -325,13 +413,20 @@ def cmd_diff(args: argparse.Namespace) -> int:
             if violations:
                 rendered = ", ".join(f"{r}⊑{s}" for r, s in violations)
                 print(f"\nWARNING: axiom-subset inclusions violated: {rendered}")
-        if args.profile:
-            from .reporting import render_stage_profile
+        _emit_profile(
+            args,
+            aggregate,
+            aggregate.runtime_s if aggregate is not None else 0.0,
+            stream=sys.stderr if args.json else sys.stdout,
+            leading_blank=False,
+        )
+        if obs.enabled:
+            from .orchestrate.store import config_identity
 
-            print(
-                render_stage_profile(aggregate, aggregate.runtime_s),
-                file=sys.stderr if args.json else sys.stdout,
-            )
+            identity = config_identity(base)
+            identity["kind"] = "diff-all-pairs"
+            identity["models"] = sorted(models)
+            _finish_observation(obs, args, "diff --all-pairs", identity, aggregate)
         return 1 if matrix.discriminating_total else 0
 
     reference = _diff_model(args.reference)
@@ -349,13 +444,15 @@ def cmd_diff(args: argparse.Namespace) -> int:
         subject=subject,
     )
     run_record = None
-    if args.jobs > 1 or args.shards is not None or store is not None:
-        run_record = run_diff(
-            diff, jobs=args.jobs, shard_count=args.shards, store=store
-        )
-        cell = run_record.cell
-    else:
-        cell = diff_models(diff)
+    obs = _observation(args)
+    with obs:
+        if args.jobs > 1 or args.shards is not None or store is not None:
+            run_record = run_diff(
+                diff, jobs=args.jobs, shard_count=args.shards, store=store
+            )
+            cell = run_record.cell
+        else:
+            cell = diff_models(diff)
 
     if args.json:
         print(json.dumps(cell_to_json(cell), indent=2, sort_keys=True))
@@ -380,20 +477,81 @@ def cmd_diff(args: argparse.Namespace) -> int:
                 f"(violates: {', '.join(elt.violated_axioms)}) ---"
             )
             print(format_execution(elt.execution, show_derived=args.verbose))
-    if args.profile:
-        from .reporting import render_stage_profile
-
-        print(
-            render_stage_profile(cell.stats, cell.stats.runtime_s),
-            file=sys.stderr if args.json else sys.stdout,
-        )
+    _emit_profile(
+        args,
+        cell.stats,
+        cell.stats.runtime_s,
+        stream=sys.stderr if args.json else sys.stdout,
+        leading_blank=False,
+    )
+    artifacts = None
     if args.save:
         from .litmus import suite_from_diff
 
         path = suite_from_diff(cell).save(args.save)
         if not args.json:
             print(f"\ndiff suite written to {path}")
+        artifacts = {"suite": path}
+    if obs.enabled:
+        from .conformance import diff_identity
+
+        _finish_observation(
+            obs, args, "diff", diff_identity(diff), cell.stats,
+            artifacts=artifacts,
+        )
     return 1 if cell.discriminating else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import list_manifests
+
+    manifests = list_manifests(args.cache_dir)
+    if args.key:
+        manifests = [
+            manifest
+            for manifest in manifests
+            if manifest.get("identity_key", "").startswith(args.key)
+        ]
+    if args.json:
+        print(json.dumps(manifests, indent=2, sort_keys=True))
+        return 0
+    if not manifests:
+        print(f"no run manifests under {args.cache_dir}/manifests")
+        return 0
+    from .reporting import render_table
+
+    rows = []
+    for manifest in manifests:
+        counters = manifest.get("counters", {}).get("counters", {})
+        timing = manifest.get("timing", {})
+        rows.append(
+            [
+                manifest.get("command", "?"),
+                manifest.get("identity_key", "")[:12],
+                counters.get("suite.programs_enumerated", 0),
+                counters.get("suite.executions_enumerated", 0),
+                counters.get("suite.interesting", 0),
+                f"{timing.get('wall_s', 0.0):.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["command", "key", "programs", "executions", "interesting", "wall_s"],
+            rows,
+            title=f"run manifests ({args.cache_dir})",
+        )
+    )
+    if args.verbose:
+        for manifest in manifests:
+            print()
+            print(f"-- {manifest.get('identity_key', '')} --")
+            counters = manifest.get("counters", {}).get("counters", {})
+            for name, value in sorted(counters.items()):
+                print(f"  {name} = {value}")
+            stage_s = manifest.get("timing", {}).get("stage_s", {})
+            for name, value in sorted(stage_s.items()):
+                print(f"  stage_s.{name} = {value}")
+    return 0
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
@@ -446,6 +604,16 @@ def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print per-stage wall-time JSON (translate / solve / decode / "
         "classify / minimality) after the report",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured run trace here: Chrome trace_event JSON "
+        "(load it in Perfetto or chrome://tracing), or a JSONL event log "
+        "when FILE ends in .jsonl; the export embeds the metrics snapshot "
+        "and the run manifest, and the run's output stays byte-identical "
+        "to an untraced one",
     )
     parser.add_argument(
         "--jobs",
@@ -558,6 +726,33 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="§VI-B comparison vs the hand-written COATCheck suite"
     )
     compare.set_defaults(func=cmd_compare)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render the run manifests recorded in a cache dir "
+        "(counters, stage times, artifact digests)",
+    )
+    stats.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the store whose manifests/ tree to read",
+    )
+    stats.add_argument(
+        "--key",
+        default=None,
+        help="only manifests whose identity key starts with this prefix",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the matching manifests as a JSON array",
+    )
+    stats.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print every deterministic counter and stage time",
+    )
+    stats.set_defaults(func=cmd_stats)
 
     explore = sub.add_parser(
         "explore", help="enumerate all outcomes of an ELT program"

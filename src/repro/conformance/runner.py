@@ -20,13 +20,14 @@ in a deterministic :class:`~repro.conformance.matrix.ConformanceMatrix`.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, replace
 from multiprocessing import get_context
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import SynthesisError
 from ..models import MemoryModel, catalog_models
+from ..obs import ProgressReporter, current_registry, current_tracer
 from ..orchestrate.merge import MergeReport
 from ..orchestrate.shards import ShardSpec, plan_pair_shards, plan_shards
 from ..orchestrate.store import (
@@ -101,6 +102,10 @@ def _save_shard(
 ) -> None:
     if shard.stats.timed_out:
         return
+    # Spans describe one concrete run and must not replay from cache;
+    # the metrics registry is kept (snapshot-replay, like the counters).
+    if shard.spans is not None:
+        shard = replace(shard, spans=None)
     store.put(
         diff_entry_key(diff, KIND_DIFF_SHARD, spec),
         shard,
@@ -142,22 +147,39 @@ def _execute_tasks(
     jobs: int,
     executor: Optional[Executor] = None,
     worker=run_diff_shard,
+    progress: Optional[ProgressReporter] = None,
 ) -> List:
     """Run shard tasks inline (``jobs == 1``) or on a spawn pool,
     creating and tearing down the pool only when the caller did not
-    share one.  Results come back in task order — the single executor-
-    lifecycle policy behind both :func:`run_diff` and
+    share one.  Results come back in task order (parallel collection is
+    completion-ordered for live progress, but lands by index) — the
+    single executor-lifecycle policy behind both :func:`run_diff` and
     :func:`run_all_pairs` (which passes the fused multi-pair worker)."""
     own_executor: Optional[ProcessPoolExecutor] = None
     try:
         if tasks and jobs > 1 and executor is None:
             own_executor = _make_executor(jobs)
         pool = executor if executor is not None else own_executor
+        results: List = [None] * len(tasks)
         if pool is None:
-            return [worker(task) for task in tasks]
-        futures = [pool.submit(worker, task) for task in tasks]
-        return [future.result() for future in futures]
+            for index, task in enumerate(tasks):
+                results[index] = worker(task)
+                if progress is not None:
+                    progress.update(task.spec.label)
+        else:
+            future_slots = {
+                pool.submit(worker, task): index
+                for index, task in enumerate(tasks)
+            }
+            for future in as_completed(future_slots):
+                index = future_slots[future]
+                results[index] = future.result()
+                if progress is not None:
+                    progress.update(tasks[index].spec.label)
+        return results
     finally:
+        if progress is not None:
+            progress.finish()
         if own_executor is not None:
             own_executor.shutdown()
 
@@ -194,6 +216,7 @@ def run_diff(
     # Shards carry their own deadline; see repro.orchestrate.runner.
     shard_diff = replace(diff, base=replace(diff.base, time_budget_s=None))
 
+    observe = bool(current_tracer()) or bool(current_registry())
     shard_results: List[Optional[DiffShardResult]] = [None] * len(specs)
     pending: List[Tuple[int, DiffShardTask]] = []
     hits = misses = 0
@@ -206,16 +229,33 @@ def run_diff(
             if store is not None:
                 misses += 1
             pending.append(
-                (index, DiffShardTask(shard_diff, spec, wall_deadline))
+                (
+                    index,
+                    DiffShardTask(shard_diff, spec, wall_deadline, observe=observe),
+                )
             )
 
+    progress = ProgressReporter("diff", len(specs))
+    progress.done = len(specs) - len(pending)
     executed = _execute_tasks(
-        [task for _index, task in pending], jobs, executor=executor
+        [task for _index, task in pending],
+        jobs,
+        executor=executor,
+        progress=progress,
     )
     for (index, _task), shard in zip(pending, executed):
         shard_results[index] = shard
 
     completed = [shard for shard in shard_results if shard is not None]
+    if observe:
+        # Reassemble worker observability in deterministic shard order.
+        tracer = current_tracer()
+        registry = current_registry()
+        for shard in shard_results:
+            if shard is None:
+                continue
+            tracer.adopt(getattr(shard, "spans", None))
+            registry.absorb(getattr(shard, "metrics", None))
     if store is not None:
         for index, task in pending:
             shard = shard_results[index]
@@ -344,6 +384,7 @@ def run_all_pairs(
         # still missing that shard, instead of once per pair.  The shared
         # budget spans each fused task, and per-pair results land under
         # the same store keys the per-pair tasks used.
+        observe = bool(current_tracer()) or bool(current_registry())
         tasks: List[MultiDiffShardTask] = []
         task_slots: List[Tuple[int, List[Pair]]] = []
         for index in sorted(pending_pairs_by_index):
@@ -353,14 +394,36 @@ def run_all_pairs(
                     diffs=tuple(shard_diffs[pair] for pair in pairs_here),
                     spec=specs[index],
                     wall_deadline=wall_deadline,
+                    observe=observe,
                 )
             )
             task_slots.append((index, pairs_here))
 
-        executed = _execute_tasks(tasks, jobs, worker=run_multi_diff_shard)
+        progress = ProgressReporter("all-pairs", len(tasks))
+        executed = _execute_tasks(
+            tasks, jobs, worker=run_multi_diff_shard, progress=progress
+        )
         for (index, pairs_here), task_results in zip(task_slots, executed):
             for pair, shard in zip(pairs_here, task_results):
                 shard_results[pair][index] = shard
+
+        if observe:
+            # One lane per fused task (its batch rides on the first
+            # pair's result), adopted in sorted-shard-index order; metrics
+            # from cached shards replay through absorb as well.
+            tracer = current_tracer()
+            registry = current_registry()
+            for task_results in executed:
+                for shard in task_results or ():
+                    tracer.adopt(getattr(shard, "spans", None))
+                    registry.absorb(getattr(shard, "metrics", None))
+            for pair in remaining:
+                for index in range(len(specs)):
+                    if index in pending_by_pair[pair]:
+                        continue
+                    shard = shard_results[pair][index]
+                    if shard is not None:
+                        registry.absorb(getattr(shard, "metrics", None))
 
         for pair in remaining:
             diff = diffs[pair]

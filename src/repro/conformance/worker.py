@@ -19,6 +19,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Set
 
+from ..obs import (
+    MetricsRegistry,
+    SpanBatch,
+    Tracer,
+    install_registry,
+    install_tracer,
+)
 from ..orchestrate.shards import ShardSpec, shard_programs
 from ..synth import SuiteStats
 from .diff import (
@@ -38,6 +45,8 @@ class DiffShardTask:
     spec: ShardSpec
     #: Absolute wall-clock deadline (``time.time()``), or None.
     wall_deadline: Optional[float] = None
+    #: Collect spans/metrics in the worker and ship them on the result.
+    observe: bool = False
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,9 @@ class MultiDiffShardTask:
     diffs: tuple  # tuple[DiffConfig, ...], in pair order
     spec: ShardSpec
     wall_deadline: Optional[float] = None
+    #: Collect spans/metrics in the worker; the fused task's batch and
+    #: registry ride on the *first* pair's result (one lane per task).
+    observe: bool = False
 
 
 @dataclass
@@ -74,6 +86,12 @@ class DiffShardResult:
     reference_only_keys: Set[tuple] = field(default_factory=set)
     subject_only_keys: Set[tuple] = field(default_factory=set)
     runtime_s: float = 0.0
+    #: Worker span batch (``task.observe`` only; stripped before store
+    #: writes — spans describe one concrete run).
+    spans: Optional[SpanBatch] = None
+    #: Worker metrics registry (``task.observe`` only; persisted with the
+    #: shard so cache hits replay deterministic histograms).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def timed_out(self) -> bool:
@@ -101,20 +119,51 @@ def _shard_result_from_outcome(
     return result
 
 
+def _observed(spec: ShardSpec, observe: bool):
+    """Install a fresh per-shard tracer/registry when observing; returns
+    ``(tracer, registry, restore)`` with ``restore()`` undoing the
+    installation (no-ops when ``observe`` is off)."""
+    if not observe:
+        return None, None, lambda: None
+    tracer = Tracer(label=spec.label)
+    registry = MetricsRegistry()
+    prev_tracer = install_tracer(tracer)
+    prev_registry = install_registry(registry)
+
+    def restore() -> None:
+        install_tracer(prev_tracer)
+        install_registry(prev_registry)
+
+    return tracer, registry, restore
+
+
 def run_diff_shard(task: DiffShardTask) -> DiffShardResult:
     """Execute one differential shard (in-process or in a worker)."""
     started = time.monotonic()
     deadline = None
     if task.wall_deadline is not None:
         deadline = started + max(0.0, task.wall_deadline - time.time())
-    outcome = run_diff_pipeline(
-        task.diff,
-        shard_programs(task.diff.base, task.spec),
-        deadline=deadline,
-    )
-    return _shard_result_from_outcome(
+    tracer, registry, restore = _observed(task.spec, task.observe)
+    try:
+        span = tracer.begin("shard", category="orchestrate") if tracer else None
+        try:
+            outcome = run_diff_pipeline(
+                task.diff,
+                shard_programs(task.diff.base, task.spec),
+                deadline=deadline,
+            )
+        finally:
+            if tracer:
+                tracer.end(span)
+    finally:
+        restore()
+    result = _shard_result_from_outcome(
         task.spec, outcome, time.monotonic() - started
     )
+    if tracer is not None:
+        result.spans = tracer.batch()
+        result.metrics = registry
+    return result
 
 
 def run_multi_diff_shard(task: MultiDiffShardTask) -> list:
@@ -131,13 +180,30 @@ def run_multi_diff_shard(task: MultiDiffShardTask) -> list:
     deadline = None
     if task.wall_deadline is not None:
         deadline = started + max(0.0, task.wall_deadline - time.time())
-    outcomes = run_multi_diff_pipeline(
-        list(task.diffs),
-        shard_programs(task.diffs[0].base, task.spec),
-        deadline=deadline,
-    )
+    tracer, registry, restore = _observed(task.spec, task.observe)
+    try:
+        span = (
+            tracer.begin("shard", category="orchestrate", pairs=len(task.diffs))
+            if tracer
+            else None
+        )
+        try:
+            outcomes = run_multi_diff_pipeline(
+                list(task.diffs),
+                shard_programs(task.diffs[0].base, task.spec),
+                deadline=deadline,
+            )
+        finally:
+            if tracer:
+                tracer.end(span)
+    finally:
+        restore()
     share = (time.monotonic() - started) / max(1, len(outcomes))
-    return [
+    results = [
         _shard_result_from_outcome(task.spec, outcome, share)
         for outcome in outcomes
     ]
+    if tracer is not None and results:
+        results[0].spans = tracer.batch()
+        results[0].metrics = registry
+    return results

@@ -1,0 +1,291 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a JSONL event log.
+
+The Chrome format (one JSON object with a ``traceEvents`` list of
+``B``/``E`` duration events) loads directly in Perfetto / ``chrome://
+tracing``.  Layout:
+
+* one *thread lane* per span batch — lane 0 is the coordinating
+  process's own spans, lanes 1..N are adopted worker batches in
+  deterministic shard-plan order;
+* one extra ``stage totals`` lane carrying the synthetic aggregate
+  spans (one per pipeline stage, laid end to end) whose durations are
+  exactly the ``--profile`` stage table — so the trace and the profile
+  reconcile by construction;
+* batches from different processes are aligned on their wall-clock
+  anchors (microsecond ``ts`` offsets from the earliest anchor).
+
+Events are emitted by walking each batch's span tree (parents before
+children, siblings in open order), which guarantees matched, properly
+nested B/E pairs and non-decreasing timestamps per lane — properties
+:func:`validate_chrome_trace` re-checks and the test suite pins.
+
+The JSONL exporter writes one self-describing JSON object per line
+(``meta`` / ``span`` / ``metrics`` / ``manifest`` records) for
+log-pipeline consumption; ``write_trace`` dispatches on the file
+extension (``.jsonl`` → event log, anything else → Chrome JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .trace import Span, SpanBatch
+
+#: Single synthetic process id for the whole run (lanes are threads).
+TRACE_PID = 1
+
+
+def _batches(tracer) -> list[SpanBatch]:
+    own = tracer.batch()
+    return [own] + list(tracer.batches)
+
+
+def _span_events(
+    span: Span,
+    children: dict,
+    tid: int,
+    offset_us: float,
+    out: list,
+) -> None:
+    begin = {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "B",
+        "pid": TRACE_PID,
+        "tid": tid,
+        "ts": round(offset_us + span.start_s * 1e6, 3),
+    }
+    if span.args or span.synthetic:
+        args = dict(span.args)
+        if span.synthetic:
+            args["synthetic"] = True
+        begin["args"] = args
+    out.append(begin)
+    for child in children.get(span.span_id, ()):
+        _span_events(child, children, tid, offset_us, out)
+    out.append(
+        {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "E",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "ts": round(offset_us + span.end_s * 1e6, 3),
+        }
+    )
+
+
+def _lane_events(batch: SpanBatch, tid: int, base_wall: float) -> list:
+    """All events of one batch's lane: a thread-name metadata record,
+    then the recursive B/E walk of the span tree."""
+    events: list = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": batch.label},
+        }
+    ]
+    offset_us = max(0.0, (batch.wall_anchor - base_wall) * 1e6)
+    children: dict = {}
+    roots: list[Span] = []
+    synthetic: list[Span] = []
+    for span in batch.spans:
+        if span.synthetic:
+            synthetic.append(span)
+        elif span.parent_id is None:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    for span in roots:
+        _span_events(span, children, tid, offset_us, events)
+    return events
+
+
+def _stage_lane_events(stage_times: dict, tid: int) -> list:
+    """The aggregate per-stage totals lane: one span per stage, laid end
+    to end from t=0, duration = the stage's measured wall total (the
+    exact numbers ``--profile`` prints)."""
+    events: list = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": "stage totals (aggregated)"},
+        }
+    ]
+    cursor = 0.0
+    for stage in sorted(stage_times):
+        seconds = max(0.0, stage_times[stage])
+        events.append(
+            {
+                "name": f"stage:{stage}",
+                "cat": "stage",
+                "ph": "B",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": round(cursor * 1e6, 3),
+                "args": {"synthetic": True, "total_s": round(seconds, 6)},
+            }
+        )
+        cursor += seconds
+        events.append(
+            {
+                "name": f"stage:{stage}",
+                "cat": "stage",
+                "ph": "E",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": round(cursor * 1e6, 3),
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    tracer,
+    stage_times: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    manifest: Optional[dict] = None,
+) -> dict:
+    """The full Chrome-trace document for one observed run."""
+    batches = _batches(tracer)
+    base_wall = min((b.wall_anchor for b in batches if b.spans), default=0.0)
+    events: list = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for tid, batch in enumerate(batches):
+        events.extend(_lane_events(batch, tid, base_wall))
+    if stage_times:
+        events.extend(_stage_lane_events(stage_times, len(batches)))
+    other: dict = {"schema": 1, "kind": "repro-trace"}
+    if metrics is not None:
+        other["metrics"] = metrics
+    if manifest is not None:
+        other["manifest"] = manifest
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def jsonl_records(
+    tracer,
+    stage_times: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    manifest: Optional[dict] = None,
+) -> list:
+    """The event-log rendering: one JSON-safe record per line."""
+    records: list = [{"type": "meta", "schema": 1, "kind": "repro-trace"}]
+    for batch in _batches(tracer):
+        for span in batch.spans:
+            records.append(
+                {
+                    "type": "span",
+                    "lane": batch.label,
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "cat": span.category,
+                    "start_s": round(span.start_s, 6),
+                    "end_s": round(span.end_s, 6),
+                    "synthetic": span.synthetic,
+                    "args": span.args,
+                }
+            )
+    if stage_times:
+        records.append(
+            {
+                "type": "stage-totals",
+                "stages": {k: round(v, 6) for k, v in sorted(stage_times.items())},
+            }
+        )
+    if metrics is not None:
+        records.append({"type": "metrics", "metrics": metrics})
+    if manifest is not None:
+        records.append({"type": "manifest", "manifest": manifest})
+    return records
+
+
+def write_trace(
+    path: str,
+    tracer,
+    stage_times: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    manifest: Optional[dict] = None,
+) -> str:
+    """Write the trace to ``path``: JSONL event log when the extension
+    is ``.jsonl``, Chrome ``trace_event`` JSON otherwise."""
+    if str(path).endswith(".jsonl"):
+        records = jsonl_records(tracer, stage_times, metrics, manifest)
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+    else:
+        payload = chrome_trace(tracer, stage_times, metrics, manifest)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return str(path)
+
+
+def validate_chrome_trace(payload: dict) -> dict:
+    """Structural validation of an exported Chrome trace (shared by the
+    tests and the CI smoke step).  Checks, per (pid, tid) lane: every
+    ``B`` has a matching same-name ``E`` (properly nested), timestamps
+    are non-decreasing, and every duration event carries pid/tid/ts.
+    Returns summary statistics; raises ``ValueError`` on violation."""
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace has no traceEvents list")
+    stacks: dict = {}
+    last_ts: dict = {}
+    spans_per_lane: dict = {}
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase not in ("B", "E"):
+            raise ValueError(f"event {index}: unsupported phase {phase!r}")
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in event:
+                raise ValueError(f"event {index}: missing {key!r}")
+        lane = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if lane in last_ts and ts < last_ts[lane] - 1e-6:
+            raise ValueError(
+                f"event {index}: ts {ts} decreases on lane {lane}"
+            )
+        last_ts[lane] = ts
+        stack = stacks.setdefault(lane, [])
+        if phase == "B":
+            stack.append(event["name"])
+            spans_per_lane[lane] = spans_per_lane.get(lane, 0) + 1
+        else:
+            if not stack:
+                raise ValueError(f"event {index}: E without open B")
+            opened = stack.pop()
+            if opened != event["name"]:
+                raise ValueError(
+                    f"event {index}: E {event['name']!r} closes {opened!r}"
+                )
+    for lane, stack in stacks.items():
+        if stack:
+            raise ValueError(f"lane {lane}: unclosed spans {stack}")
+    return {
+        "events": len(events),
+        "lanes": len(spans_per_lane),
+        "spans": sum(spans_per_lane.values()),
+        "spans_per_lane": {str(k): v for k, v in sorted(spans_per_lane.items())},
+    }

@@ -1,0 +1,60 @@
+"""Live per-shard progress lines.
+
+A :class:`ProgressReporter` rewrites one stderr status line as shards
+complete (``\\r``-overwrite, erased on finish).  It activates only when
+stderr is an interactive terminal **and** no CI environment variable is
+set — in CI, redirected output, and pipes it is silent, so captured logs
+and golden outputs never see control characters.  Progress is cosmetic
+by contract: results and counters are identical with it on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Environment variables whose presence means "not interactive".
+_CI_VARS = ("CI", "GITHUB_ACTIONS", "REPRO_NO_PROGRESS")
+
+
+def progress_enabled(stream=None) -> bool:
+    stream = stream if stream is not None else sys.stderr
+    if any(os.environ.get(var) for var in _CI_VARS):
+        return False
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+class ProgressReporter:
+    """One overwriting status line: ``[synthesize] 3/8 shards  s2/8``."""
+
+    def __init__(self, task: str, total: int, stream=None, enabled=None):
+        self.task = task
+        self.total = total
+        self.done = 0
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = (
+            progress_enabled(self.stream) if enabled is None else enabled
+        )
+        self._width = 0
+
+    def update(self, label: str = "") -> None:
+        """Record one completed unit (optionally naming it)."""
+        self.done += 1
+        if not self.enabled:
+            return
+        line = f"[{self.task}] {self.done}/{self.total} shards"
+        if label:
+            line += f"  {label}"
+        pad = max(0, self._width - len(line))
+        self._width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Erase the status line (the real summary goes to stdout)."""
+        if not self.enabled or self._width == 0:
+            return
+        self.stream.write("\r" + " " * self._width + "\r")
+        self.stream.flush()
+        self._width = 0

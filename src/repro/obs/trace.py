@@ -1,0 +1,279 @@
+"""Hierarchical span tracing for the synthesis stack.
+
+A :class:`Tracer` records *spans* — named, nested wall-time intervals —
+through a context-manager API::
+
+    with tracer.span("translate", category="sat", events=9):
+        ...
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  The module-level current tracer
+   defaults to :data:`NULL_TRACER`, whose ``span()`` hands back one
+   shared, stateless no-op context manager and whose ``enabled`` /
+   ``__bool__`` are ``False`` so hot loops can skip instrumentation with
+   a single attribute test.  ``benchmarks/bench_obs_overhead.py`` gates
+   the residual cost (<2% of the quick-bench workload).
+2. **Determinism.**  Span ids are sequential per tracer (no randomness,
+   no pids in ids), so the same run produces the same tree; tracing
+   never touches the synthesis counters or suite bytes — the golden
+   tests assert suites are byte-identical with tracing on vs off.
+3. **Cross-process assembly.**  Workers cannot share a Python tracer, so
+   each worker runs its own, labeled after its shard, and ships the
+   finished spans back as a :class:`SpanBatch` (plain dataclasses —
+   spawn-picklable) on the shard result.  The parent tracer adopts the
+   batches (:meth:`Tracer.adopt`) in deterministic shard order, and the
+   exporter (:mod:`repro.obs.export`) lays each batch out on its own
+   Chrome-trace thread lane, aligned on wall-clock anchors.
+
+Timestamps inside a batch are ``time.perf_counter()`` offsets from the
+tracer's creation (monotonic by construction); each batch also records a
+``time.time()`` anchor so independently-clocked processes can be placed
+on one timeline at export.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Span:
+    """One named interval.  ``parent_id`` is ``None`` for top-level
+    spans; nesting is reconstructed from the id links, and ids are
+    sequential in span-*open* order within their tracer."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str = "run"
+    #: Seconds since the owning tracer's creation (monotonic clock).
+    start_s: float = 0.0
+    end_s: float = 0.0
+    args: dict = field(default_factory=dict)
+    #: True for aggregate spans synthesized from measured stage totals
+    #: rather than recorded live (they live on a dedicated export lane).
+    synthetic: bool = False
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+
+@dataclass
+class SpanBatch:
+    """Every span one tracer recorded, plus the anchors needed to place
+    them on a shared timeline.  This is what crosses process boundaries
+    (a plain picklable payload on shard results)."""
+
+    label: str
+    #: ``time.time()`` at tracer creation — aligns batches from
+    #: different processes on one (approximate) wall timeline.
+    wall_anchor: float = 0.0
+    spans: list = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.spans)
+
+
+class _LiveSpan:
+    """The context manager handed out by :meth:`Tracer.span`.  Entering
+    stamps the start, exiting stamps the end and files the span; the
+    span object is returned from ``__enter__`` so callers can attach
+    result args before the block closes."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """A live span recorder (see the module docstring for the model)."""
+
+    enabled = True
+
+    def __init__(self, label: str = "main") -> None:
+        self.label = label
+        self.wall_anchor = time.time()
+        self._perf_anchor = time.perf_counter()
+        self.spans: list[Span] = []
+        self.batches: list[SpanBatch] = []  # adopted worker batches
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- clock ----------------------------------------------------------
+    def now_s(self) -> float:
+        """Seconds since tracer creation (monotonic)."""
+        return time.perf_counter() - self._perf_anchor
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, category: str = "run", **args) -> _LiveSpan:
+        """Open a span as a context manager.  Nesting follows the
+        lexical ``with`` structure (an internal stack)."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            category=category,
+            start_s=self.now_s(),
+            args=args,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span.span_id)
+        return _LiveSpan(self, span)
+
+    def begin(self, name: str, category: str = "run", **args) -> Span:
+        """Open a span without a ``with`` block (loop bodies that
+        ``continue``/``break``): pair with :meth:`end` in a
+        ``try``/``finally``."""
+        return self.span(name, category, **args).span
+
+    def end(self, span: Optional[Span]) -> None:
+        """Close a span opened by :meth:`begin` (None is a no-op, so the
+        disabled path needs no branch)."""
+        if span is not None:
+            self._close(span)
+
+    def _close(self, span: Span) -> None:
+        span.end_s = self.now_s()
+        # Close any dangling children too (defensive: a generator that
+        # was never exhausted, say), so B/E pairs always match.
+        while self._stack and self._stack[-1] != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        category: str = "stage",
+        **args,
+    ) -> Span:
+        """File an already-measured interval (no live clock reads) —
+        used for the aggregate per-stage totals lane.  Marked
+        ``synthetic`` so consumers can tell it from recorded spans."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=None,
+            name=name,
+            category=category,
+            start_s=start_s,
+            end_s=start_s + max(0.0, duration_s),
+            args=args,
+            synthetic=True,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    # -- cross-process assembly ----------------------------------------
+    def adopt(self, batch: Optional[SpanBatch]) -> None:
+        """Attach a worker's finished batch to this tracer's tree.
+        Call in deterministic (shard-plan) order; the exporter assigns
+        thread lanes by adoption order."""
+        if batch is not None and batch.spans:
+            self.batches.append(batch)
+
+    def batch(self) -> SpanBatch:
+        """Package this tracer's own spans for shipping to a parent."""
+        return SpanBatch(
+            label=self.label, wall_anchor=self.wall_anchor, spans=self.spans
+        )
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans) + sum(b.count for b in self.batches)
+
+
+class _NullSpanCm:
+    """Stateless, reusable no-op context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN_CM = _NullSpanCm()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op, ``bool()`` is
+    False so call sites can guard whole blocks with one test."""
+
+    enabled = False
+    label = "null"
+    spans: list = []
+    batches: list = []
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def now_s(self) -> float:
+        return 0.0
+
+    def span(self, name: str, category: str = "run", **args) -> _NullSpanCm:
+        return _NULL_SPAN_CM
+
+    def begin(self, name: str, category: str = "run", **args):
+        return None
+
+    def end(self, span) -> None:
+        return None
+
+    def add_span(self, name, start_s, duration_s, category="stage", **args):
+        return None
+
+    def adopt(self, batch) -> None:
+        return None
+
+    def batch(self) -> SpanBatch:
+        return SpanBatch(label="null")
+
+    @property
+    def span_count(self) -> int:
+        return 0
+
+
+#: The process-wide disabled tracer (singleton; never mutated).
+NULL_TRACER = NullTracer()
+
+_CURRENT: object = NULL_TRACER
+
+
+def current_tracer():
+    """The tracer instrumentation points record into (the null tracer
+    unless observation is active — see :func:`repro.obs.observing`)."""
+    return _CURRENT
+
+
+def install_tracer(tracer) -> object:
+    """Swap the current tracer, returning the previous one (callers
+    restore it in a ``finally``)."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer if tracer is not None else NULL_TRACER
+    return previous

@@ -21,12 +21,13 @@ same command.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 from typing import Mapping, Optional, Union
 
 from ..errors import SynthesisError
+from ..obs import ProgressReporter, current_registry, current_tracer
 from ..synth import SuiteResult, SweepPoint, SweepResult, SynthesisConfig
 from .merge import MergeReport, merge_shards
 from .shards import ShardSpec, plan_shards
@@ -98,6 +99,11 @@ def run_sharded(
     # double-apply the budget through the serial path.
     shard_config = replace(config, time_budget_s=None)
 
+    # Propagate observation to workers: when the coordinating process is
+    # running under a live tracer/registry (a --trace run), each shard
+    # collects its own and ships them back on the result.
+    observe = bool(current_tracer()) or bool(current_registry())
+
     shard_results: list[Optional[ShardResult]] = [None] * len(specs)
     pending: list[tuple[int, ShardTask]] = []
     hits = misses = 0
@@ -110,10 +116,15 @@ def run_sharded(
             if store is not None:
                 misses += 1
             pending.append(
-                (index, ShardTask(shard_config, spec, wall_deadline))
+                (
+                    index,
+                    ShardTask(shard_config, spec, wall_deadline, observe=observe),
+                )
             )
 
     own_executor: Optional[ProcessPoolExecutor] = None
+    progress = ProgressReporter("synthesize", len(specs))
+    progress.done = len(specs) - len(pending)
     try:
         if pending and jobs > 1 and executor is None:
             own_executor = _make_executor(jobs)
@@ -122,18 +133,35 @@ def run_sharded(
             if pool is None:  # jobs == 1: run inline, no process overhead
                 for index, task in pending:
                     shard_results[index] = run_shard(task)
+                    progress.update(task.spec.label)
             else:
-                futures = [
-                    (index, pool.submit(run_shard, task))
+                # Collect in completion order (for live progress); results
+                # land by index, so the merge input is order-independent.
+                future_slots = {
+                    pool.submit(run_shard, task): (index, task)
                     for index, task in pending
-                ]
-                for index, future in futures:
+                }
+                for future in as_completed(future_slots):
+                    index, task = future_slots[future]
                     shard_results[index] = future.result()
+                    progress.update(task.spec.label)
     finally:
+        progress.finish()
         if own_executor is not None:
             own_executor.shutdown()
 
     completed = [shard for shard in shard_results if shard is not None]
+    if observe:
+        # Reassemble worker observability in deterministic shard-plan
+        # order (lane assignment follows adoption order).  Cached shards
+        # carry no spans but replay their stored metrics.
+        tracer = current_tracer()
+        registry = current_registry()
+        for shard in shard_results:
+            if shard is None:
+                continue
+            tracer.adopt(getattr(shard, "spans", None))
+            registry.absorb(getattr(shard, "metrics", None))
     if store is not None:
         for index, task in pending:
             shard = shard_results[index]

@@ -36,10 +36,11 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from ..obs import current_registry, current_tracer
 from ..synth import SynthesisConfig
 from .shards import ShardSpec
 
@@ -47,7 +48,9 @@ from .shards import ShardSpec
 #: schemas silently become misses.  2: order-free representative
 #: selection (identity-ranked class winners, (canonical key, witness
 #: sort key)-minimal witnesses) and the symmetry-aware pipeline fields.
-SCHEMA_VERSION = 2
+#: 3: shard results grew observability payload fields (span batches and
+#: metrics registries) — older pickles lack them, so they must miss.
+SCHEMA_VERSION = 3
 
 KIND_SHARD = "shard"
 KIND_SUITE = "suite"
@@ -134,24 +137,33 @@ class SuiteStore:
 
     def get(self, key: str) -> Optional[Any]:
         path = self._payload_path(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
-            self.counters.misses += 1
-            return None
-        self.counters.hits += 1
-        return payload
+        with current_tracer().span("store.get", category="store", key=key) as span:
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                self.counters.misses += 1
+                current_registry().inc("store.misses", informational=True)
+                if span is not None:
+                    span.args["hit"] = False
+                return None
+            self.counters.hits += 1
+            current_registry().inc("store.hits", informational=True)
+            if span is not None:
+                span.args["hit"] = True
+            return payload
 
     def put(self, key: str, payload: Any, meta: dict[str, Any]) -> None:
-        self._atomic_write(
-            self._meta_path(key),
-            json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
-        )
-        self._atomic_write(
-            self._payload_path(key), pickle.dumps(payload, protocol=4)
-        )
+        with current_tracer().span("store.put", category="store", key=key):
+            self._atomic_write(
+                self._meta_path(key),
+                json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
+            )
+            self._atomic_write(
+                self._payload_path(key), pickle.dumps(payload, protocol=4)
+            )
         self.counters.stores += 1
+        current_registry().inc("store.stores", informational=True)
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         descriptor, tmp_name = tempfile.mkstemp(
@@ -175,6 +187,11 @@ class SuiteStore:
     def save_shard(self, config: SynthesisConfig, spec: ShardSpec, shard_result) -> None:
         if shard_result.stats.timed_out:
             return  # partial work must not satisfy a later complete run
+        # Span batches describe one concrete run and must not replay from
+        # cache; the metrics registry *is* stored — its histograms follow
+        # the snapshot-replay convention, so cache hits re-report them.
+        if getattr(shard_result, "spans", None) is not None:
+            shard_result = replace(shard_result, spans=None)
         self.put(
             entry_key(config, KIND_SHARD, spec),
             shard_result,

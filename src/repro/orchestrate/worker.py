@@ -13,6 +13,13 @@ platform and under threads); no closures or fork-inherited state are
 involved.  Deadlines travel as wall-clock (``time.time``) timestamps,
 which are comparable across processes, and are converted to each worker's
 own monotonic clock on arrival.
+
+Observability rides the same path: when ``task.observe`` is set the
+shard runs under its own :class:`~repro.obs.Tracer` and
+:class:`~repro.obs.MetricsRegistry` (labeled after the shard spec, so
+``--jobs 1`` and ``--jobs 4`` produce identically-labeled lanes), and
+the finished span batch + registry travel back on the result for the
+coordinator to adopt in deterministic shard-plan order.
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import (
+    MetricsRegistry,
+    SpanBatch,
+    Tracer,
+    install_registry,
+    install_tracer,
+)
 from ..synth import SuiteStats, SynthesisConfig, run_pipeline
 from ..synth.engine import OrderKey, SynthesizedElt
 from .shards import ShardSpec, shard_programs
@@ -34,6 +48,8 @@ class ShardTask:
     spec: ShardSpec
     #: Absolute wall-clock deadline (``time.time()``), or None.
     wall_deadline: Optional[float] = None
+    #: Collect spans/metrics in the worker and ship them on the result.
+    observe: bool = False
 
 
 @dataclass
@@ -51,6 +67,12 @@ class ShardResult:
     elts: list[ShardElt] = field(default_factory=list)
     stats: SuiteStats = field(default_factory=SuiteStats)
     runtime_s: float = 0.0
+    #: The worker's finished span batch (``task.observe`` only; stripped
+    #: before store writes — spans describe one concrete run).
+    spans: Optional[SpanBatch] = None
+    #: The worker's metrics registry (``task.observe`` only; persisted
+    #: with the shard so cache hits replay deterministic histograms).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def timed_out(self) -> bool:
@@ -63,9 +85,31 @@ def run_shard(task: ShardTask) -> ShardResult:
     deadline = None
     if task.wall_deadline is not None:
         deadline = started + max(0.0, task.wall_deadline - time.time())
-    outcome = run_pipeline(
-        task.config, shard_programs(task.config, task.spec), deadline=deadline
-    )
+    tracer = registry = None
+    prev_tracer = prev_registry = None
+    if task.observe:
+        # A fresh tracer/registry per shard — also when running inline
+        # under the coordinator's own tracer — so every shard occupies
+        # its own lane regardless of --jobs.
+        tracer = Tracer(label=task.spec.label)
+        registry = MetricsRegistry()
+        prev_tracer = install_tracer(tracer)
+        prev_registry = install_registry(registry)
+    try:
+        span = tracer.begin("shard", category="orchestrate") if tracer else None
+        try:
+            outcome = run_pipeline(
+                task.config,
+                shard_programs(task.config, task.spec),
+                deadline=deadline,
+            )
+        finally:
+            if tracer:
+                tracer.end(span)
+    finally:
+        if task.observe:
+            install_tracer(prev_tracer)
+            install_registry(prev_registry)
     elts = [
         ShardElt(order=outcome.order[key], elt=elt)
         for key, elt in outcome.by_key.items()
@@ -75,4 +119,7 @@ def run_shard(task: ShardTask) -> ShardResult:
     result.stats.unique_programs = len(elts)
     result.runtime_s = time.monotonic() - started
     result.stats.runtime_s = result.runtime_s
+    if tracer is not None:
+        result.spans = tracer.batch()
+        result.metrics = registry
     return result

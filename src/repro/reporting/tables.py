@@ -85,11 +85,20 @@ def render_stage_profile(stats, runtime_s: float) -> str:
     (on the session path it overlaps the breakdown, covering both live
     production and cached replay); ``classify`` and ``minimality`` are
     consumption stages.
+    The document is rendered as a view over the unified metrics
+    registry (:func:`repro.obs.registry_from_suite_stats` is the naming
+    authority for the ``stage_s.*`` gauges), so ``--profile``, the run
+    manifests, and trace exports all agree by construction.
     """
     import json
 
-    stages = {name: round(seconds, 6) for name, seconds in
-              sorted(stats.stage_times.items())}
+    from ..obs import registry_from_suite_stats
+
+    prefix = "stage_s."
+    gauges = registry_from_suite_stats(stats).gauges
+    stages = {name[len(prefix):]: round(value, 6)
+              for name, value in sorted(gauges.items())
+              if name.startswith(prefix)}
     return json.dumps(
         {
             "kind": "stage-profile",

@@ -48,6 +48,7 @@ from typing import Iterable, Optional
 
 from ..models import MemoryModel, x86t_elt
 from ..mtm import Execution, Program
+from ..obs import current_registry, current_tracer
 from ..symmetry import (
     execution_key_via,
     program_symmetry,
@@ -340,7 +341,9 @@ def run_pipeline(
     orbit_cache: dict = {}
     use_symmetry = config.symmetry
     clock = time.perf_counter
-    enumerate_s = classify_s = minimality_s = 0.0
+    enumerate_s = classify_s = minimality_s = generate_s = 0.0
+    tracer = current_tracer()
+    registry = current_registry()
 
     witness_stream, sat_stats = witness_stream_factory(
         config, stage_times=stats.stage_times
@@ -349,136 +352,161 @@ def run_pipeline(
         cached_is_minimal if config.incremental else _uncached_is_minimal
     )
 
+    generated = clock()
     for order_key, program in ordered_programs:
+        generate_s += clock() - generated
         if deadline is not None and time.monotonic() > deadline:
             stats.timed_out = True
             break
         stats.programs_enumerated += 1
-        sym = None
-        program_key: Optional[ProgramKey] = None
-        if use_symmetry:
-            sym = program_symmetry(program)
-            program_key = sym.canonical_key
-            if sym.prunable:
-                stats.symmetric_programs += 1
-            record = orbit_cache.get(program_key)
-            if record is not None and record[0] < sym.identity_key:
-                # Orbit-level dedup: a class member with a smaller rank
-                # already ran in full this pass; replay its weighted
-                # totals and skip translation/enumeration entirely.
-                stats.orbit_replays += 1
-                stats.executions_enumerated += record[1]
-                stats.interesting += record[2]
-                continue
-        program_executions = 0
-        program_interesting = 0
-        new_keys = 0
-        witnesses_seen = 0  # unweighted, for the periodic deadline check
-        candidate: Optional[tuple] = None  # (exec key, witness rank, execution)
-        started = clock()
-        iterator = iter(witness_stream(program, sym))
-        while True:
-            item = next(iterator, None)
-            enumerate_s += clock() - started
-            if item is None:
-                break
-            execution, weight = item
-            witnesses_seen += 1
-            stats.executions_enumerated += weight
-            program_executions += weight
-            if weight > 1:
-                stats.orbit_witnesses_pruned += weight - 1
-            if (
-                deadline is not None
-                and witnesses_seen % 64 == 0
-                and time.monotonic() > deadline
-            ):
+        span = (
+            tracer.begin("program", category="pipeline", order=list(order_key))
+            if tracer
+            else None
+        )
+        try:
+            sym = None
+            program_key: Optional[ProgramKey] = None
+            if use_symmetry:
+                sym = program_symmetry(program)
+                program_key = sym.canonical_key
+                if sym.prunable:
+                    stats.symmetric_programs += 1
+                record = orbit_cache.get(program_key)
+                if record is not None and record[0] < sym.identity_key:
+                    # Orbit-level dedup: a class member with a smaller rank
+                    # already ran in full this pass; replay its weighted
+                    # totals and skip translation/enumeration entirely.
+                    stats.orbit_replays += 1
+                    stats.executions_enumerated += record[1]
+                    stats.interesting += record[2]
+                    if span is not None:
+                        span.args["orbit_replay"] = True
+                    if registry:
+                        registry.observe(
+                            "pipeline.witnesses_per_program", record[1]
+                        )
+                    continue
+            program_executions = 0
+            program_interesting = 0
+            new_keys = 0
+            witnesses_seen = 0  # unweighted, for the periodic deadline check
+            candidate: Optional[tuple] = None  # (exec key, witness rank, execution)
+            started = clock()
+            iterator = iter(witness_stream(program, sym))
+            while True:
+                item = next(iterator, None)
+                enumerate_s += clock() - started
+                if item is None:
+                    break
+                execution, weight = item
+                witnesses_seen += 1
+                stats.executions_enumerated += weight
+                program_executions += weight
+                if weight > 1:
+                    stats.orbit_witnesses_pruned += weight - 1
+                if (
+                    deadline is not None
+                    and witnesses_seen % 64 == 0
+                    and time.monotonic() > deadline
+                ):
+                    stats.timed_out = True
+                    break
+                started = clock()
+                if target is not None:
+                    interesting = not target.holds(execution)
+                else:
+                    interesting = not model.permits(execution)
+                classify_s += clock() - started
+                if not interesting:
+                    started = clock()
+                    continue
+                stats.interesting += weight
+                program_interesting += weight
+                execution_key = (
+                    execution_key_via(sym, execution)
+                    if sym is not None
+                    else canonical_execution_key(execution)
+                )
+                minimal = minimal_by_key.get(execution_key)
+                if minimal is None:
+                    started = clock()
+                    minimal = check_minimal(execution, model, execution_key)
+                    minimality_s += clock() - started
+                    minimal_by_key[execution_key] = minimal
+                    if minimal:
+                        stats.minimal += 1
+                        new_keys += 1
+                if minimal:
+                    rank = witness_sort_key(
+                        program, execution._rf, execution.co, execution.co_pa
+                    )
+                    if candidate is None or (execution_key, rank) < candidate[:2]:
+                        candidate = (execution_key, rank, execution)
+                started = clock()
+
+            if span is not None:
+                span.args["witnesses"] = program_executions
+                span.args["interesting"] = program_interesting
+            if registry:
+                registry.observe(
+                    "pipeline.witnesses_per_program", program_executions
+                )
+            program_timed_out = (
+                deadline is not None and time.monotonic() > deadline
+            )
+            if candidate is not None:
+                if program_key is None:
+                    program_key = canonical_program_key(program)
+                rep_rank = (
+                    sym.identity_key
+                    if sym is not None
+                    else identity_program_key(program)
+                )
+                execution_key, rank, execution = candidate
+                entry = by_key.get(program_key)
+                if entry is None:
+                    by_key[program_key] = SynthesizedElt(
+                        program=program,
+                        execution=execution,
+                        key=program_key,
+                        violated_axioms=model.check(execution).violated,
+                        outcome_count=new_keys,
+                        execution_key=execution_key,
+                        rep_rank=rep_rank,
+                        witness_rank=rank,
+                    )
+                    outcome.order[program_key] = order_key
+                else:
+                    entry.outcome_count += new_keys
+                    if rep_rank < entry.rep_rank:
+                        entry.program = program
+                        entry.execution = execution
+                        entry.violated_axioms = model.check(execution).violated
+                        entry.execution_key = execution_key
+                        entry.rep_rank = rep_rank
+                        entry.witness_rank = rank
+                        outcome.order[program_key] = order_key
+            if use_symmetry and not program_timed_out and not stats.timed_out:
+                record = orbit_cache.get(program_key)
+                if record is None or sym.identity_key < record[0]:
+                    orbit_cache[program_key] = (
+                        sym.identity_key,
+                        program_executions,
+                        program_interesting,
+                    )
+            if program_timed_out:
                 stats.timed_out = True
                 break
-            started = clock()
-            if target is not None:
-                interesting = not target.holds(execution)
-            else:
-                interesting = not model.permits(execution)
-            classify_s += clock() - started
-            if not interesting:
-                started = clock()
-                continue
-            stats.interesting += weight
-            program_interesting += weight
-            execution_key = (
-                execution_key_via(sym, execution)
-                if sym is not None
-                else canonical_execution_key(execution)
-            )
-            minimal = minimal_by_key.get(execution_key)
-            if minimal is None:
-                started = clock()
-                minimal = check_minimal(execution, model, execution_key)
-                minimality_s += clock() - started
-                minimal_by_key[execution_key] = minimal
-                if minimal:
-                    stats.minimal += 1
-                    new_keys += 1
-            if minimal:
-                rank = witness_sort_key(
-                    program, execution._rf, execution.co, execution.co_pa
-                )
-                if candidate is None or (execution_key, rank) < candidate[:2]:
-                    candidate = (execution_key, rank, execution)
-            started = clock()
-
-        program_timed_out = (
-            deadline is not None and time.monotonic() > deadline
-        )
-        if candidate is not None:
-            if program_key is None:
-                program_key = canonical_program_key(program)
-            rep_rank = (
-                sym.identity_key
-                if sym is not None
-                else identity_program_key(program)
-            )
-            execution_key, rank, execution = candidate
-            entry = by_key.get(program_key)
-            if entry is None:
-                by_key[program_key] = SynthesizedElt(
-                    program=program,
-                    execution=execution,
-                    key=program_key,
-                    violated_axioms=model.check(execution).violated,
-                    outcome_count=new_keys,
-                    execution_key=execution_key,
-                    rep_rank=rep_rank,
-                    witness_rank=rank,
-                )
-                outcome.order[program_key] = order_key
-            else:
-                entry.outcome_count += new_keys
-                if rep_rank < entry.rep_rank:
-                    entry.program = program
-                    entry.execution = execution
-                    entry.violated_axioms = model.check(execution).violated
-                    entry.execution_key = execution_key
-                    entry.rep_rank = rep_rank
-                    entry.witness_rank = rank
-                    outcome.order[program_key] = order_key
-        if use_symmetry and not program_timed_out and not stats.timed_out:
-            record = orbit_cache.get(program_key)
-            if record is None or sym.identity_key < record[0]:
-                orbit_cache[program_key] = (
-                    sym.identity_key,
-                    program_executions,
-                    program_interesting,
-                )
-        if program_timed_out:
-            stats.timed_out = True
-            break
+        finally:
+            tracer.end(span)
+            generated = clock()
 
     if sat_stats is not None:
         stats.absorb_solver(sat_stats)
     times = stats.stage_times
     for stage, seconds in (
+        ("generate", generate_s),
         ("enumerate", enumerate_s),
         ("classify", classify_s),
         ("minimality", minimality_s),

@@ -70,6 +70,7 @@ from typing import Iterator, Optional
 
 from ..errors import SynthesisError
 from ..models import MemoryModel
+from ..obs import current_registry, current_tracer
 from ..sat import SolverStats
 from ..symmetry import (
     ProgramSymmetry,
@@ -526,10 +527,13 @@ class WitnessSession:
             symmetry if symmetry is not None and symmetry.prunable else None
         )
         started = time.perf_counter()
-        self.problem: Optional[WitnessProblem] = WitnessProblem(
-            program, symmetry=self.symmetry
-        )
-        self._psession = self.problem.problem.session()
+        with current_tracer().span(
+            "translate", category="sat", events=len(program.events)
+        ):
+            self.problem: Optional[WitnessProblem] = WitnessProblem(
+                program, symmetry=self.symmetry
+            )
+            self._psession = self.problem.problem.session()
         self.translate_s = time.perf_counter() - started
         self.stats = SolverStats()
         self.stats.sessions = 1
@@ -562,45 +566,54 @@ class WitnessSession:
         are identical whether its witnesses came from live solving or
         from cache."""
         if self._witnesses is None:
-            psession = self._ensure_psession()
-            decode = self.problem._decode
-            program = self.program
-            autos = (
-                self.symmetry.automorphisms
-                if self.symmetry is not None
-                else ()
-            )
-            seen: set[tuple] = set()
-            out: list[tuple[Execution, int]] = []
-            iterator = psession.iter_base_instances()
-            clock = time.perf_counter
-            while True:
-                started = clock()
-                instance = next(iterator, None)
-                self.solve_s += clock() - started
-                if instance is None:
-                    break
-                started = clock()
-                witness = decode(instance)
-                if witness not in seen:
-                    seen.add(witness)
-                    rf, co, co_pa = witness
-                    weight = 1
-                    keep = True
-                    if autos:
-                        weight, keep = witness_orbit(
-                            program, autos, rf, co, co_pa
-                        )
-                    if keep:
-                        out.append(
-                            (
-                                Execution(program, rf=rf, co=co, co_pa=co_pa),
-                                weight,
+            tracer = current_tracer()
+            span = tracer.begin("enumerate", category="sat") if tracer else None
+            try:
+                psession = self._ensure_psession()
+                decode = self.problem._decode
+                program = self.program
+                autos = (
+                    self.symmetry.automorphisms
+                    if self.symmetry is not None
+                    else ()
+                )
+                seen: set[tuple] = set()
+                out: list[tuple[Execution, int]] = []
+                iterator = psession.iter_base_instances()
+                clock = time.perf_counter
+                while True:
+                    started = clock()
+                    instance = next(iterator, None)
+                    self.solve_s += clock() - started
+                    if instance is None:
+                        break
+                    started = clock()
+                    witness = decode(instance)
+                    if witness not in seen:
+                        seen.add(witness)
+                        rf, co, co_pa = witness
+                        weight = 1
+                        keep = True
+                        if autos:
+                            weight, keep = witness_orbit(
+                                program, autos, rf, co, co_pa
                             )
-                        )
-                self.decode_s += clock() - started
-            self._witnesses = out
-            self.enum_stats = self.problem.problem.last_solver_stats
+                        if keep:
+                            out.append(
+                                (
+                                    Execution(program, rf=rf, co=co, co_pa=co_pa),
+                                    weight,
+                                )
+                            )
+                    self.decode_s += clock() - started
+                self._witnesses = out
+                self.enum_stats = self.problem.problem.last_solver_stats
+                if span is not None:
+                    span.args["witnesses"] = len(out)
+                    if self.enum_stats is not None:
+                        span.args["conflicts"] = self.enum_stats.conflicts
+            finally:
+                tracer.end(span)
         return self._witnesses
 
     def witnesses(self) -> list[Execution]:
@@ -626,8 +639,13 @@ class WitnessSession:
     def _ensure_psession(self):
         if self._psession is None:
             started = time.perf_counter()
-            self.problem = WitnessProblem(self.program, symmetry=self.symmetry)
-            self._psession = self.problem.problem.session()
+            with current_tracer().span(
+                "translate", category="sat", retranslation=True
+            ):
+                self.problem = WitnessProblem(
+                    self.program, symmetry=self.symmetry
+                )
+                self._psession = self.problem.problem.session()
             self.translate_s += time.perf_counter() - started
             self.stats.translations += 1
         return self._psession
@@ -845,6 +863,28 @@ class WitnessSessionCache:
         session.weighted_witnesses()
         if sink is not None and session.enum_stats is not None:
             sink.merge(session.enum_stats)
+        registry = current_registry()
+        if registry:
+            # Histograms follow the snapshot-replay convention the solver
+            # counters use: every serve (live or cached) observes the
+            # enumeration's snapshot, so the distributions are invariant
+            # across --jobs and cache warmth.  The hit/miss counters are
+            # the process-shaped remainder — informational by definition.
+            registry.inc(
+                "cache.session_hits" if cached else "cache.session_misses",
+                informational=True,
+            )
+            snapshot = session.enum_stats
+            if snapshot is not None:
+                registry.observe("sat.conflicts_per_burst", snapshot.conflicts)
+                registry.observe("sat.restarts_per_burst", snapshot.restarts)
+                registry.observe(
+                    "sat.learned_clauses_per_burst", snapshot.learned_clauses
+                )
+                registry.observe("sat.decisions_per_burst", snapshot.decisions)
+            registry.observe(
+                "sat.witnesses_per_session", len(session._witnesses or ())
+            )
         if stage_times is not None:
             if not cached:
                 stage_times["translate"] = (
