@@ -1,0 +1,341 @@
+"""Chaos benchmark: the resilience layer under seeded fault injection.
+
+Four workloads, each comparing a fault-injected run against its
+fault-free golden artifact:
+
+* ``synthesize_worker_kills`` — every shard hard-exits its worker on
+  its first two attempts (``os._exit``, so the pool collapses with
+  ``BrokenProcessPool`` and is rebuilt).  At least two workers are
+  killed; the retried run must be **byte-identical** to the fault-free
+  serial suite.
+* ``store_corruption_heals`` — a chaos plan flips one bit in every
+  first store write.  The resumed run must quarantine the damage
+  (``counters.corrupt``), recompute, and still match the golden bytes.
+* ``poison_shard_degrades`` — one shard's crashes outlast the retry
+  budget.  The run must finish *degraded*: the failed spec is listed,
+  every other shard is merged (a strict, non-empty subset of the
+  golden suite).
+* ``all_pairs_diff_chaos`` — the fused all-pairs conformance driver
+  under worker kills; every per-pair cell must match the fault-free
+  matrix exactly.
+
+Wall times are printed for context; ``--check`` gates only on the
+deterministic outcomes above (they are seed-reproducible by
+construction — a :class:`repro.resilience.FaultPlan` is a pure function
+of its seed).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --check \
+        --out bench-chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def _suite_digest(result, prefix: str = "elt") -> str:
+    from repro.litmus import suite_from_synthesis
+
+    text = suite_from_synthesis(result, prefix=prefix).dumps()
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _cell_digest(cell) -> str:
+    from repro.litmus import suite_from_diff
+
+    text = suite_from_diff(cell).dumps()
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def bench_synthesize_worker_kills(bound: int, seed: int) -> dict:
+    from repro.models import x86t_elt
+    from repro.orchestrate import run_sharded
+    from repro.resilience import FaultPlan, RetryPolicy
+    from repro.synth import SynthesisConfig, synthesize
+
+    config = SynthesisConfig(
+        bound=bound, model=x86t_elt(), target_axiom="sc_per_loc"
+    )
+    started = time.monotonic()
+    golden = synthesize(config)
+    golden_s = time.monotonic() - started
+
+    # crash_attempts=2 < max_attempts, so every shard eventually
+    # succeeds; exit-mode crashes kill the worker (and pool) outright.
+    plan = FaultPlan(
+        seed=seed, crash_rate=1.0, exit_rate=1.0, crash_attempts=2
+    )
+    started = time.monotonic()
+    chaotic = run_sharded(
+        config,
+        jobs=2,
+        shard_count=4,
+        retry=RetryPolicy(backoff_base_s=0.0),
+        faults=plan,
+    )
+    chaos_s = time.monotonic() - started
+    return {
+        "golden": {"wall_s": round(golden_s, 3), "elts": golden.count},
+        "chaos": {
+            "wall_s": round(chaos_s, 3),
+            "pool_rebuilds": chaotic.resilience.pool_rebuilds,
+            "retries": chaotic.resilience.retries,
+            "degraded": chaotic.degraded,
+        },
+        "golden_digest": _suite_digest(golden),
+        "chaos_digest": _suite_digest(chaotic.result),
+    }
+
+
+def bench_store_corruption_heals(bound: int, seed: int, workdir: Path) -> dict:
+    from repro.models import x86t_elt
+    from repro.orchestrate import SuiteStore, run_sharded
+    from repro.resilience import FaultPlan
+    from repro.synth import SynthesisConfig, synthesize
+
+    config = SynthesisConfig(
+        bound=bound, model=x86t_elt(), target_axiom="invlpg"
+    )
+    golden = synthesize(config)
+
+    cache = workdir / "chaos-store"
+    corrupting = SuiteStore(
+        cache, faults=FaultPlan(seed=seed, store_corrupt_rate=1.0)
+    )
+    first = run_sharded(config, jobs=1, shard_count=2, store=corrupting)
+
+    started = time.monotonic()
+    resumed_store = SuiteStore(cache)
+    resumed = run_sharded(config, jobs=1, shard_count=2, store=resumed_store)
+    resume_s = time.monotonic() - started
+    verify = resumed_store.verify()
+    return {
+        "first_run_degraded": first.degraded,
+        "resume": {
+            "wall_s": round(resume_s, 3),
+            "quarantined_entries": resumed_store.counters.corrupt,
+            "suite_cache_hit": resumed.suite_cache_hit,
+        },
+        "post_resume_verify_clean": verify.clean,
+        "golden_digest": _suite_digest(golden),
+        "chaos_digest": _suite_digest(resumed.result),
+    }
+
+
+def bench_poison_shard_degrades(bound: int) -> dict:
+    from repro.models import x86t_elt
+    from repro.orchestrate import run_sharded
+    from repro.resilience import FaultPlan, RetryPolicy
+    from repro.synth import SynthesisConfig, synthesize
+
+    config = SynthesisConfig(
+        bound=bound, model=x86t_elt(), target_axiom="sc_per_loc"
+    )
+    golden = synthesize(config)
+
+    # Seed 1 targets exactly s0/4 (see tests/test_resilience.py); its
+    # crashes outlast any retry budget.
+    plan = FaultPlan(seed=1, crash_rate=0.25, exit_rate=0.0, crash_attempts=99)
+    targeted = [f"s{i}/4" for i in range(4) if plan.crashes(f"s{i}/4")]
+    started = time.monotonic()
+    degraded = run_sharded(
+        config,
+        jobs=1,
+        shard_count=4,
+        retry=RetryPolicy(backoff_base_s=0.0),
+        faults=plan,
+    )
+    wall_s = time.monotonic() - started
+    return {
+        "wall_s": round(wall_s, 3),
+        "targeted_shards": targeted,
+        "degraded": degraded.degraded,
+        "failed_shards": [f.label for f in degraded.failures],
+        "merged_elts": degraded.result.count,
+        "golden_elts": golden.count,
+        "merged_keys_subset_of_golden": set(degraded.result.keys())
+        < set(golden.keys()),
+    }
+
+
+def bench_all_pairs_diff_chaos(bound: int, seed: int) -> dict:
+    from repro.conformance import run_all_pairs
+    from repro.models import x86t_elt
+    from repro.resilience import FaultPlan, RetryPolicy
+    from repro.synth import SynthesisConfig
+
+    base = SynthesisConfig(bound=bound, model=x86t_elt())
+    pairs = [("x86t_elt", "x86t_amd_bug"), ("sc", "x86tso")]
+
+    started = time.monotonic()
+    golden_matrix, _ = run_all_pairs(base, jobs=2, shard_count=4, pairs=pairs)
+    golden_s = time.monotonic() - started
+
+    plan = FaultPlan(
+        seed=seed, crash_rate=1.0, exit_rate=1.0, crash_attempts=2
+    )
+    started = time.monotonic()
+    chaos_matrix, records = run_all_pairs(
+        base,
+        jobs=2,
+        shard_count=4,
+        pairs=pairs,
+        retry=RetryPolicy(backoff_base_s=0.0),
+        faults=plan,
+    )
+    chaos_s = time.monotonic() - started
+    resilience = records[0].resilience
+    return {
+        "golden": {"wall_s": round(golden_s, 3)},
+        "chaos": {
+            "wall_s": round(chaos_s, 3),
+            "pool_rebuilds": resilience.pool_rebuilds,
+            "retries": resilience.retries,
+            "degraded": any(record.degraded for record in records),
+        },
+        "golden_digests": {
+            f"{ref}->{sub}": _cell_digest(golden_matrix.cells[(ref, sub)])
+            for ref, sub in pairs
+        },
+        "chaos_digests": {
+            f"{ref}->{sub}": _cell_digest(chaos_matrix.cells[(ref, sub)])
+            for ref, sub in pairs
+        },
+    }
+
+
+def run_suite(quick: bool, seed: int, workdir: Path) -> dict:
+    bound = 4 if quick else 5
+    results = {}
+    print("-- synthesize under worker kills ...")
+    results["synthesize_worker_kills"] = bench_synthesize_worker_kills(
+        bound, seed
+    )
+    print("-- store corruption + resume healing ...")
+    results["store_corruption_heals"] = bench_store_corruption_heals(
+        bound, seed, workdir
+    )
+    print("-- poison shard quarantine ...")
+    results["poison_shard_degrades"] = bench_poison_shard_degrades(bound)
+    print("-- all-pairs diff under worker kills ...")
+    results["all_pairs_diff_chaos"] = bench_all_pairs_diff_chaos(bound, seed)
+    return results
+
+
+def check_suite(results: dict) -> list:
+    failures = []
+
+    kills = results["synthesize_worker_kills"]
+    if kills["chaos_digest"] != kills["golden_digest"]:
+        failures.append("worker-kill run diverged from the golden suite")
+    if kills["chaos"]["pool_rebuilds"] < 2:
+        failures.append(
+            "expected >= 2 pool rebuilds (>= 2 worker kills), got "
+            f"{kills['chaos']['pool_rebuilds']}"
+        )
+    if kills["chaos"]["degraded"]:
+        failures.append("worker-kill run degraded; retries should recover")
+
+    heal = results["store_corruption_heals"]
+    if heal["chaos_digest"] != heal["golden_digest"]:
+        failures.append("resumed run diverged after store corruption")
+    if heal["resume"]["quarantined_entries"] < 1:
+        failures.append("no store entry was quarantined on resume")
+    if heal["first_run_degraded"]:
+        failures.append("store corruption must not degrade in-memory results")
+    if not heal["post_resume_verify_clean"]:
+        failures.append("store still damaged after the healing resume")
+
+    poison = results["poison_shard_degrades"]
+    if not poison["degraded"]:
+        failures.append("poison shard did not degrade the run")
+    if poison["failed_shards"] != poison["targeted_shards"]:
+        failures.append(
+            f"failed shards {poison['failed_shards']} != targeted "
+            f"{poison['targeted_shards']}"
+        )
+    if not poison["merged_keys_subset_of_golden"]:
+        failures.append("degraded merge is not a subset of the golden suite")
+    if not 0 < poison["merged_elts"] < poison["golden_elts"]:
+        failures.append("degraded merge should be a strict, non-empty subset")
+
+    diff = results["all_pairs_diff_chaos"]
+    if diff["chaos_digests"] != diff["golden_digests"]:
+        failures.append("all-pairs chaos matrix diverged from fault-free")
+    if diff["chaos"]["pool_rebuilds"] < 1:
+        failures.append("all-pairs chaos run never rebuilt the pool")
+    if diff["chaos"]["degraded"]:
+        failures.append("all-pairs chaos run degraded; retries should recover")
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller bounds")
+    parser.add_argument("--seed", type=int, default=7, help="FaultPlan seed")
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate on the deterministic outcomes: byte-identical recovery, "
+        ">= 2 worker kills survived, quarantine/degradation contracts",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch directory for the chaos store (default: a tempdir)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"chaos benchmark ({'quick' if args.quick else 'full'} mode, "
+          f"seed {args.seed})")
+    if args.workdir is not None:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        results = run_suite(args.quick, args.seed, workdir)
+    else:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="bench-chaos-") as tmp:
+            results = run_suite(args.quick, args.seed, Path(tmp))
+
+    document = {
+        "meta": {
+            "mode": "quick" if args.quick else "full",
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workloads": results,
+    }
+
+    status = 0
+    if args.check:
+        failures = check_suite(results)
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print("all chaos gates passed: byte-identical recovery, "
+                  "healing resume, contractual degradation")
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True, default=repr) + "\n"
+        )
+        print(f"[results written to {args.out}]")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

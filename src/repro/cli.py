@@ -133,13 +133,45 @@ def _store(args: argparse.Namespace):
         raise SystemExit(f"--jobs must be positive, got {args.jobs}")
     if args.shards is not None and args.shards < 1:
         raise SystemExit(f"--shards must be positive, got {args.shards}")
+    if getattr(args, "max_retries", 0) < 0:
+        raise SystemExit(
+            f"--max-retries must be non-negative, got {args.max_retries}"
+        )
     if getattr(args, "resume", False) and not getattr(args, "cache_dir", None):
         raise SystemExit("--resume requires --cache-dir")
     if getattr(args, "cache_dir", None):
         from .orchestrate import SuiteStore
 
-        return SuiteStore(args.cache_dir)
+        _retry, faults = _resilience(args)
+        return SuiteStore(args.cache_dir, faults=faults)
     return None
+
+
+def _resilience(args: argparse.Namespace):
+    """The run's (RetryPolicy, FaultPlan-or-None) from --max-retries /
+    --shard-timeout / --chaos."""
+    from .resilience import RetryPolicy, default_chaos_plan
+
+    retry = RetryPolicy(
+        max_retries=getattr(args, "max_retries", 2),
+        shard_timeout_s=getattr(args, "shard_timeout", None),
+    )
+    chaos = getattr(args, "chaos", None)
+    faults = default_chaos_plan(chaos) if chaos is not None else None
+    return retry, faults
+
+
+def _warn_degraded(failures) -> None:
+    """Print the degraded-result warning naming the quarantined shards."""
+    if not failures:
+        return
+    lost = ", ".join(
+        f"{f.label} ({f.kind}, {f.attempts} attempt(s))" for f in failures
+    )
+    print(
+        f"WARNING: result is DEGRADED; quarantined shard(s): {lost}",
+        file=sys.stderr,
+    )
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
@@ -156,10 +188,16 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         symmetry=not args.no_symmetry,
     )
     store = _store(args)
+    retry, faults = _resilience(args)
     orchestrated = None
     obs = _observation(args)
     with obs:
-        if args.jobs > 1 or args.shards is not None or store is not None:
+        if (
+            args.jobs > 1
+            or args.shards is not None
+            or store is not None
+            or args.chaos is not None
+        ):
             from .orchestrate import run_sharded
 
             orchestrated = run_sharded(
@@ -167,6 +205,8 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 shard_count=args.shards,
                 store=store,
+                retry=retry,
+                faults=faults,
             )
             result = orchestrated.result
         else:
@@ -178,8 +218,11 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         f"({stats.programs_enumerated} programs, "
         f"{stats.executions_enumerated} executions, "
         f"{stats.runtime_s:.2f}s"
-        f"{', TIMED OUT' if stats.timed_out else ''})"
+        f"{', TIMED OUT' if stats.timed_out else ''}"
+        f"{', DEGRADED' if stats.degraded else ''})"
     )
+    if orchestrated is not None:
+        _warn_degraded(orchestrated.failures)
     if args.witness_backend == "sat":
         from .reporting import render_sat_counters
 
@@ -242,8 +285,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     bounds = resolve_max_bounds(explicit, axioms=args.axiom or None)
     budget = resolve_sweep_budget(args.budget)
     obs = _observation(args)
+    retry, faults = _resilience(args)
     with obs:
-        if args.jobs > 1 or args.shards is not None or store is not None:
+        if (
+            args.jobs > 1
+            or args.shards is not None
+            or store is not None
+            or args.chaos is not None
+        ):
             from .orchestrate import run_sweep_sharded
             from .reporting import render_sweep_cache_summary
 
@@ -262,8 +311,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 shard_count=args.shards,
                 store=store,
+                retry=retry,
+                faults=faults,
             )
             cache_summary = render_sweep_cache_summary(records)
+            for record in records:
+                _warn_degraded(record.failures)
         else:
             sweep = fig9_sweep(
                 max_bounds=bounds,
@@ -381,6 +434,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
             symmetry=not args.no_symmetry,
         )
         obs = _observation(args)
+        retry, faults = _resilience(args)
         with obs:
             matrix, records = run_all_pairs(
                 base,
@@ -388,7 +442,11 @@ def cmd_diff(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 shard_count=args.shards,
                 store=store,
+                retry=retry,
+                faults=faults,
             )
+        for record in records:
+            _warn_degraded(record.failures)
         aggregate = None
         if args.witness_backend == "sat" or args.profile or obs.enabled:
             from .synth import SuiteStats
@@ -445,14 +503,27 @@ def cmd_diff(args: argparse.Namespace) -> int:
     )
     run_record = None
     obs = _observation(args)
+    retry, faults = _resilience(args)
     with obs:
-        if args.jobs > 1 or args.shards is not None or store is not None:
+        if (
+            args.jobs > 1
+            or args.shards is not None
+            or store is not None
+            or args.chaos is not None
+        ):
             run_record = run_diff(
-                diff, jobs=args.jobs, shard_count=args.shards, store=store
+                diff,
+                jobs=args.jobs,
+                shard_count=args.shards,
+                store=store,
+                retry=retry,
+                faults=faults,
             )
             cell = run_record.cell
         else:
             cell = diff_models(diff)
+    if run_record is not None:
+        _warn_degraded(run_record.failures)
 
     if args.json:
         print(json.dumps(cell_to_json(cell), indent=2, sort_keys=True))
@@ -554,6 +625,30 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from .orchestrate import SuiteStore
+
+    store = SuiteStore(args.cache_dir)
+    report = store.verify(repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"store {args.cache_dir}: {report.scanned} entr(ies) scanned, "
+            f"{report.ok} ok, {len(report.corrupt)} corrupt, "
+            f"{len(report.orphaned)} orphaned"
+        )
+        for key in sorted(report.corrupt):
+            print(f"  corrupt: {key}")
+        for key in sorted(report.orphaned):
+            print(f"  orphaned: {key}")
+        if report.repaired:
+            print(f"repaired: bad entries moved to {store.quarantine_dir}")
+        elif not report.clean:
+            print("re-run with --repair to quarantine them")
+    return 0 if report.clean else 1
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     from .synth import explore_program
 
@@ -637,6 +732,33 @@ def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="resume an interrupted run from --cache-dir without redoing "
         "finished work (reuse is automatic whenever --cache-dir is set)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-run a failed shard up to N times (deterministic backoff) "
+        "before quarantining it into a degraded result (default 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall timeout: a shard stuck longer than this is "
+        "killed (pool recycle), charged an attempt, and retried "
+        "(default: no per-shard timeout)",
+    )
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministic fault injection for resilience testing: the "
+        "seeded plan crashes/delays workers and flips stored payload "
+        "bits; when every shard eventually succeeds, output is "
+        "byte-identical to a fault-free run",
     )
 
 
@@ -753,6 +875,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print every deterministic counter and stage time",
     )
     stats.set_defaults(func=cmd_stats)
+
+    store = sub.add_parser(
+        "store",
+        help="suite-store maintenance (integrity verification and repair)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    verify = store_sub.add_parser(
+        "verify",
+        help="digest-check every cache entry; exit 1 when damage is found",
+    )
+    verify.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the store to scan (same directory as --cache-dir elsewhere)",
+    )
+    verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="move corrupt/orphaned entries into quarantine/ so later "
+        "runs recompute them",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable verification report",
+    )
+    verify.set_defaults(func=cmd_store_verify)
 
     explore = sub.add_parser(
         "explore", help="enumerate all outcomes of an ELT program"

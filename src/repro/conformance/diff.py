@@ -46,7 +46,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
-from ..errors import SynthesisError
+from ..errors import SolverInterrupted, SynthesisError
+from ..resilience import deadline_scope
 from ..litmus.format import serialize_elt
 from ..models import Agreement, AxiomTable, MemoryModel
 from ..mtm import Execution, Program
@@ -358,172 +359,182 @@ def run_multi_diff_pipeline(
     registry = current_registry()
 
     generated = clock()
-    for order_key, program in ordered_programs:
-        generate_s += clock() - generated
-        if deadline is not None and time.monotonic() > deadline:
-            timed_out = True
-            break
-        for accumulator in accumulators:
-            accumulator.outcome.stats.programs_enumerated += 1
-            accumulator.start_program()
-        span = (
-            tracer.begin(
-                "program",
-                category="diff",
-                order=list(order_key),
-                pairs=len(accumulators),
-            )
-            if tracer
-            else None
-        )
-        try:
-            sym = program_symmetry(program) if use_symmetry else None
-            program_key_memo: list = []
-            rep_rank_memo: list = []
-
-            def program_key_of() -> ProgramKey:
-                if not program_key_memo:
-                    program_key_memo.append(
-                        sym.canonical_key
-                        if sym is not None
-                        else canonical_program_key(program)
-                    )
-                return program_key_memo[0]
-
-            def rep_rank_of() -> tuple:
-                if not rep_rank_memo:
-                    rep_rank_memo.append(
-                        sym.identity_key
-                        if sym is not None
-                        else identity_program_key(program)
-                    )
-                return rep_rank_memo[0]
-
-            if sym is not None:
-                if sym.prunable:
-                    for accumulator in accumulators:
-                        accumulator.outcome.stats.symmetric_programs += 1
-                record = orbit_cache.get(sym.canonical_key)
-                if record is not None and record[0] < sym.identity_key:
-                    # Orbit-level dedup: replay the class's weighted totals
-                    # without enumerating (or translating) the duplicate.
-                    for accumulator, deltas in zip(accumulators, record[2]):
-                        stats = accumulator.outcome.stats
-                        stats.orbit_replays += 1
-                        stats.executions_enumerated += record[1]
-                        for name, delta in zip(_REPLAYED, deltas):
-                            setattr(stats, name, getattr(stats, name) + delta)
-                    if span is not None:
-                        span.args["orbit_replay"] = True
-                    if registry:
-                        registry.observe(
-                            "pipeline.witnesses_per_program", record[1]
-                        )
-                    continue
-            before = [
-                tuple(
-                    getattr(accumulator.outcome.stats, name)
-                    for name in _REPLAYED
+    # Publish the deadline on the cooperative channel so a stuck SAT
+    # query inside one witness step can be interrupted mid-solve
+    # (repro.resilience.deadline).
+    with deadline_scope(deadline):
+        for order_key, program in ordered_programs:
+            generate_s += clock() - generated
+            if deadline is not None and time.monotonic() > deadline:
+                timed_out = True
+                break
+            for accumulator in accumulators:
+                accumulator.outcome.stats.programs_enumerated += 1
+                accumulator.start_program()
+            span = (
+                tracer.begin(
+                    "program",
+                    category="diff",
+                    order=list(order_key),
+                    pairs=len(accumulators),
                 )
-                for accumulator in accumulators
-            ]
-            program_executions = 0
+                if tracer
+                else None
+            )
+            try:
+                sym = program_symmetry(program) if use_symmetry else None
+                program_key_memo: list = []
+                rep_rank_memo: list = []
 
-            started = clock()
-            iterator = iter(witness_stream(program, sym))
-            while True:
-                item = next(iterator, None)
-                enumerate_s += clock() - started
-                if item is None:
-                    break
-                execution, weight = item
-                witnesses_seen += 1
-                program_executions += weight
-                for accumulator in accumulators:
-                    stats = accumulator.outcome.stats
-                    stats.executions_enumerated += weight
-                    if weight > 1:
-                        stats.orbit_witnesses_pruned += weight - 1
-                if (
-                    deadline is not None
-                    and witnesses_seen % 64 == 0
-                    and time.monotonic() > deadline
+                def program_key_of() -> ProgramKey:
+                    if not program_key_memo:
+                        program_key_memo.append(
+                            sym.canonical_key
+                            if sym is not None
+                            else canonical_program_key(program)
+                        )
+                    return program_key_memo[0]
+
+                def rep_rank_of() -> tuple:
+                    if not rep_rank_memo:
+                        rep_rank_memo.append(
+                            sym.identity_key
+                            if sym is not None
+                            else identity_program_key(program)
+                        )
+                    return rep_rank_memo[0]
+
+                if sym is not None:
+                    if sym.prunable:
+                        for accumulator in accumulators:
+                            accumulator.outcome.stats.symmetric_programs += 1
+                    record = orbit_cache.get(sym.canonical_key)
+                    if record is not None and record[0] < sym.identity_key:
+                        # Orbit-level dedup: replay the class's weighted totals
+                        # without enumerating (or translating) the duplicate.
+                        for accumulator, deltas in zip(accumulators, record[2]):
+                            stats = accumulator.outcome.stats
+                            stats.orbit_replays += 1
+                            stats.executions_enumerated += record[1]
+                            for name, delta in zip(_REPLAYED, deltas):
+                                setattr(stats, name, getattr(stats, name) + delta)
+                        if span is not None:
+                            span.args["orbit_replay"] = True
+                        if registry:
+                            registry.observe(
+                                "pipeline.witnesses_per_program", record[1]
+                            )
+                        continue
+                before = [
+                    tuple(
+                        getattr(accumulator.outcome.stats, name)
+                        for name in _REPLAYED
+                    )
+                    for accumulator in accumulators
+                ]
+                program_executions = 0
+
+                started = clock()
+                iterator = iter(witness_stream(program, sym))
+                while True:
+                    item = next(iterator, None)
+                    enumerate_s += clock() - started
+                    if item is None:
+                        break
+                    execution, weight = item
+                    witnesses_seen += 1
+                    program_executions += weight
+                    for accumulator in accumulators:
+                        stats = accumulator.outcome.stats
+                        stats.executions_enumerated += weight
+                        if weight > 1:
+                            stats.orbit_witnesses_pruned += weight - 1
+                    if (
+                        deadline is not None
+                        and witnesses_seen % 64 == 0
+                        and time.monotonic() > deadline
+                    ):
+                        timed_out = True
+                        break
+                    started = clock()
+                    permits = table.evaluator(execution)
+                    execution_key_memo: list = []
+                    witness_rank_memo: list = []
+
+                    def execution_key_of() -> ExecutionKey:
+                        if not execution_key_memo:
+                            execution_key_memo.append(
+                                execution_key_via(sym, execution)
+                                if sym is not None
+                                else canonical_execution_key(execution)
+                            )
+                        return execution_key_memo[0]
+
+                    def witness_rank_of() -> tuple:
+                        if not witness_rank_memo:
+                            witness_rank_memo.append(
+                                witness_sort_key(
+                                    program,
+                                    execution._rf,
+                                    execution.co,
+                                    execution.co_pa,
+                                )
+                            )
+                        return witness_rank_memo[0]
+
+                    for accumulator, (ref_index, sub_index) in zip(
+                        accumulators, pair_indices
+                    ):
+                        accumulator.observe(
+                            order_key,
+                            program,
+                            execution,
+                            weight,
+                            permits(ref_index),
+                            permits(sub_index),
+                            execution_key_of,
+                            program_key_of,
+                            rep_rank_of,
+                            witness_rank_of,
+                            use_shared_minimality,
+                        )
+                    classify_s += clock() - started
+                    started = clock()
+                if span is not None:
+                    span.args["witnesses"] = program_executions
+                if registry:
+                    registry.observe(
+                        "pipeline.witnesses_per_program", program_executions
+                    )
+                if timed_out or (
+                    deadline is not None and time.monotonic() > deadline
                 ):
                     timed_out = True
                     break
-                started = clock()
-                permits = table.evaluator(execution)
-                execution_key_memo: list = []
-                witness_rank_memo: list = []
-
-                def execution_key_of() -> ExecutionKey:
-                    if not execution_key_memo:
-                        execution_key_memo.append(
-                            execution_key_via(sym, execution)
-                            if sym is not None
-                            else canonical_execution_key(execution)
-                        )
-                    return execution_key_memo[0]
-
-                def witness_rank_of() -> tuple:
-                    if not witness_rank_memo:
-                        witness_rank_memo.append(
-                            witness_sort_key(
-                                program,
-                                execution._rf,
-                                execution.co,
-                                execution.co_pa,
+                if sym is not None:
+                    record = orbit_cache.get(sym.canonical_key)
+                    if record is None or sym.identity_key < record[0]:
+                        deltas = tuple(
+                            tuple(
+                                getattr(accumulator.outcome.stats, name) - start
+                                for name, start in zip(_REPLAYED, snapshot)
                             )
+                            for accumulator, snapshot in zip(accumulators, before)
                         )
-                    return witness_rank_memo[0]
-
-                for accumulator, (ref_index, sub_index) in zip(
-                    accumulators, pair_indices
-                ):
-                    accumulator.observe(
-                        order_key,
-                        program,
-                        execution,
-                        weight,
-                        permits(ref_index),
-                        permits(sub_index),
-                        execution_key_of,
-                        program_key_of,
-                        rep_rank_of,
-                        witness_rank_of,
-                        use_shared_minimality,
-                    )
-                classify_s += clock() - started
-                started = clock()
-            if span is not None:
-                span.args["witnesses"] = program_executions
-            if registry:
-                registry.observe(
-                    "pipeline.witnesses_per_program", program_executions
-                )
-            if timed_out or (
-                deadline is not None and time.monotonic() > deadline
-            ):
+                        orbit_cache[sym.canonical_key] = (
+                            sym.identity_key,
+                            program_executions,
+                            deltas,
+                        )
+            except SolverInterrupted:
+                # The cooperative deadline cut a SAT query short mid-witness;
+                # results up to the previous program stand as a partial
+                # timeout for every pair in flight.
                 timed_out = True
                 break
-            if sym is not None:
-                record = orbit_cache.get(sym.canonical_key)
-                if record is None or sym.identity_key < record[0]:
-                    deltas = tuple(
-                        tuple(
-                            getattr(accumulator.outcome.stats, name) - start
-                            for name, start in zip(_REPLAYED, snapshot)
-                        )
-                        for accumulator, snapshot in zip(accumulators, before)
-                    )
-                    orbit_cache[sym.canonical_key] = (
-                        sym.identity_key,
-                        program_executions,
-                        deltas,
-                    )
-        finally:
-            tracer.end(span)
-            generated = clock()
+            finally:
+                tracer.end(span)
+                generated = clock()
 
     outcomes = [accumulator.outcome for accumulator in accumulators]
     if timed_out:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from ..orchestrate.merge import MergeReport
+from ..resilience import FailureRecord
 from ..synth import SuiteStats
 from .diff import ConformanceCell, DiffConfig
 from .worker import DiffShardResult
@@ -30,8 +31,14 @@ def merge_diff_shards(
     diff: DiffConfig,
     shard_results: Iterable[DiffShardResult],
     runtime_s: float = 0.0,
+    failures: Iterable[FailureRecord] = (),
 ) -> Tuple[ConformanceCell, MergeReport]:
-    """Fuse diff shards into one serial-equivalent :class:`ConformanceCell`."""
+    """Fuse diff shards into one serial-equivalent :class:`ConformanceCell`.
+
+    ``failures`` (quarantined shards) mark the merged cell ``degraded``:
+    completed shards still fuse, but the cell is explicitly partial and
+    will not be cached.
+    """
     report = MergeReport()
     stats = SuiteStats()
     best: dict = {}  # ProgramKey -> DiffShardElt with minimal order
@@ -55,6 +62,10 @@ def merge_diff_shards(
                     current.order,
                 ):
                     best[shard_elt.elt.key] = shard_elt
+
+    for failure in failures:
+        report.failed_shards.append(failure.label)
+        stats.degraded = True
 
     cell = ConformanceCell(
         reference=diff.reference.name,

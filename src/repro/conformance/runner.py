@@ -20,15 +20,22 @@ in a deterministic :class:`~repro.conformance.matrix.ConformanceMatrix`.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor
 from dataclasses import asdict, dataclass, field, replace
-from multiprocessing import get_context
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import SynthesisError
 from ..models import MemoryModel, catalog_models
 from ..obs import ProgressReporter, current_registry, current_tracer
 from ..orchestrate.merge import MergeReport
+from ..resilience import (
+    FailureRecord,
+    FaultPlan,
+    PoolManager,
+    ResilienceStats,
+    RetryPolicy,
+    run_resilient_tasks,
+)
 from ..orchestrate.shards import ShardSpec, plan_pair_shards, plan_shards
 from ..orchestrate.store import (
     KIND_DIFF_CELL,
@@ -79,8 +86,8 @@ def _load_cell(store: SuiteStore, diff: DiffConfig):
 
 
 def _save_cell(store: SuiteStore, diff: DiffConfig, cell: ConformanceCell) -> None:
-    if cell.stats.timed_out:
-        return  # partial work must not satisfy a later complete run
+    if cell.stats.timed_out or cell.stats.degraded:
+        return  # partial/degraded work must not satisfy a complete run
     store.put(
         diff_entry_key(diff, KIND_DIFF_CELL),
         cell,
@@ -130,58 +137,63 @@ class DiffRunResult:
     cell_cache_hit: bool = False
     shard_cache_hits: int = 0
     shard_cache_misses: int = 0
+    #: Shards quarantined after exhausting retries (empty on clean runs).
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: Scheduler effort for the run this cell came from (shared across
+    #: the pairs of one all-pairs run).
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def shard_results(self) -> List[DiffShardResult]:
         return self.report.per_shard
 
-
-def _make_executor(jobs: int) -> ProcessPoolExecutor:
-    return ProcessPoolExecutor(
-        max_workers=jobs, mp_context=get_context("spawn")
-    )
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
 
 
 def _execute_tasks(
     tasks: List,
     jobs: int,
-    executor: Optional[Executor] = None,
+    executor: Optional[Union[Executor, PoolManager]] = None,
     worker=run_diff_shard,
     progress: Optional[ProgressReporter] = None,
-) -> List:
-    """Run shard tasks inline (``jobs == 1``) or on a spawn pool,
-    creating and tearing down the pool only when the caller did not
-    share one.  Results come back in task order (parallel collection is
-    completion-ordered for live progress, but lands by index) — the
-    single executor-lifecycle policy behind both :func:`run_diff` and
+    retry: Optional[RetryPolicy] = None,
+):
+    """Run shard tasks inline (``jobs == 1``) or on a rebuildable spawn
+    pool through the resilient scheduler
+    (:func:`repro.resilience.run_resilient_tasks`), creating and tearing
+    down the pool only when the caller did not share one.  Returns
+    ``(results, failures, stats)`` with results in task order (a ``None``
+    slot is a quarantined task, listed in ``failures``) — the single
+    execution policy behind both :func:`run_diff` and
     :func:`run_all_pairs` (which passes the fused multi-pair worker)."""
-    own_executor: Optional[ProcessPoolExecutor] = None
+    pool: Optional[PoolManager] = None
+    if isinstance(executor, PoolManager):
+        pool = executor
+    elif executor is not None:
+        pool = PoolManager(jobs, executor=executor)
+    own_pool: Optional[PoolManager] = None
     try:
-        if tasks and jobs > 1 and executor is None:
-            own_executor = _make_executor(jobs)
-        pool = executor if executor is not None else own_executor
-        results: List = [None] * len(tasks)
-        if pool is None:
-            for index, task in enumerate(tasks):
-                results[index] = worker(task)
-                if progress is not None:
-                    progress.update(task.spec.label)
-        else:
-            future_slots = {
-                pool.submit(worker, task): index
-                for index, task in enumerate(tasks)
-            }
-            for future in as_completed(future_slots):
-                index = future_slots[future]
-                results[index] = future.result()
-                if progress is not None:
-                    progress.update(tasks[index].spec.label)
-        return results
+        if tasks and jobs > 1 and pool is None:
+            pool = own_pool = PoolManager(jobs)
+        outcome = run_resilient_tasks(
+            list(enumerate(tasks)),
+            worker=worker,
+            jobs=jobs,
+            policy=retry,
+            pool=pool,
+            progress=progress,
+        )
+        results: List = [
+            outcome.results.get(index) for index in range(len(tasks))
+        ]
+        return results, outcome.failures, outcome.stats
     finally:
         if progress is not None:
             progress.finish()
-        if own_executor is not None:
-            own_executor.shutdown()
+        if own_pool is not None:
+            own_pool.shutdown()
 
 
 def run_diff(
@@ -190,11 +202,13 @@ def run_diff(
     shard_count: Optional[int] = None,
     fanout_split: int = 1,
     store: Optional[SuiteStore] = None,
-    executor: Optional[Executor] = None,
+    executor: Optional[Union[Executor, PoolManager]] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> DiffRunResult:
     """Run one differential pass across ``jobs`` workers (the diff
-    analogue of :func:`repro.orchestrate.run_sharded`, same caching and
-    executor-sharing semantics)."""
+    analogue of :func:`repro.orchestrate.run_sharded`, same caching,
+    executor-sharing, and retry/degradation semantics)."""
     if jobs < 1:
         raise SynthesisError(f"jobs must be positive, got {jobs}")
     started = time.monotonic()
@@ -231,17 +245,24 @@ def run_diff(
             pending.append(
                 (
                     index,
-                    DiffShardTask(shard_diff, spec, wall_deadline, observe=observe),
+                    DiffShardTask(
+                        shard_diff,
+                        spec,
+                        wall_deadline,
+                        observe=observe,
+                        faults=faults,
+                    ),
                 )
             )
 
     progress = ProgressReporter("diff", len(specs))
     progress.done = len(specs) - len(pending)
-    executed = _execute_tasks(
+    executed, failures, resilience = _execute_tasks(
         [task for _index, task in pending],
         jobs,
         executor=executor,
         progress=progress,
+        retry=retry,
     )
     for (index, _task), shard in zip(pending, executed):
         shard_results[index] = shard
@@ -263,7 +284,9 @@ def run_diff(
                 _save_shard(store, shard_diff, shard.spec, shard)
 
     runtime_s = time.monotonic() - started
-    cell, report = merge_diff_shards(diff, completed, runtime_s=runtime_s)
+    cell, report = merge_diff_shards(
+        diff, completed, runtime_s=runtime_s, failures=failures
+    )
     if store is not None:
         _save_cell(store, diff, cell)
     return DiffRunResult(
@@ -273,6 +296,8 @@ def run_diff(
         shard_specs=list(specs),
         shard_cache_hits=hits,
         shard_cache_misses=misses,
+        failures=list(failures),
+        resilience=resilience,
     )
 
 
@@ -290,6 +315,8 @@ def run_all_pairs(
     fanout_split: int = 1,
     store: Optional[SuiteStore] = None,
     pairs: Optional[List[Pair]] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[ConformanceMatrix, List[DiffRunResult]]:
     """Differential conformance over every ordered pair of a catalog.
 
@@ -395,17 +422,34 @@ def run_all_pairs(
                     spec=specs[index],
                     wall_deadline=wall_deadline,
                     observe=observe,
+                    faults=faults,
                 )
             )
             task_slots.append((index, pairs_here))
 
         progress = ProgressReporter("all-pairs", len(tasks))
-        executed = _execute_tasks(
-            tasks, jobs, worker=run_multi_diff_shard, progress=progress
+        executed, failures, resilience = _execute_tasks(
+            tasks,
+            jobs,
+            worker=run_multi_diff_shard,
+            progress=progress,
+            retry=retry,
         )
         for (index, pairs_here), task_results in zip(task_slots, executed):
-            for pair, shard in zip(pairs_here, task_results):
+            for pair, shard in zip(pairs_here, task_results or ()):
                 shard_results[pair][index] = shard
+
+        # A quarantined *fused* task degrades every pair that was riding
+        # on it: map failures back through the task's pair list.
+        failures_by_pair: Dict[Pair, List[FailureRecord]] = {
+            pair: [] for pair in remaining
+        }
+        pairs_by_label = {
+            specs[index].label: pairs_here for index, pairs_here in task_slots
+        }
+        for failure in failures:
+            for pair in pairs_by_label.get(failure.label, ()):
+                failures_by_pair[pair].append(failure)
 
         if observe:
             # One lane per fused task (its batch rides on the first
@@ -436,7 +480,10 @@ def run_all_pairs(
                             store, shard_diffs[pair], shard.spec, shard
                         )
             cell, report = merge_diff_shards(
-                diff, completed, runtime_s=time.monotonic() - started[pair]
+                diff,
+                completed,
+                runtime_s=time.monotonic() - started[pair],
+                failures=failures_by_pair[pair],
             )
             if store is not None:
                 _save_cell(store, diff, cell)
@@ -447,6 +494,8 @@ def run_all_pairs(
                 shard_specs=list(specs),
                 shard_cache_hits=hits[pair],
                 shard_cache_misses=misses[pair],
+                failures=list(failures_by_pair[pair]),
+                resilience=resilience,
             )
 
     matrix = ConformanceMatrix(

@@ -27,6 +27,7 @@ from ..obs import (
     install_tracer,
 )
 from ..orchestrate.shards import ShardSpec, shard_programs
+from ..resilience import FaultPlan
 from ..synth import SuiteStats
 from .diff import (
     DiffConfig,
@@ -47,6 +48,10 @@ class DiffShardTask:
     wall_deadline: Optional[float] = None
     #: Collect spans/metrics in the worker and ship them on the result.
     observe: bool = False
+    #: Which (re)submission this is (stamped by the resilient scheduler).
+    attempt: int = 1
+    #: Seeded chaos harness; consulted on worker entry when set.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,10 @@ class MultiDiffShardTask:
     #: Collect spans/metrics in the worker; the fused task's batch and
     #: registry ride on the *first* pair's result (one lane per task).
     observe: bool = False
+    #: Which (re)submission this is (stamped by the resilient scheduler).
+    attempt: int = 1
+    #: Seeded chaos harness; consulted on worker entry when set.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -139,6 +148,8 @@ def _observed(spec: ShardSpec, observe: bool):
 
 def run_diff_shard(task: DiffShardTask) -> DiffShardResult:
     """Execute one differential shard (in-process or in a worker)."""
+    if task.faults is not None:
+        task.faults.apply_worker_fault(task.spec.label, task.attempt)
     started = time.monotonic()
     deadline = None
     if task.wall_deadline is not None:
@@ -176,6 +187,8 @@ def run_multi_diff_shard(task: MultiDiffShardTask) -> list:
     at the cost of per-pair attribution), and SAT counters follow
     :func:`~repro.conformance.diff.run_multi_diff_pipeline`'s
     lead-pair-translations / rest-avoided convention."""
+    if task.faults is not None:
+        task.faults.apply_worker_fault(task.spec.label, task.attempt)
     started = time.monotonic()
     deadline = None
     if task.wall_deadline is not None:

@@ -42,5 +42,32 @@ class SynthesisError(ReproError):
     """Errors in synthesis configuration (bad bound, unknown axiom name)."""
 
 
+class SolverInterrupted(ReproError):
+    """A SAT query was cut short by a cooperative deadline.
+
+    Raised from inside :class:`repro.sat.CdclSolver`'s search loops when
+    the deadline installed by :func:`repro.resilience.deadline_scope`
+    expires; the solver backtracks to level 0 first, so it stays usable.
+    The synthesis pipelines catch this and mark the run ``timed_out``.
+    """
+
+
+class ShardFailure(ReproError):
+    """A shard exhausted its retry budget.
+
+    Carries the shard spec label and the attempt count so the final
+    error names which shard died; the original exception rides along as
+    ``__cause__`` when raised via ``raise ... from``.
+    """
+
+    def __init__(self, label: str, attempts: int, kind: str = "exception"):
+        self.label = label
+        self.attempts = attempts
+        self.kind = kind
+        super().__init__(
+            f"shard {label} failed after {attempts} attempt(s) ({kind})"
+        )
+
+
 class LitmusFormatError(ReproError):
     """Malformed textual litmus/ELT representation."""

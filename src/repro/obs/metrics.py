@@ -221,6 +221,7 @@ def registry_from_suite_stats(stats) -> MetricsRegistry:
         registry.inc(f"suite.{name}", getattr(stats, name))
     registry.inc("suite.unique_programs", stats.unique_programs)
     registry.inc("suite.timed_out", 1 if stats.timed_out else 0)
+    registry.inc("suite.degraded", 1 if stats.degraded else 0)
     for stage, seconds in stats.stage_times.items():
         registry.set_gauge(f"stage_s.{stage}", seconds)
     registry.set_gauge("runtime_s", stats.runtime_s)

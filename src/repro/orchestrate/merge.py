@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..resilience import FailureRecord
 from ..synth import SuiteResult, SuiteStats, SynthesisConfig
 from .worker import ShardElt, ShardResult
 
@@ -54,14 +55,23 @@ class MergeReport:
     shard_elts: int = 0
     cross_shard_duplicates: int = 0
     per_shard: list[ShardResult] = field(default_factory=list)
+    #: Labels of quarantined shards missing from the merge (the suite is
+    #: degraded when this is non-empty).
+    failed_shards: list[str] = field(default_factory=list)
 
 
 def merge_shards(
     config: SynthesisConfig,
     shard_results: Iterable[ShardResult],
     runtime_s: float = 0.0,
+    failures: Iterable[FailureRecord] = (),
 ) -> tuple[SuiteResult, MergeReport]:
-    """Fuse shard results into one serial-equivalent :class:`SuiteResult`."""
+    """Fuse shard results into one serial-equivalent :class:`SuiteResult`.
+
+    ``failures`` (quarantined shards from the resilient scheduler) mark
+    the merged suite ``degraded``: every completed shard is still fused,
+    but the artifact is explicitly partial and will not be cached.
+    """
     report = MergeReport()
     stats = SuiteStats()
     best: dict = {}  # ProgramKey -> ShardElt with minimal order
@@ -81,6 +91,10 @@ def merge_shards(
                     current.order,
                 ):
                     best[shard_elt.elt.key] = shard_elt
+
+    for failure in failures:
+        report.failed_shards.append(failure.label)
+        stats.degraded = True
 
     result = SuiteResult(config.bound, config.target_axiom, stats=stats)
     result.elts = sorted(

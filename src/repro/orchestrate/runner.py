@@ -5,29 +5,44 @@
 1. plan deterministic shards (:mod:`.shards`);
 2. load any shard already completed by a previous interrupted run from
    the :class:`~repro.orchestrate.store.SuiteStore`;
-3. execute the remaining shards on a spawn-based
-   :class:`~concurrent.futures.ProcessPoolExecutor` (or inline when
-   ``jobs == 1``);
+3. execute the remaining shards through the retrying scheduler
+   (:func:`repro.resilience.run_resilient_tasks`) on a rebuildable
+   spawn pool (or inline when ``jobs == 1``) — worker crashes, pool
+   collapses, and stuck shards are retried under the run's
+   :class:`~repro.resilience.RetryPolicy`;
 4. merge (:mod:`.merge`) into a suite provably identical to the serial
    engine's, and persist both the shards and the merged suite.
 
+A shard that exhausts its retries is *quarantined*: the run still
+merges every completed shard but the result is marked ``degraded``
+(``result.stats.degraded``) and the failed specs are listed on
+``OrchestratedResult.failures`` — a week-long sweep loses one point,
+not the run.  Degraded suites are never cached.
+
 ``run_sweep_sharded`` lifts this over the Fig 9 per-axiom bound sweep,
-reusing one worker pool across all points and skipping any (axiom,
-bound) point whose merged suite is already in the store — which is what
-makes an interrupted ``sweep --cache-dir …`` resumable by rerunning the
-same command.
+reusing one rebuildable worker pool across all points and skipping any
+(axiom, bound) point whose merged suite is already in the store — which
+is what makes an interrupted ``sweep --cache-dir …`` resumable by
+rerunning the same command.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor
 from dataclasses import dataclass, field, replace
-from multiprocessing import get_context
 from typing import Mapping, Optional, Union
 
 from ..errors import SynthesisError
 from ..obs import ProgressReporter, current_registry, current_tracer
+from ..resilience import (
+    FailureRecord,
+    FaultPlan,
+    PoolManager,
+    ResilienceStats,
+    RetryPolicy,
+    run_resilient_tasks,
+)
 from ..synth import SuiteResult, SweepPoint, SweepResult, SynthesisConfig
 from .merge import MergeReport, merge_shards
 from .shards import ShardSpec, plan_shards
@@ -37,7 +52,7 @@ from .worker import ShardResult, ShardTask, run_shard
 
 @dataclass
 class OrchestratedResult:
-    """A merged suite plus per-shard and cache bookkeeping."""
+    """A merged suite plus per-shard, cache, and resilience bookkeeping."""
 
     result: SuiteResult
     report: MergeReport
@@ -46,16 +61,30 @@ class OrchestratedResult:
     suite_cache_hit: bool = False
     shard_cache_hits: int = 0
     shard_cache_misses: int = 0
+    #: Shards quarantined after exhausting retries (empty on clean runs).
+    failures: list[FailureRecord] = field(default_factory=list)
+    #: What the scheduler had to do (retries/rebuilds/timeouts) to finish.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def shard_results(self) -> list[ShardResult]:
         return self.report.per_shard
 
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
 
-def _make_executor(jobs: int) -> ProcessPoolExecutor:
-    return ProcessPoolExecutor(
-        max_workers=jobs, mp_context=get_context("spawn")
-    )
+
+def _as_pool(
+    jobs: int, executor: Optional[Union[Executor, PoolManager]]
+) -> Optional[PoolManager]:
+    """Adapt the public ``executor=`` parameter (legacy Executor or a
+    shared PoolManager) to the scheduler's PoolManager interface."""
+    if executor is None:
+        return None
+    if isinstance(executor, PoolManager):
+        return executor
+    return PoolManager(jobs, executor=executor)
 
 
 def run_sharded(
@@ -64,15 +93,21 @@ def run_sharded(
     shard_count: Optional[int] = None,
     fanout_split: int = 1,
     store: Optional[SuiteStore] = None,
-    executor: Optional[Executor] = None,
+    executor: Optional[Union[Executor, PoolManager]] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> OrchestratedResult:
     """Run one synthesis config across ``jobs`` workers.
 
     With a ``store``, previously completed shards and suites are reused
-    (cache counters on the store record how much); timed-out results are
-    never cached.  Pass an ``executor`` to share one worker pool across
-    several calls (the sweep does); otherwise a spawn pool is created on
-    demand and torn down before returning.
+    (cache counters on the store record how much); timed-out or degraded
+    results are never cached.  Pass an ``executor`` (an Executor or a
+    :class:`~repro.resilience.PoolManager`) to share one worker pool
+    across several calls (the sweep does); otherwise a spawn pool is
+    created on demand and torn down before returning.  ``retry``
+    configures the failure envelope (defaults to
+    :data:`~repro.resilience.DEFAULT_RETRY_POLICY`); ``faults`` is the
+    seeded ``--chaos`` fault-injection plan shipped to workers.
     """
     if jobs < 1:
         raise SynthesisError(f"jobs must be positive, got {jobs}")
@@ -118,37 +153,37 @@ def run_sharded(
             pending.append(
                 (
                     index,
-                    ShardTask(shard_config, spec, wall_deadline, observe=observe),
+                    ShardTask(
+                        shard_config,
+                        spec,
+                        wall_deadline,
+                        observe=observe,
+                        faults=faults,
+                    ),
                 )
             )
 
-    own_executor: Optional[ProcessPoolExecutor] = None
+    pool = _as_pool(jobs, executor)
+    own_pool: Optional[PoolManager] = None
     progress = ProgressReporter("synthesize", len(specs))
     progress.done = len(specs) - len(pending)
     try:
-        if pending and jobs > 1 and executor is None:
-            own_executor = _make_executor(jobs)
-        pool = executor if executor is not None else own_executor
-        if pending:
-            if pool is None:  # jobs == 1: run inline, no process overhead
-                for index, task in pending:
-                    shard_results[index] = run_shard(task)
-                    progress.update(task.spec.label)
-            else:
-                # Collect in completion order (for live progress); results
-                # land by index, so the merge input is order-independent.
-                future_slots = {
-                    pool.submit(run_shard, task): (index, task)
-                    for index, task in pending
-                }
-                for future in as_completed(future_slots):
-                    index, task = future_slots[future]
-                    shard_results[index] = future.result()
-                    progress.update(task.spec.label)
+        if pending and jobs > 1 and pool is None:
+            pool = own_pool = PoolManager(jobs)
+        outcome = run_resilient_tasks(
+            pending,
+            worker=run_shard,
+            jobs=jobs,
+            policy=retry,
+            pool=pool,
+            progress=progress,
+        )
+        for index, shard in outcome.results.items():
+            shard_results[index] = shard
     finally:
         progress.finish()
-        if own_executor is not None:
-            own_executor.shutdown()
+        if own_pool is not None:
+            own_pool.shutdown()
 
     completed = [shard for shard in shard_results if shard is not None]
     if observe:
@@ -169,7 +204,9 @@ def run_sharded(
                 store.save_shard(shard_config, shard.spec, shard)
 
     runtime_s = time.monotonic() - started
-    result, report = merge_shards(config, completed, runtime_s=runtime_s)
+    result, report = merge_shards(
+        config, completed, runtime_s=runtime_s, failures=outcome.failures
+    )
     if store is not None:
         store.save_suite(config, result)
     return OrchestratedResult(
@@ -179,6 +216,8 @@ def run_sharded(
         shard_specs=list(specs),
         shard_cache_hits=hits,
         shard_cache_misses=misses,
+        failures=list(outcome.failures),
+        resilience=outcome.stats,
     )
 
 
@@ -192,15 +231,20 @@ def run_sweep_sharded(
     shard_count: Optional[int] = None,
     fanout_split: int = 1,
     store: Optional[SuiteStore] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> tuple[SweepResult, list[OrchestratedResult]]:
     """Sharded, resumable Fig 9 sweep (same semantics as
     :func:`repro.synth.synthesize_sweep`, run point-by-point through
     :func:`run_sharded`).
 
     Returns the sweep plus the per-point orchestration records (cache
-    hits, per-shard runtimes).  Rerunning an interrupted sweep with the
-    same store picks up where it left off: finished (axiom, bound) points
-    are suite-level cache hits and are not re-synthesized.
+    hits, per-shard runtimes, quarantined shards).  Rerunning an
+    interrupted sweep with the same store picks up where it left off:
+    finished (axiom, bound) points are suite-level cache hits and are
+    not re-synthesized.  A *timed-out* point skips the axiom's later
+    bounds (they would only be slower); a *degraded* point does not —
+    the failure is shard-local, so the sweep continues.
 
     ``max_bound`` may be a single cap or a per-axiom mapping (the shape of
     :data:`repro.reporting.DEFAULT_MAX_BOUNDS`).
@@ -220,10 +264,10 @@ def run_sweep_sharded(
 
     sweep = SweepResult()
     records: list[OrchestratedResult] = []
-    shared_executor: Optional[ProcessPoolExecutor] = None
+    shared_pool: Optional[PoolManager] = None
     try:
         if jobs > 1:
-            shared_executor = _make_executor(jobs)
+            shared_pool = PoolManager(jobs)
         for axiom in axioms:
             top = top_for(axiom)
             for bound in range(min_bound, top + 1):
@@ -239,7 +283,9 @@ def run_sweep_sharded(
                     shard_count=shard_count,
                     fanout_split=fanout_split,
                     store=store,
-                    executor=shared_executor,
+                    executor=shared_pool,
+                    retry=retry,
+                    faults=faults,
                 )
                 records.append(orchestrated)
                 sweep.points.append(
@@ -251,6 +297,6 @@ def run_sweep_sharded(
                     )
                     break
     finally:
-        if shared_executor is not None:
-            shared_executor.shutdown()
+        if shared_pool is not None:
+            shared_pool.shutdown()
     return sweep, records

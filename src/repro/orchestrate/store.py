@@ -11,8 +11,11 @@ Layout (documented alongside the suite text format in
 
     <cache_dir>/
       entries/
-        <key>.json   # metadata: kind, config fingerprint inputs, stats
+        <key>.json   # metadata: kind, config fingerprint inputs, stats,
+                     # and the payload's blake2b digest
         <key>.pkl    # payload: pickled ShardResult or SuiteResult
+      quarantine/    # corrupt/torn entries moved aside by verify-on-read
+      .write.lock    # cross-process writer lock (best-effort)
 
 ``<key>`` is the first 32 hex digits of the SHA-256 of a canonical JSON
 rendering of the entry identity.  Identity covers every knob that can
@@ -22,27 +25,39 @@ budget, a schema version (bumped whenever engine output semantics
 change), and for shard entries the shard stride — so a stale or
 mismatched cache can never masquerade as a hit.
 
+Integrity: every payload's blake2b digest is recorded in the entry meta
+and **verified on read** before unpickling.  A corrupt, torn, or
+undigested entry is never unpickled — it is moved into ``quarantine/``,
+counted under ``counters.corrupt`` (distinct from ``counters.misses``:
+a true absence), logged with its key, and served as a cache miss so the
+caller recomputes (and heals) it.  Writers additionally take a
+best-effort cross-process :class:`~repro.resilience.FileLock` around
+the meta+payload pair.  :meth:`SuiteStore.verify` scans the whole store
+offline (the ``repro store verify`` / ``--repair`` CLI).
+
 Writes are atomic (tempfile + ``os.replace``) so an interrupted run never
-leaves a half-written entry; timed-out results are **never** stored
-(their partial suites must not satisfy a later complete run).  The store
-keeps ``hits`` / ``misses`` / ``stores`` counters that the resume tests
-and the CLI surface.
+leaves a half-written entry; timed-out or degraded results are **never**
+stored (their partial suites must not satisfy a later complete run).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Optional, Union
 
 from ..obs import current_registry, current_tracer
+from ..resilience import FaultPlan, FileLock, flip_bit
 from ..synth import SynthesisConfig
 from .shards import ShardSpec
+
+logger = logging.getLogger(__name__)
 
 #: Bump when engine output semantics change: cached entries from older
 #: schemas silently become misses.  2: order-free representative
@@ -50,7 +65,9 @@ from .shards import ShardSpec
 #: sort key)-minimal witnesses) and the symmetry-aware pipeline fields.
 #: 3: shard results grew observability payload fields (span batches and
 #: metrics registries) — older pickles lack them, so they must miss.
-SCHEMA_VERSION = 3
+#: 4: integrity-checked entries (payload digests required in meta) and
+#: resilience fields on tasks/stats — undigested entries must miss.
+SCHEMA_VERSION = 4
 
 KIND_SHARD = "shard"
 KIND_SUITE = "suite"
@@ -108,21 +125,70 @@ def entry_key(
     return identity_key(identity)
 
 
+def payload_digest(data: bytes) -> str:
+    """The store's payload digest: blake2b-256 hex."""
+    return hashlib.blake2b(data, digest_size=32).hexdigest()
+
+
 @dataclass
 class StoreCounters:
     hits: int = 0
+    #: True absences: no payload on disk for the key.
     misses: int = 0
+    #: Corrupt/torn/undigested entries quarantined on read — distinct
+    #: from ``misses`` so resume reporting can tell "never computed"
+    #: from "computed but damaged".
+    corrupt: int = 0
     stores: int = 0
 
 
-class SuiteStore:
-    """On-disk cache of completed shard and suite results."""
+@dataclass
+class VerifyReport:
+    """Outcome of one offline :meth:`SuiteStore.verify` scan."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    scanned: int = 0
+    ok: int = 0
+    #: Keys whose payload digest/meta failed verification.
+    corrupt: list[str] = field(default_factory=list)
+    #: Keys with a payload but no meta, or meta but no payload.
+    orphaned: list[str] = field(default_factory=list)
+    #: True when --repair moved the bad entries into quarantine/.
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.orphaned
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "corrupt": sorted(self.corrupt),
+            "orphaned": sorted(self.orphaned),
+            "repaired": self.repaired,
+            "clean": self.clean,
+        }
+
+
+class SuiteStore:
+    """On-disk cache of completed shard and suite results.
+
+    ``faults`` is the chaos hook: a seeded
+    :class:`~repro.resilience.FaultPlan` may flip one bit in a payload
+    as it is written (first write per key only), exercising exactly the
+    verify-on-read/quarantine/recompute path a torn write would.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], faults: Optional[FaultPlan] = None
+    ) -> None:
         self.root = Path(root)
         self.entries_dir = self.root / "entries"
         self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir = self.root / "quarantine"
         self.counters = StoreCounters()
+        self.faults = faults
+        self._lock = FileLock(self.root / ".write.lock")
 
     # -- paths ---------------------------------------------------------
     def _payload_path(self, key: str) -> Path:
@@ -135,17 +201,67 @@ class SuiteStore:
     def has(self, key: str) -> bool:
         return self._payload_path(key).exists()
 
+    def _read_meta(self, key: str) -> Optional[dict[str, Any]]:
+        try:
+            with open(self._meta_path(key), "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a damaged entry aside so the caller recomputes it."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        for path in (self._payload_path(key), self._meta_path(key)):
+            if path.exists():
+                try:
+                    os.replace(path, self.quarantine_dir / path.name)
+                except OSError:
+                    pass
+        self.counters.corrupt += 1
+        current_registry().inc("store.corrupt", informational=True)
+        logger.warning(
+            "quarantined corrupt store entry %s (%s) under %s",
+            key,
+            reason,
+            self.quarantine_dir,
+        )
+
     def get(self, key: str) -> Optional[Any]:
         path = self._payload_path(key)
         with current_tracer().span("store.get", category="store", key=key) as span:
             try:
                 with open(path, "rb") as handle:
-                    payload = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError):
+                    data = handle.read()
+            except FileNotFoundError:
                 self.counters.misses += 1
                 current_registry().inc("store.misses", informational=True)
                 if span is not None:
                     span.args["hit"] = False
+                return None
+            except OSError:
+                data = None
+            reason = None
+            payload = None
+            if data is None:
+                reason = "unreadable payload"
+            else:
+                meta = self._read_meta(key)
+                expected = (meta or {}).get("payload_blake2b")
+                if expected is None:
+                    reason = "missing or undigested meta"
+                elif payload_digest(data) != expected:
+                    reason = "payload digest mismatch"
+                else:
+                    try:
+                        payload = pickle.loads(data)
+                    except Exception:
+                        reason = "unpicklable payload"
+            if reason is not None:
+                self._quarantine(key, reason)
+                if span is not None:
+                    span.args["hit"] = False
+                    span.args["corrupt"] = True
                 return None
             self.counters.hits += 1
             current_registry().inc("store.hits", informational=True)
@@ -154,14 +270,19 @@ class SuiteStore:
             return payload
 
     def put(self, key: str, payload: Any, meta: dict[str, Any]) -> None:
+        data = pickle.dumps(payload, protocol=4)
+        if self.faults is not None and self.faults.take_store_corruption(key):
+            data = flip_bit(data, self.faults.corrupt_offset(key, len(data)))
+        meta = dict(meta)
+        meta["payload_blake2b"] = payload_digest(data)
+        meta["payload_bytes"] = len(data)
         with current_tracer().span("store.put", category="store", key=key):
-            self._atomic_write(
-                self._meta_path(key),
-                json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
-            )
-            self._atomic_write(
-                self._payload_path(key), pickle.dumps(payload, protocol=4)
-            )
+            with self._lock:
+                self._atomic_write(
+                    self._meta_path(key),
+                    json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
+                )
+                self._atomic_write(self._payload_path(key), data)
         self.counters.stores += 1
         current_registry().inc("store.stores", informational=True)
 
@@ -179,6 +300,49 @@ class SuiteStore:
             except OSError:
                 pass
             raise
+
+    # -- offline integrity ---------------------------------------------
+    def verify(self, repair: bool = False) -> VerifyReport:
+        """Digest-check every entry; with ``repair``, quarantine the
+        damaged ones (the ``repro store verify [--repair]`` backend).
+
+        Unpaired files (payload without meta or meta without payload —
+        a write torn between the two) count as ``orphaned``.
+        """
+        report = VerifyReport()
+        keys = sorted(
+            {path.stem for path in self.entries_dir.glob("*.pkl")}
+            | {path.stem for path in self.entries_dir.glob("*.json")}
+        )
+        bad: list[str] = []
+        for key in keys:
+            report.scanned += 1
+            payload_path = self._payload_path(key)
+            meta = self._read_meta(key)
+            if not payload_path.exists() or meta is None:
+                report.orphaned.append(key)
+                bad.append(key)
+                continue
+            expected = meta.get("payload_blake2b")
+            try:
+                data = payload_path.read_bytes()
+            except OSError:
+                data = None
+            if (
+                data is None
+                or expected is None
+                or payload_digest(data) != expected
+            ):
+                report.corrupt.append(key)
+                bad.append(key)
+                continue
+            report.ok += 1
+        if repair and bad:
+            with self._lock:
+                for key in bad:
+                    self._quarantine(key, "verify --repair")
+            report.repaired = True
+        return report
 
     # -- typed helpers -------------------------------------------------
     def load_shard(self, config: SynthesisConfig, spec: ShardSpec):
@@ -208,8 +372,8 @@ class SuiteStore:
         return self.get(entry_key(config, KIND_SUITE))
 
     def save_suite(self, config: SynthesisConfig, result) -> None:
-        if result.stats.timed_out:
-            return
+        if result.stats.timed_out or result.stats.degraded:
+            return  # partial/degraded work must not satisfy a complete run
         self.put(
             entry_key(config, KIND_SUITE),
             result,

@@ -35,6 +35,7 @@ from ..obs import (
     install_registry,
     install_tracer,
 )
+from ..resilience import FaultPlan
 from ..synth import SuiteStats, SynthesisConfig, run_pipeline
 from ..synth.engine import OrderKey, SynthesizedElt
 from .shards import ShardSpec, shard_programs
@@ -50,6 +51,11 @@ class ShardTask:
     wall_deadline: Optional[float] = None
     #: Collect spans/metrics in the worker and ship them on the result.
     observe: bool = False
+    #: Which (re)submission this is — the scheduler stamps 1, 2, ... so
+    #: workers and fault plans can behave per-attempt.
+    attempt: int = 1
+    #: Seeded chaos harness; when set the worker consults it on entry.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -81,6 +87,8 @@ class ShardResult:
 
 def run_shard(task: ShardTask) -> ShardResult:
     """Execute one shard (in-process or in a worker process)."""
+    if task.faults is not None:
+        task.faults.apply_worker_fault(task.spec.label, task.attempt)
     started = time.monotonic()
     deadline = None
     if task.wall_deadline is not None:

@@ -50,6 +50,20 @@ def render_shard_runtimes(orchestrated, title: str = "") -> str:
             f"shard_hits={orchestrated.shard_cache_hits} "
             f"shard_misses={orchestrated.shard_cache_misses}; " + footer
         )
+    failures = getattr(orchestrated, "failures", ())
+    if failures:
+        lost = ", ".join(
+            f"{f.label} ({f.kind}, {f.attempts} attempt(s))" for f in failures
+        )
+        footer += f"\nDEGRADED: quarantined shard(s) missing from merge: {lost}"
+    resilience = getattr(orchestrated, "resilience", None)
+    if resilience is not None and resilience.any_event():
+        footer += (
+            f"\nresilience: retries={resilience.retries} "
+            f"pool_rebuilds={resilience.pool_rebuilds} "
+            f"shard_timeouts={resilience.shard_timeouts} "
+            f"quarantined={resilience.quarantined}"
+        )
     return f"{table}\n{footer}"
 
 
@@ -65,10 +79,11 @@ def render_sweep_cache_summary(records: Iterable) -> str:
                 "cache" if record.suite_cache_hit else "computed",
                 f"{record.result.stats.runtime_s:.3f}",
                 "yes" if record.result.stats.timed_out else "",
+                "yes" if record.result.stats.degraded else "",
             )
         )
     return render_table(
-        ["axiom", "bound", "elts", "source", "runtime_s", "timed_out"],
+        ["axiom", "bound", "elts", "source", "runtime_s", "timed_out", "degraded"],
         rows,
         title="sweep points (resume/cache summary)",
     )

@@ -1,0 +1,109 @@
+"""A best-effort cross-process writer lock for the suite store.
+
+``fcntl.flock`` where available (every POSIX platform), falling back to
+an ``O_CREAT | O_EXCL`` pid-file spin lock elsewhere.  The lock
+serializes concurrent *writers* of one store directory; readers never
+take it (store writes are atomic renames, and payload digests catch any
+torn pair).  It is deliberately best-effort: a writer that cannot
+acquire the lock within ``timeout_s`` proceeds unlocked rather than
+failing the run — per-entry atomicity still holds, and a crashed
+holder must never deadlock every later run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+class FileLock:
+    """Advisory exclusive lock on a path; reentrant context manager."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        timeout_s: float = 10.0,
+        poll_s: float = 0.02,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._fd: Optional[int] = None
+        self._depth = 0
+        #: True when the last acquire timed out and the holder proceeded
+        #: unlocked (surfaced so callers can count/log it).
+        self.timed_out = False
+
+    def acquire(self) -> bool:
+        """Take the lock (or time out and proceed unlocked).
+
+        Returns True when the lock was actually held.
+        """
+        if self._depth > 0:
+            self._depth += 1
+            return self._fd is not None
+        self.timed_out = False
+        deadline = time.monotonic() + self.timeout_s
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        os.close(fd)
+                        self.timed_out = True
+                        break
+                    time.sleep(self.poll_s)
+        else:  # pragma: no cover - exercised only off-POSIX
+            while True:
+                try:
+                    fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                    )
+                    os.write(fd, str(os.getpid()).encode("ascii"))
+                    self._fd = fd
+                    break
+                except FileExistsError:
+                    if time.monotonic() > deadline:
+                        self.timed_out = True
+                        break
+                    time.sleep(self.poll_s)
+        self._depth = 1
+        return self._fd is not None
+
+    def release(self) -> None:
+        if self._depth > 1:
+            self._depth -= 1
+            return
+        self._depth = 0
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        else:  # pragma: no cover
+            os.close(fd)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

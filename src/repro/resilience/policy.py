@@ -1,0 +1,58 @@
+"""Retry policy for shard scheduling.
+
+One frozen dataclass describes everything the resilient scheduler
+(:mod:`repro.resilience.scheduler`) may do when a shard fails: how many
+times to re-run it, how long to back off between attempts, how long a
+single attempt may run on a worker before the pool is recycled, and
+whether an unrecoverable shard is quarantined (the run degrades, the
+completed shards merge) or fatal (a
+:class:`~repro.errors.ShardFailure` propagates).
+
+Backoff is **deterministic** — ``base * factor ** (attempt - 1)``, no
+jitter — so a seeded chaos run schedules identically every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler reacts to shard failures.
+
+    ``max_retries`` counts *re-runs*: a shard runs at most
+    ``max_retries + 1`` times.  ``shard_timeout_s`` bounds one attempt's
+    wall time on a worker pool (inline execution cannot preempt a
+    running shard; the cooperative solver deadline covers that case).
+    ``max_pool_strikes`` bounds how many pool collapses a shard may be
+    collateral damage to before it is given up on — pool breakage is not
+    attributable to a single shard, so these strikes are tracked apart
+    from the per-shard attempt count.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    shard_timeout_s: Optional[float] = None
+    #: Quarantine unrecoverable shards (merge the rest into a degraded
+    #: result) instead of raising :class:`~repro.errors.ShardFailure`.
+    quarantine: bool = True
+    #: Give up on a shard after this many pool collapses while in flight.
+    max_pool_strikes: int = 8
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic delay before re-running after failed ``attempt``."""
+        if self.backoff_base_s <= 0.0 or attempt < 1:
+            return 0.0
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+#: The scheduler's default: two retries, 50 ms doubling backoff, no
+#: per-shard timeout, quarantine on.
+DEFAULT_RETRY_POLICY = RetryPolicy()

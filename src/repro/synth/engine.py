@@ -46,9 +46,11 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
+from ..errors import SolverInterrupted
 from ..models import MemoryModel, x86t_elt
 from ..mtm import Execution, Program
 from ..obs import current_registry, current_tracer
+from ..resilience import deadline_scope
 from ..symmetry import (
     execution_key_via,
     program_symmetry,
@@ -111,6 +113,10 @@ class SuiteStats:
     unique_programs: int = 0
     runtime_s: float = 0.0
     timed_out: bool = False
+    #: True when shards were quarantined after exhausting retries: the
+    #: suite merges everything that completed but is explicitly partial
+    #: (never cached; see repro.resilience).  Ored by :meth:`absorb`.
+    degraded: bool = False
     # CDCL solver counters, populated when witness_backend == "sat"
     # (summed over every per-program solver; flat ints so shard results
     # pickle and merge trivially).
@@ -189,6 +195,7 @@ class SuiteStats:
         for name in self.SUMMED_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.timed_out = self.timed_out or other.timed_out
+        self.degraded = self.degraded or other.degraded
         for stage, seconds in other.stage_times.items():
             self.stage_times[stage] = self.stage_times.get(stage, 0.0) + seconds
 
@@ -353,154 +360,165 @@ def run_pipeline(
     )
 
     generated = clock()
-    for order_key, program in ordered_programs:
-        generate_s += clock() - generated
-        if deadline is not None and time.monotonic() > deadline:
-            stats.timed_out = True
-            break
-        stats.programs_enumerated += 1
-        span = (
-            tracer.begin("program", category="pipeline", order=list(order_key))
-            if tracer
-            else None
-        )
-        try:
-            sym = None
-            program_key: Optional[ProgramKey] = None
-            if use_symmetry:
-                sym = program_symmetry(program)
-                program_key = sym.canonical_key
-                if sym.prunable:
-                    stats.symmetric_programs += 1
-                record = orbit_cache.get(program_key)
-                if record is not None and record[0] < sym.identity_key:
-                    # Orbit-level dedup: a class member with a smaller rank
-                    # already ran in full this pass; replay its weighted
-                    # totals and skip translation/enumeration entirely.
-                    stats.orbit_replays += 1
-                    stats.executions_enumerated += record[1]
-                    stats.interesting += record[2]
-                    if span is not None:
-                        span.args["orbit_replay"] = True
-                    if registry:
-                        registry.observe(
-                            "pipeline.witnesses_per_program", record[1]
-                        )
-                    continue
-            program_executions = 0
-            program_interesting = 0
-            new_keys = 0
-            witnesses_seen = 0  # unweighted, for the periodic deadline check
-            candidate: Optional[tuple] = None  # (exec key, witness rank, execution)
-            started = clock()
-            iterator = iter(witness_stream(program, sym))
-            while True:
-                item = next(iterator, None)
-                enumerate_s += clock() - started
-                if item is None:
-                    break
-                execution, weight = item
-                witnesses_seen += 1
-                stats.executions_enumerated += weight
-                program_executions += weight
-                if weight > 1:
-                    stats.orbit_witnesses_pruned += weight - 1
-                if (
-                    deadline is not None
-                    and witnesses_seen % 64 == 0
-                    and time.monotonic() > deadline
-                ):
-                    stats.timed_out = True
-                    break
-                started = clock()
-                if target is not None:
-                    interesting = not target.holds(execution)
-                else:
-                    interesting = not model.permits(execution)
-                classify_s += clock() - started
-                if not interesting:
-                    started = clock()
-                    continue
-                stats.interesting += weight
-                program_interesting += weight
-                execution_key = (
-                    execution_key_via(sym, execution)
-                    if sym is not None
-                    else canonical_execution_key(execution)
-                )
-                minimal = minimal_by_key.get(execution_key)
-                if minimal is None:
-                    started = clock()
-                    minimal = check_minimal(execution, model, execution_key)
-                    minimality_s += clock() - started
-                    minimal_by_key[execution_key] = minimal
-                    if minimal:
-                        stats.minimal += 1
-                        new_keys += 1
-                if minimal:
-                    rank = witness_sort_key(
-                        program, execution._rf, execution.co, execution.co_pa
-                    )
-                    if candidate is None or (execution_key, rank) < candidate[:2]:
-                        candidate = (execution_key, rank, execution)
-                started = clock()
-
-            if span is not None:
-                span.args["witnesses"] = program_executions
-                span.args["interesting"] = program_interesting
-            if registry:
-                registry.observe(
-                    "pipeline.witnesses_per_program", program_executions
-                )
-            program_timed_out = (
-                deadline is not None and time.monotonic() > deadline
-            )
-            if candidate is not None:
-                if program_key is None:
-                    program_key = canonical_program_key(program)
-                rep_rank = (
-                    sym.identity_key
-                    if sym is not None
-                    else identity_program_key(program)
-                )
-                execution_key, rank, execution = candidate
-                entry = by_key.get(program_key)
-                if entry is None:
-                    by_key[program_key] = SynthesizedElt(
-                        program=program,
-                        execution=execution,
-                        key=program_key,
-                        violated_axioms=model.check(execution).violated,
-                        outcome_count=new_keys,
-                        execution_key=execution_key,
-                        rep_rank=rep_rank,
-                        witness_rank=rank,
-                    )
-                    outcome.order[program_key] = order_key
-                else:
-                    entry.outcome_count += new_keys
-                    if rep_rank < entry.rep_rank:
-                        entry.program = program
-                        entry.execution = execution
-                        entry.violated_axioms = model.check(execution).violated
-                        entry.execution_key = execution_key
-                        entry.rep_rank = rep_rank
-                        entry.witness_rank = rank
-                        outcome.order[program_key] = order_key
-            if use_symmetry and not program_timed_out and not stats.timed_out:
-                record = orbit_cache.get(program_key)
-                if record is None or sym.identity_key < record[0]:
-                    orbit_cache[program_key] = (
-                        sym.identity_key,
-                        program_executions,
-                        program_interesting,
-                    )
-            if program_timed_out:
+    # Publish the deadline on the cooperative channel so a stuck SAT
+    # query inside one witness step can be interrupted mid-solve
+    # (repro.resilience.deadline; the solver polls it on a
+    # propagation budget).
+    with deadline_scope(deadline):
+        for order_key, program in ordered_programs:
+            generate_s += clock() - generated
+            if deadline is not None and time.monotonic() > deadline:
                 stats.timed_out = True
                 break
-        finally:
-            tracer.end(span)
-            generated = clock()
+            stats.programs_enumerated += 1
+            span = (
+                tracer.begin("program", category="pipeline", order=list(order_key))
+                if tracer
+                else None
+            )
+            try:
+                sym = None
+                program_key: Optional[ProgramKey] = None
+                if use_symmetry:
+                    sym = program_symmetry(program)
+                    program_key = sym.canonical_key
+                    if sym.prunable:
+                        stats.symmetric_programs += 1
+                    record = orbit_cache.get(program_key)
+                    if record is not None and record[0] < sym.identity_key:
+                        # Orbit-level dedup: a class member with a smaller rank
+                        # already ran in full this pass; replay its weighted
+                        # totals and skip translation/enumeration entirely.
+                        stats.orbit_replays += 1
+                        stats.executions_enumerated += record[1]
+                        stats.interesting += record[2]
+                        if span is not None:
+                            span.args["orbit_replay"] = True
+                        if registry:
+                            registry.observe(
+                                "pipeline.witnesses_per_program", record[1]
+                            )
+                        continue
+                program_executions = 0
+                program_interesting = 0
+                new_keys = 0
+                witnesses_seen = 0  # unweighted, for the periodic deadline check
+                candidate: Optional[tuple] = None  # (exec key, witness rank, execution)
+                started = clock()
+                iterator = iter(witness_stream(program, sym))
+                while True:
+                    item = next(iterator, None)
+                    enumerate_s += clock() - started
+                    if item is None:
+                        break
+                    execution, weight = item
+                    witnesses_seen += 1
+                    stats.executions_enumerated += weight
+                    program_executions += weight
+                    if weight > 1:
+                        stats.orbit_witnesses_pruned += weight - 1
+                    if (
+                        deadline is not None
+                        and witnesses_seen % 64 == 0
+                        and time.monotonic() > deadline
+                    ):
+                        stats.timed_out = True
+                        break
+                    started = clock()
+                    if target is not None:
+                        interesting = not target.holds(execution)
+                    else:
+                        interesting = not model.permits(execution)
+                    classify_s += clock() - started
+                    if not interesting:
+                        started = clock()
+                        continue
+                    stats.interesting += weight
+                    program_interesting += weight
+                    execution_key = (
+                        execution_key_via(sym, execution)
+                        if sym is not None
+                        else canonical_execution_key(execution)
+                    )
+                    minimal = minimal_by_key.get(execution_key)
+                    if minimal is None:
+                        started = clock()
+                        minimal = check_minimal(execution, model, execution_key)
+                        minimality_s += clock() - started
+                        minimal_by_key[execution_key] = minimal
+                        if minimal:
+                            stats.minimal += 1
+                            new_keys += 1
+                    if minimal:
+                        rank = witness_sort_key(
+                            program, execution._rf, execution.co, execution.co_pa
+                        )
+                        if candidate is None or (execution_key, rank) < candidate[:2]:
+                            candidate = (execution_key, rank, execution)
+                    started = clock()
+
+                if span is not None:
+                    span.args["witnesses"] = program_executions
+                    span.args["interesting"] = program_interesting
+                if registry:
+                    registry.observe(
+                        "pipeline.witnesses_per_program", program_executions
+                    )
+                program_timed_out = (
+                    deadline is not None and time.monotonic() > deadline
+                )
+                if candidate is not None:
+                    if program_key is None:
+                        program_key = canonical_program_key(program)
+                    rep_rank = (
+                        sym.identity_key
+                        if sym is not None
+                        else identity_program_key(program)
+                    )
+                    execution_key, rank, execution = candidate
+                    entry = by_key.get(program_key)
+                    if entry is None:
+                        by_key[program_key] = SynthesizedElt(
+                            program=program,
+                            execution=execution,
+                            key=program_key,
+                            violated_axioms=model.check(execution).violated,
+                            outcome_count=new_keys,
+                            execution_key=execution_key,
+                            rep_rank=rep_rank,
+                            witness_rank=rank,
+                        )
+                        outcome.order[program_key] = order_key
+                    else:
+                        entry.outcome_count += new_keys
+                        if rep_rank < entry.rep_rank:
+                            entry.program = program
+                            entry.execution = execution
+                            entry.violated_axioms = model.check(execution).violated
+                            entry.execution_key = execution_key
+                            entry.rep_rank = rep_rank
+                            entry.witness_rank = rank
+                            outcome.order[program_key] = order_key
+                if use_symmetry and not program_timed_out and not stats.timed_out:
+                    record = orbit_cache.get(program_key)
+                    if record is None or sym.identity_key < record[0]:
+                        orbit_cache[program_key] = (
+                            sym.identity_key,
+                            program_executions,
+                            program_interesting,
+                        )
+                if program_timed_out:
+                    stats.timed_out = True
+                    break
+            except SolverInterrupted:
+                # The cooperative deadline cut a SAT query short mid-witness;
+                # the solver backtracked to level 0 first, so every result up
+                # to the previous program stands as a normal partial timeout.
+                stats.timed_out = True
+                break
+            finally:
+                tracer.end(span)
+                generated = clock()
 
     if sat_stats is not None:
         stats.absorb_solver(sat_stats)
@@ -578,6 +596,14 @@ class SweepResult:
                 point.result.stats.runtime_s
             )
         return out
+
+    def degraded_points(self) -> list[tuple[str, int]]:
+        """(axiom, bound) pairs whose suite lost quarantined shards."""
+        return [
+            (point.axiom, point.bound)
+            for point in self.points
+            if point.result.stats.degraded
+        ]
 
     def timed_out_points(self) -> list[tuple[str, int]]:
         """(axiom, bound) pairs whose suite is complete-up-to-timeout."""

@@ -1,0 +1,27 @@
+"""Spawn-side helpers for the scheduler timeout test.
+
+Lives in its own module (not the test file) so the worker process only
+imports this and `repro.orchestrate.shards` on cold start — importing
+the full test module would pull in the whole stack and could eat a
+meaningful slice of the shard timeout under a loaded machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.orchestrate.shards import ShardSpec
+
+
+@dataclass(frozen=True)
+class SleepyTask:
+    spec: ShardSpec
+    attempt: int = 1
+
+
+def stuck_worker(task: SleepyTask) -> str:
+    """Wedges (far past any test timeout) on s0's first attempt."""
+    if task.spec.skeleton_index == 0 and task.attempt == 1:
+        time.sleep(300)
+    return f"{task.spec.label}@{task.attempt}"

@@ -140,3 +140,104 @@ class TestOrchestratedSynthesize:
     def test_resume_requires_cache_dir(self) -> None:
         with pytest.raises(SystemExit):
             main(["synthesize", "--bound", "4", "--resume"])
+
+
+class TestResilienceFlags:
+    def test_negative_max_retries_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--bound", "4", "--max-retries", "-1"])
+
+    def test_chaos_run_is_byte_identical(self, tmp_path, capsys) -> None:
+        # Seed 1 crashes the single inline shard on attempt 1; the
+        # default retry budget recovers it, so the bytes must match a
+        # fault-free run.
+        base = ["synthesize", "--bound", "4", "--axiom", "invlpg"]
+        plain, chaotic = tmp_path / "plain.elts", tmp_path / "chaos.elts"
+        assert main(base + ["--save", str(plain)]) == 0
+        assert main(base + ["--chaos", "1", "--save", str(chaotic)]) == 0
+        assert chaotic.read_bytes() == plain.read_bytes()
+        assert "DEGRADED" not in capsys.readouterr().out
+
+    def test_exhausted_retries_warn_degraded(self, capsys) -> None:
+        # With a zero retry budget the crashing shard is quarantined:
+        # the run completes degraded and says so on stderr.
+        code = main(
+            [
+                "synthesize",
+                "--bound",
+                "4",
+                "--axiom",
+                "invlpg",
+                "--chaos",
+                "1",
+                "--max-retries",
+                "0",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert ", DEGRADED" in captured.out
+        assert "WARNING: result is DEGRADED" in captured.err
+        assert "s0/1" in captured.err
+
+
+class TestStoreVerifyCommand:
+    def seed_cache(self, cache) -> None:
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "--bound",
+                    "4",
+                    "--axiom",
+                    "invlpg",
+                    "--cache-dir",
+                    str(cache),
+                ]
+            )
+            == 0
+        )
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys) -> None:
+        cache = tmp_path / "cache"
+        self.seed_cache(cache)
+        capsys.readouterr()
+        assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+    def test_corruption_found_repaired_and_healed(
+        self, tmp_path, capsys
+    ) -> None:
+        import json
+
+        cache = tmp_path / "cache"
+        self.seed_cache(cache)
+        payload = sorted((cache / "entries").glob("*.pkl"))[0]
+        payload.write_bytes(b"\x00" + payload.read_bytes()[1:])
+        capsys.readouterr()
+
+        # Damage found: exit 1, the key named in both renderings.
+        assert main(["store", "verify", "--cache-dir", str(cache)]) == 1
+        assert payload.stem in capsys.readouterr().out
+        assert (
+            main(["store", "verify", "--cache-dir", str(cache), "--json"])
+            == 1
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt"] == [payload.stem]
+        assert not report["clean"]
+
+        # --repair quarantines (still exit 1: damage was found) …
+        assert (
+            main(["store", "verify", "--cache-dir", str(cache), "--repair"])
+            == 1
+        )
+        assert not payload.exists()
+        assert (cache / "quarantine" / payload.name).exists()
+        # … after which the store scans clean.
+        capsys.readouterr()
+        assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
+
+    def test_verify_requires_cache_dir(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["store", "verify"])

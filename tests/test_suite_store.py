@@ -52,11 +52,20 @@ class TestStorePrimitives:
         assert store.get("somekey") == {"payload": 1}
         assert store.counters.hits == 1
 
-    def test_corrupt_payload_is_a_miss(self, tmp_path) -> None:
+    def test_corrupt_payload_is_quarantined_not_a_plain_miss(
+        self, tmp_path
+    ) -> None:
         store = SuiteStore(tmp_path)
         store.put("somekey", [1, 2], {"kind": "test"})
         (store.entries_dir / "somekey.pkl").write_bytes(b"not a pickle")
         assert store.get("somekey") is None
+        # Damage counts under `corrupt` (distinct from `misses`: a true
+        # absence) and the entry is moved aside so a rewrite heals it.
+        assert store.counters.misses == 0
+        assert store.counters.corrupt == 1
+        assert not (store.entries_dir / "somekey.pkl").exists()
+        assert (store.quarantine_dir / "somekey.pkl").exists()
+        assert store.get("somekey") is None  # now a true absence
         assert store.counters.misses == 1
 
     def test_timed_out_results_are_never_cached(self, tmp_path) -> None:
