@@ -186,6 +186,8 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         witness_backend=args.witness_backend,
         incremental=not args.fresh_solver,
         symmetry=not args.no_symmetry,
+        solver_core=args.solver_core,
+        inprocessing=not args.no_inprocessing,
     )
     store = _store(args)
     retry, faults = _resilience(args)
@@ -303,6 +305,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     witness_backend=args.witness_backend,
                     incremental=not args.fresh_solver,
                     symmetry=not args.no_symmetry,
+                    solver_core=args.solver_core,
+                    inprocessing=not args.no_inprocessing,
                 ),
                 axioms=sorted(bounds, key=list(X86T_ELT_AXIOM_NAMES).index),
                 min_bound=4,
@@ -324,6 +328,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 witness_backend=args.witness_backend,
                 incremental=not args.fresh_solver,
                 symmetry=not args.no_symmetry,
+                solver_core=args.solver_core,
+                inprocessing=not args.no_inprocessing,
             )
             cache_summary = None
     if cache_summary is not None:
@@ -357,6 +363,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "witness_backend": args.witness_backend,
                 "incremental": not args.fresh_solver,
                 "symmetry": not args.no_symmetry,
+                "solver_core": args.solver_core,
+                "inprocessing": not args.no_inprocessing,
             },
             aggregate,
         )
@@ -432,6 +440,8 @@ def cmd_diff(args: argparse.Namespace) -> int:
             witness_backend=args.witness_backend,
             incremental=not args.fresh_solver,
             symmetry=not args.no_symmetry,
+            solver_core=args.solver_core,
+            inprocessing=not args.no_inprocessing,
         )
         obs = _observation(args)
         retry, faults = _resilience(args)
@@ -498,6 +508,8 @@ def cmd_diff(args: argparse.Namespace) -> int:
             witness_backend=args.witness_backend,
             incremental=not args.fresh_solver,
             symmetry=not args.no_symmetry,
+            solver_core=args.solver_core,
+            inprocessing=not args.no_inprocessing,
         ),
         subject=subject,
     )
@@ -693,6 +705,22 @@ def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable symmetry-aware enumeration (witness-orbit pruning, "
         "SAT lex-leader clauses, orbit-level program dedup) — the "
         "differential oracle path; output is byte-identical either way",
+    )
+    parser.add_argument(
+        "--solver-core",
+        choices=("object", "array"),
+        default="array",
+        help="CDCL clause-storage core: the flat-arena array core "
+        "(default) or the per-clause-object core; both run byte-for-byte "
+        "the same search, so 'object' is the differential oracle path "
+        "and output is byte-identical either way",
+    )
+    parser.add_argument(
+        "--no-inprocessing",
+        action="store_true",
+        help="disable solver inprocessing (learned-clause vivification "
+        "and subsumption at query boundaries) — the differential oracle "
+        "path; output is byte-identical either way",
     )
     parser.add_argument(
         "--profile",

@@ -94,12 +94,13 @@ def config_identity(config: SynthesisConfig) -> dict[str, Any]:
     for name, value in asdict(config).items():
         if name == "model":
             continue
-        if name in ("incremental", "symmetry"):
+        if name in ("incremental", "symmetry", "solver_core", "inprocessing"):
             # Output-invariant execution strategies (like --jobs): the
             # incremental-session path is contractually byte-identical
-            # to the fresh-solver path, and the symmetry-pruned path to
-            # the --no-symmetry oracle, so each pair shares cache
-            # entries.
+            # to the fresh-solver path, the symmetry-pruned path to the
+            # --no-symmetry oracle, and the array solver core and
+            # inprocessing passes to the plain object-core search, so
+            # each variant shares cache entries.
             continue
         identity[name] = value
     return identity
@@ -271,11 +272,15 @@ class SuiteStore:
 
     def put(self, key: str, payload: Any, meta: dict[str, Any]) -> None:
         data = pickle.dumps(payload, protocol=4)
-        if self.faults is not None and self.faults.take_store_corruption(key):
-            data = flip_bit(data, self.faults.corrupt_offset(key, len(data)))
         meta = dict(meta)
         meta["payload_blake2b"] = payload_digest(data)
         meta["payload_bytes"] = len(data)
+        # Fault injection models the storage medium corrupting bytes
+        # *after* the digest was taken — flipping before digesting would
+        # make the digest vouch for the corrupted payload, hiding every
+        # flip that still unpickles.
+        if self.faults is not None and self.faults.take_store_corruption(key):
+            data = flip_bit(data, self.faults.corrupt_offset(key, len(data)))
         with current_tracer().span("store.put", category="store", key=key):
             with self._lock:
                 self._atomic_write(

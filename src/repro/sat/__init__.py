@@ -12,11 +12,33 @@ from .cnf import Cnf
 from .dimacs import dimacs_text, parse_dimacs, read_dimacs, write_dimacs
 from .enumerate import count_models, iter_models
 from .reference import brute_force_count, brute_force_models, brute_force_satisfiable
-from .solver import CdclSolver, SatResult, SolverStats, luby, solve_cnf
+from .solver import (
+    MAX_MERGED_STAT_FIELDS,
+    SOLVER_CORES,
+    ArrayCdclSolver,
+    CdclCore,
+    CdclSolver,
+    ObjectCdclSolver,
+    SatResult,
+    SolverStats,
+    create_solver,
+    current_solver_preferences,
+    luby,
+    solve_cnf,
+    solver_preferences,
+)
 
 __all__ = [
     "Cnf",
+    "MAX_MERGED_STAT_FIELDS",
+    "SOLVER_CORES",
+    "CdclCore",
     "CdclSolver",
+    "ObjectCdclSolver",
+    "ArrayCdclSolver",
+    "create_solver",
+    "current_solver_preferences",
+    "solver_preferences",
     "SatResult",
     "SolverStats",
     "luby",

@@ -1,0 +1,91 @@
+"""Optional mypyc compilation of the solver core (pure-Python fallback).
+
+The array core (:mod:`repro.sat.core_array`) and the shared driver
+(:mod:`repro.sat.core`) are written to be mypyc-friendly: flat integer
+lists, no dynamic attributes, no metaclasses.  When the optional
+``mypy``/``mypyc`` toolchain is installed, this module compiles both in
+place — mypyc drops extension modules next to the sources, which Python
+then imports in preference to the ``.py`` files.  Nothing else changes:
+the compiled core implements exactly the same search, so results and
+counters stay byte-identical (``repro.sat.solver.COMPILED_ARRAY_CORE``
+reports which variant is active).
+
+Usage::
+
+    python -m repro.sat.build_compiled           # build (no-op without mypyc)
+    python -m repro.sat.build_compiled --clean   # remove built extensions
+
+The build is strictly optional: when mypyc is unavailable the script
+says so and exits 0, leaving the pure-Python cores active.  It is never
+run in CI — the committed baselines and golden digests are produced and
+gated on the pure-Python cores.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+#: Modules compiled together (mypyc requires the base class and the
+#: subclass in one compilation unit for native inheritance).
+CORE_MODULES = ("core.py", "core_array.py")
+
+
+def _package_dir() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent
+
+
+def clean() -> int:
+    """Remove any previously built core extensions; returns count."""
+    removed = 0
+    for stem in ("core", "core_array"):
+        for built in _package_dir().glob(f"{stem}.*.so"):
+            built.unlink()
+            removed += 1
+        for built in _package_dir().glob(f"{stem}.*.pyd"):
+            built.unlink()
+            removed += 1
+    return removed
+
+
+def build() -> int:
+    """Compile the core modules with mypyc if available.
+
+    Returns 0 in every non-crash outcome — an absent toolchain is the
+    supported fallback, not an error."""
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print(
+            "mypyc not available; pure-Python solver cores remain active "
+            "(install mypy to enable the optional compiled core)"
+        )
+        return 0
+    package = _package_dir()
+    sources = [str(package / name) for name in CORE_MODULES]
+    result = subprocess.run(
+        [sys.executable, "-m", "mypyc", *sources],
+        cwd=str(package),
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        print("mypyc build failed; pure-Python solver cores remain active")
+        sys.stderr.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        return 0
+    print("compiled solver cores built:", ", ".join(CORE_MODULES))
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--clean" in argv:
+        removed = clean()
+        print(f"removed {removed} built core extension(s)")
+        return 0
+    return build()
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,971 @@
+"""Shared CDCL search driver (the solver's storage-independent half).
+
+The solver is split into three modules:
+
+* this one — the :class:`CdclCore` base class owning the *search*: the
+  solve/enumerate loops, first-UIP conflict analysis with learned-clause
+  minimization, the indexed VSIDS max-heap, Luby restarts, assumption
+  handling, cooperative-deadline polling, and inprocessing scheduling;
+* :mod:`repro.sat.core_object` — clause storage as per-clause Python
+  objects with (blocker, clause) watch tuples (the original
+  representation, kept as the differential oracle);
+* :mod:`repro.sat.core_array` — clause storage as a flat integer arena
+  with flat int-pair watch lists (no per-clause objects in the
+  propagation loop).
+
+Both cores implement the same abstract storage hooks and *identical*
+heuristics, so for a given clause stream they run the same search, make
+the same decisions, and report the same statistics — the property the
+pipeline's byte-identical-output guarantee rests on, and what lets the
+array core be gated by the same committed counter baselines as the
+object core.
+
+Inprocessing (:mod:`repro.sat.inprocess`) is scheduled from here: a pass
+may run only at decision level 0 and only at query boundaries —
+``solve``/``iter_solutions`` entry, enumeration-burst boundaries, and
+:class:`repro.relational.translate.ProblemSession` query entry — and
+only when enabled and due (see :meth:`CdclCore.maybe_inprocess`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Optional, Sequence
+
+from ..errors import SolverInterrupted
+from ..resilience import current_deadline
+from .cnf import Cnf
+
+#: How many unit propagations may elapse between cooperative-deadline
+#: polls.  Coarse enough that the poll is invisible in profile (one
+#: comparison per loop iteration, one clock read per ~budget
+#: propagations), fine enough that a stuck query dies within a fraction
+#: of a second of its deadline.  The deadline itself is re-read from the
+#: ambient scope at *every* poll, so a deadline installed after a solve
+#: or enumeration started is still honored (nested sweep budgets).
+DEADLINE_POLL_PROPAGATIONS = 20000
+
+#: Inprocessing is considered "due" only once the learned database has
+#: at least this many (long) clauses ...
+INPROCESS_MIN_LEARNED = 100
+#: ... and at least this many conflicts happened since the last pass.
+INPROCESS_CONFLICT_INTERVAL = 2000
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (1-based) of the Luby sequence
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    >>> [luby(i) for i in range(1, 10)]
+    [1, 1, 2, 1, 1, 2, 4, 1, 1]
+    """
+    while True:
+        k = 1
+        while (1 << k) - 1 < index:
+            k += 1
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        # Here 2^(k-1) - 1 < index < 2^k - 1: recurse into the repeated prefix.
+        index -= (1 << (k - 1)) - 1
+
+
+#: Fields of :class:`SolverStats` that merge by ``max`` instead of ``+``.
+#: Everything else is a plain additive counter; :meth:`SolverStats.merge`
+#: iterates ``dataclasses.fields()`` so a newly added counter can never
+#: be silently dropped from aggregation again.
+MAX_MERGED_STAT_FIELDS = frozenset({"max_decision_level"})
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for benchmarks and tests."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    max_decision_level: int = 0
+    #: Literals removed from learned clauses by minimization.
+    minimized_literals: int = 0
+    #: Learned-clause database reductions performed.
+    db_reductions: int = 0
+    #: Learned clauses deleted by those reductions.
+    deleted_clauses: int = 0
+    # ---- incremental-session counters (maintained by the session layers:
+    # :class:`repro.relational.translate.ProblemSession` and the witness
+    # session cache in :mod:`repro.synth.sat_backend`) ------------------
+    #: Persistent witness sessions opened (one per translated program).
+    sessions: int = 0
+    #: Relational-to-CNF translations performed.
+    translations: int = 0
+    #: Queries served by a live session that a fresh-solver run would
+    #: have paid a full translation for.
+    translations_avoided: int = 0
+    #: Assumption-scoped solves/enumerations answered by a live session
+    #: (reusing its translation and accumulated solver state).
+    incremental_solves: int = 0
+    #: Learned clauses already present (and reused) at the start of each
+    #: incremental solve, summed over solves.
+    retained_learned_clauses: int = 0
+    # ---- symmetry-breaking counters (maintained by the relational
+    # translation, :mod:`repro.relational.translate`) --------------------
+    #: Static lex-leader symmetry-breaking clauses emitted into the CNF
+    #: during translation (see :meth:`repro.relational.Problem.
+    #: add_symmetry`).  Deterministic for a fixed problem.
+    symmetry_clauses: int = 0
+    # ---- inprocessing counters (maintained by
+    # :mod:`repro.sat.inprocess`) ----------------------------------------
+    #: Inprocessing passes run (subsumption + vivification sweeps).
+    inprocessings: int = 0
+    #: Learned clauses shortened (or root-satisfied and dropped) by
+    #: clause vivification.
+    vivified_clauses: int = 0
+    #: Learned clauses deleted because another learned clause subsumes
+    #: them.
+    subsumed_clauses: int = 0
+    #: Learned clauses strengthened by self-subsuming resolution (one
+    #: literal removed).
+    strengthened_clauses: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate another counter set into this one (used when stats
+        from many solver instances are aggregated, e.g. per-program SAT
+        witness enumeration inside one synthesis run).
+
+        Driven by ``dataclasses.fields()`` so every counter — including
+        any added later — participates: fields named in
+        :data:`MAX_MERGED_STAT_FIELDS` merge by ``max``, the rest sum.
+        """
+        for spec in fields(self):
+            name = spec.name
+            if name in MAX_MERGED_STAT_FIELDS:
+                setattr(self, name, max(getattr(self, name), getattr(other, name)))
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class SatResult:
+    """Outcome of a :meth:`CdclCore.solve` call."""
+
+    satisfiable: bool
+    model: Optional[dict[int, bool]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class CdclCore:
+    """Storage-independent CDCL search over a :class:`Cnf`.
+
+    Subclasses provide the clause representation by implementing the
+    storage hooks (``_init_storage``, ``_attach_clause``, ``_propagate``,
+    ``_reason_lits``, ``_reduce_db``, ``_grow_storage``,
+    ``learned_count`` and the ``_inprocess_*`` API).  A *reason token* is
+    whatever the storage uses to name a clause (the literal list itself
+    for the object core, an arena offset for the array core); the base
+    class only ever stores and forwards tokens, comparing them against
+    the subclass's ``_NO_REASON`` sentinel.
+
+    The solver copies the clauses out of the given CNF, so the CNF may
+    keep growing for other purposes afterwards; use :meth:`add_clause`
+    to feed additional clauses (e.g. AllSAT blocking clauses) to the
+    same solver instance between ``solve`` calls.
+    """
+
+    #: Reason sentinel for "decision / no reason"; overridden per core.
+    _NO_REASON: object = None
+
+    def __init__(self, cnf: Cnf, inprocess: bool = False) -> None:
+        self._nvars = cnf.num_vars
+        # Literal encoding: positive literal v -> 2v, negative -> 2v+1.
+        size = 2 * self._nvars + 2
+        # Literal-indexed truth values: 1 true, -1 false, 0 unassigned.
+        self._values: list[int] = [0] * size
+        self._max_learned = 2000
+        self._level: list[int] = [0] * (self._nvars + 1)
+        self._reason: list = [self._NO_REASON] * (self._nvars + 1)
+        self._trail: list[int] = []  # literals in assignment order
+        self._trail_lim: list[int] = []  # trail indices at each decision level
+        self._qhead = 0
+        self._activity: list[float] = [0.0] * (self._nvars + 1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._saved_phase: list[bool] = [False] * (self._nvars + 1)
+        self._seen = bytearray(self._nvars + 1)
+        # Indexed max-heap over unassigned variables: ordered by activity,
+        # ties broken deterministically by the smaller variable index.
+        self._heap: list[int] = []
+        self._heap_pos: list[int] = [-1] * (self._nvars + 1)
+        for var in range(1, self._nvars + 1):
+            self._heap_insert(var)
+        self._ok = True
+        self._last_model_decisions: list[int] = []
+        self.stats = SolverStats()
+        self._inprocess_enabled = bool(inprocess)
+        self._inprocess_min_learned = INPROCESS_MIN_LEARNED
+        self._inprocess_interval = INPROCESS_CONFLICT_INTERVAL
+        self._conflicts_at_last_inprocess = 0
+        self._vivify_cursor = 0
+        self._init_storage(size)
+        self._load(cnf.clauses)
+
+    # ------------------------------------------------------------------
+    # Storage hooks (implemented by core_object / core_array)
+    # ------------------------------------------------------------------
+    def _init_storage(self, size: int) -> None:
+        raise NotImplementedError
+
+    def _grow_storage(self) -> None:
+        """Extend the watch structures for one freshly added variable."""
+        raise NotImplementedError
+
+    def _attach_clause(self, lits: list[int], learned: bool = False, lbd: int = 0):
+        """Install a clause of >= 2 literals and return its reason token.
+        ``lits`` is owned by the storage afterwards."""
+        raise NotImplementedError
+
+    def _propagate(self):
+        """Unit propagation; returns a conflicting clause's literals
+        (a sequence) or None."""
+        raise NotImplementedError
+
+    def _reason_lits(self, var: int) -> Optional[Sequence[int]]:
+        """The literals of the clause that forced ``var``, or None for a
+        decision/assumption."""
+        raise NotImplementedError
+
+    def _reduce_db(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def learned_count(self) -> int:
+        """Learned clauses currently retained in the database (what an
+        incremental session reuses across queries; binary learned clauses
+        live in the binary watch lists and are not counted here)."""
+        raise NotImplementedError
+
+    # The _inprocess_* storage API consumed by repro.sat.inprocess:
+    def _inprocess_learned(self) -> list:
+        """Stable references to the long learned clauses, in DB order."""
+        raise NotImplementedError
+
+    def _inprocess_lits(self, ref) -> list[int]:
+        raise NotImplementedError
+
+    def _inprocess_locked(self) -> set:
+        """References that are currently the reason for a trail literal
+        (must never be deleted or strengthened)."""
+        raise NotImplementedError
+
+    def _inprocess_apply(self, deletions: set, replacements: dict) -> None:
+        """Delete / replace learned clauses in one batch (level 0 only).
+        Replacement literal lists have >= 2 literals; a 2-literal
+        replacement migrates the clause to the binary watch lists."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Clause database (shared)
+    # ------------------------------------------------------------------
+    def _load(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Bulk-load clauses from a :class:`Cnf`.
+
+        The container guarantees clauses are deduplicated and
+        tautology-free, and nothing is assigned yet, so clauses can be
+        installed without the per-clause filtering of :meth:`add_clause`;
+        unit clauses are enqueued at the end and propagated once.
+        """
+        units: list[int] = []
+        for clause in clauses:
+            size = len(clause)
+            if size == 0:
+                self._ok = False
+                return
+            if size == 1:
+                units.append(clause[0])
+            else:
+                self._attach_clause(list(clause))
+        for lit in units:
+            if not self._enqueue(lit, self._NO_REASON):
+                self._ok = False
+                return
+        if self._propagate() is not None:
+            self._ok = False
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        Intended for use between solve calls; if the solver was abandoned
+        mid-search (an enumeration generator closed early), the search is
+        first cancelled back to decision level 0 so the clause — and any
+        unit it implies — lands on the root level.  Duplicate literals
+        and tautologies are detected in one linear pass.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        seen: set[int] = set()
+        lits: list[int] = []
+        max_var = 0
+        for lit in literals:
+            if -lit in seen:
+                return True  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                lits.append(lit)
+                var = lit if lit > 0 else -lit
+                if var > max_var:
+                    max_var = var
+        self._grow_to(max_var)
+        lits.sort(key=abs)
+        # Remove literals already false at level 0; succeed early on a true one.
+        values = self._values
+        level = self._level
+        filtered: list[int] = []
+        for lit in lits:
+            index = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+            value = values[index]
+            if value > 0 and level[abs(lit)] == 0:
+                return True
+            if value < 0 and level[abs(lit)] == 0:
+                continue
+            filtered.append(lit)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], self._NO_REASON):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        self._attach_clause(filtered)
+        return True
+
+    def _grow_to(self, var: int) -> None:
+        while self._nvars < var:
+            self._nvars += 1
+            self._level.append(0)
+            self._reason.append(self._NO_REASON)
+            self._activity.append(0.0)
+            self._saved_phase.append(False)
+            self._heap_pos.append(-1)
+            self._values.append(0)
+            self._values.append(0)
+            self._seen.append(0)
+            self._grow_storage()
+            self._heap_insert(self._nvars)
+
+    @staticmethod
+    def _lit_index(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    # ------------------------------------------------------------------
+    # Assignment primitives (shared)
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        value = self._values[(lit << 1) if lit > 0 else ((-lit) << 1) | 1]
+        if value == 0:
+            return None
+        return value > 0
+
+    def _enqueue(self, lit: int, reason) -> bool:
+        index = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+        value = self._values[index]
+        if value != 0:
+            return value > 0
+        var = lit if lit > 0 else -lit
+        self._values[index] = 1
+        self._values[index ^ 1] = -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP; shared)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: Sequence[int]) -> tuple[list[int], int, int]:
+        """Derive the first-UIP learned clause; returns (clause, backjump
+        level, LBD).  The clause is minimized by self-subsumption: a
+        non-asserting literal whose reason clause is entirely covered by
+        the other learned literals (or level-0 facts) is redundant."""
+        seen = self._seen
+        to_clear: list[int] = []
+        learned: list[int] = []
+        counter = 0
+        pivot: Optional[int] = None  # trail literal whose reason is expanded
+        reason: Sequence[int] = conflict
+        trail = self._trail
+        trail_index = len(trail) - 1
+        current_level = len(self._trail_lim)
+        levels = self._level
+        while True:
+            for q in reason:
+                if pivot is not None and q == pivot:
+                    continue
+                var = abs(q)
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
+                    self._bump(var)
+                    if levels[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[abs(trail[trail_index])]:
+                trail_index -= 1
+            pivot = trail[trail_index]
+            var = abs(pivot)
+            seen[var] = 0
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                break
+            clause_reason = self._reason_lits(var)
+            assert clause_reason is not None
+            reason = clause_reason
+
+        # Minimization.  Every current-level variable has been resolved
+        # away, so a learned literal's reason (all at its own, lower,
+        # level or below) is checked purely against the seen set — i.e.
+        # against the other learned literals and level-0 facts.
+        if learned:
+            kept: list[int] = []
+            for q in learned:
+                reason_q = self._reason_lits(abs(q))
+                if reason_q is None:
+                    kept.append(q)
+                    continue
+                redundant = True
+                for r in reason_q:
+                    if r == -q:
+                        continue
+                    rvar = abs(r)
+                    if levels[rvar] > 0 and not seen[rvar]:
+                        redundant = False
+                        break
+                if redundant:
+                    self.stats.minimized_literals += 1
+                else:
+                    kept.append(q)
+            learned = kept
+        for var in to_clear:
+            seen[var] = 0
+
+        learned.insert(0, -pivot)
+        if len(learned) == 1:
+            return learned, 0, 1
+        # Backjump level = max level among the non-asserting literals.
+        back_level = 0
+        distinct_levels = {current_level}
+        for q in learned[1:]:
+            q_level = levels[abs(q)]
+            distinct_levels.add(q_level)
+            if q_level > back_level:
+                back_level = q_level
+        # Put one literal of the backjump level in watch position 1.
+        for pos in range(1, len(learned)):
+            if levels[abs(learned[pos])] == back_level:
+                learned[1], learned[pos] = learned[pos], learned[1]
+                break
+        return learned, back_level, len(distinct_levels)
+
+    def _bump(self, var: int) -> None:
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
+            for index in range(1, self._nvars + 1):
+                activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+            # Uniform rescaling preserves the heap order; no repair needed.
+        if self._heap_pos[var] >= 0:
+            self._heap_sift_up(self._heap_pos[var])
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    # ------------------------------------------------------------------
+    # VSIDS order heap (indexed binary max-heap; deterministic ties)
+    # ------------------------------------------------------------------
+    def _heap_before(self, a: int, b: int) -> bool:
+        activity = self._activity
+        if activity[a] != activity[b]:
+            return activity[a] > activity[b]
+        return a < b
+
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_pos[var] >= 0:
+            return
+        heap = self._heap
+        heap.append(var)
+        self._heap_pos[var] = len(heap) - 1
+        self._heap_sift_up(len(heap) - 1)
+
+    def _heap_sift_up(self, index: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        var = heap[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            parent_var = heap[parent]
+            if not self._heap_before(var, parent_var):
+                break
+            heap[index] = parent_var
+            pos[parent_var] = index
+            index = parent
+        heap[index] = var
+        pos[var] = index
+
+    def _heap_sift_down(self, index: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        size = len(heap)
+        var = heap[index]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._heap_before(heap[right], heap[child]):
+                child = right
+            child_var = heap[child]
+            if not self._heap_before(child_var, var):
+                break
+            heap[index] = child_var
+            pos[child_var] = index
+            index = child
+        heap[index] = var
+        pos[var] = index
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        pos = self._heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    # ------------------------------------------------------------------
+    # Conflict learning (shared by solve() and iter_solutions())
+    # ------------------------------------------------------------------
+    def _learn_and_backjump(self, conflict: Sequence[int]) -> Optional[str]:
+        """Analyze a conflict at decision level > 0, install the learned
+        clause and backjump.  Returns None when the formula became
+        unsatisfiable, ``"unit"`` when a unit was learned (the solver is
+        back at level 0), ``"clause"`` otherwise."""
+        learned, back_level, lbd = self._analyze(conflict)
+        self._cancel_until(back_level)
+        if len(learned) == 1:
+            self._cancel_until(0)
+            if not self._enqueue(learned[0], self._NO_REASON):
+                self._ok = False
+                return None
+            if self._propagate() is not None:
+                self._ok = False
+                return None
+            self._decay()
+            return "unit"
+        token = self._attach_clause(learned, learned=True, lbd=lbd)
+        self.stats.learned_clauses += 1
+        self._enqueue(learned[0], token)
+        self._decay()
+        return "clause"
+
+    def _restart(self) -> None:
+        """Cancel to level 0 and, if due, reduce the learned database.
+
+        Inprocessing deliberately does *not* run here: a restart is the
+        middle of a hot search, and rewriting the learned database there
+        perturbs the trajectory the restart is trying to exploit.  Passes
+        run at query boundaries instead (see :meth:`maybe_inprocess`)."""
+        self.stats.restarts += 1
+        self._cancel_until(0)
+        if self.learned_count > self._max_learned:
+            self._reduce_db()
+
+    # ------------------------------------------------------------------
+    # Inprocessing scheduling
+    # ------------------------------------------------------------------
+    def maybe_inprocess(self) -> bool:
+        """Run one inprocessing pass (subsumption + vivification over the
+        learned database) if enabled and due.
+
+        Call sites are query boundaries, where the solver is at decision
+        level 0 and no search is in flight: ``solve`` / ``iter_solutions``
+        entry, between enumeration bursts (a level-0 backjump after a
+        yielded model), and session query boundaries
+        (:class:`repro.relational.translate.ProblemSession`).  The pass
+        never touches problem clauses — which is what AllSAT blocking
+        clauses are — nor clauses locked as trail reasons, so it is sound
+        mid-enumeration.  Calling it at decision level > 0 is a no-op.
+        Returns True when a pass actually ran.
+        """
+        if not self._inprocess_enabled or not self._ok or self._trail_lim:
+            return False
+        if self.learned_count < self._inprocess_min_learned:
+            return False
+        if (
+            self.stats.conflicts - self._conflicts_at_last_inprocess
+            < self._inprocess_interval
+        ):
+            return False
+        from .inprocess import run_inprocessing
+
+        run_inprocessing(self)
+        self._conflicts_at_last_inprocess = self.stats.conflicts
+        return True
+
+    @property
+    def inprocessing_enabled(self) -> bool:
+        return self._inprocess_enabled
+
+    # ------------------------------------------------------------------
+    # Backtracking (shared)
+    # ------------------------------------------------------------------
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        values = self._values
+        no_reason = self._NO_REASON
+        for index in range(len(self._trail) - 1, limit - 1, -1):
+            lit = self._trail[index]
+            var = lit if lit > 0 else -lit
+            self._saved_phase[var] = lit > 0
+            lit_idx = (lit << 1) if lit > 0 else (var << 1) | 1
+            values[lit_idx] = 0
+            values[lit_idx ^ 1] = 0
+            self._reason[var] = no_reason
+            if self._heap_pos[var] < 0:
+                self._heap_insert(var)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decide(self) -> Optional[int]:
+        values = self._values
+        heap = self._heap
+        while heap:
+            var = self._heap_pop()
+            if values[var << 1] == 0:
+                return var if self._saved_phase[var] else -var
+        return None
+
+    # ------------------------------------------------------------------
+    # Main search loop (shared)
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Search for a model extending ``assumptions``.
+
+        Assumptions are literals treated as decisions; if the formula is
+        unsatisfiable only under the assumptions, the result is UNSAT but the
+        solver stays usable for further calls.
+        """
+        if not self._ok:
+            return SatResult(False, stats=self.stats)
+        for lit in assumptions:
+            self._grow_to(abs(lit))
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SatResult(False, stats=self.stats)
+        if self.learned_count > self._max_learned:
+            # Incremental use (AllSAT blocking loops) adds clauses between
+            # many short solve calls; reduce here too, not just at restarts.
+            self._reduce_db()
+        self.maybe_inprocess()
+        if not self._ok:
+            return SatResult(False, stats=self.stats)
+
+        restart_index = 1
+        conflict_budget = 32 * luby(restart_index)
+        conflicts_here = 0
+        next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
+
+        while True:
+            if self.stats.propagations >= next_poll:
+                next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
+                # Re-read the ambient deadline every poll: a scope entered
+                # after this call started must still interrupt it.
+                deadline = current_deadline()
+                if deadline is not None and time.monotonic() > deadline:
+                    # Backtrack first so the solver stays usable.
+                    self._cancel_until(0)
+                    raise SolverInterrupted(
+                        "SAT solve interrupted by cooperative deadline"
+                    )
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) == 0:
+                    self._cancel_until(0)
+                    return SatResult(False, stats=self.stats)
+                if not self._all_assumptions_hold(assumptions):
+                    # Conflict depends on assumptions only.
+                    self._cancel_until(0)
+                    return SatResult(False, stats=self.stats)
+                outcome = self._learn_and_backjump(conflict)
+                if outcome is None:
+                    return SatResult(False, stats=self.stats)
+                if outcome == "unit" and not self._replay_assumptions(assumptions):
+                    return SatResult(False, stats=self.stats)
+                if conflicts_here >= conflict_budget:
+                    restart_index += 1
+                    conflict_budget = 32 * luby(restart_index)
+                    conflicts_here = 0
+                    self._restart()
+                    if not self._ok:
+                        return SatResult(False, stats=self.stats)
+                    if not self._replay_assumptions(assumptions):
+                        return SatResult(False, stats=self.stats)
+                continue
+
+            if not self._replay_assumptions(assumptions):
+                return SatResult(False, stats=self.stats)
+            if self._qhead < len(self._trail):
+                continue
+
+            decision = self._decide()
+            if decision is None:
+                values = self._values
+                model = {
+                    var: values[var << 1] > 0
+                    for var in range(1, self._nvars + 1)
+                }
+                trail = self._trail
+                self._last_model_decisions = [
+                    trail[position] for position in self._trail_lim
+                ]
+                self._cancel_until(0)
+                return SatResult(True, model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            if len(self._trail_lim) > self.stats.max_decision_level:
+                self.stats.max_decision_level = len(self._trail_lim)
+            self._enqueue(decision, self._NO_REASON)
+
+    # ------------------------------------------------------------------
+    # Incremental AllSAT (shared)
+    # ------------------------------------------------------------------
+    def iter_solutions(self, blocking_literals=None, assumptions: Sequence[int] = ()):
+        """Enumerate models without restarting the search between them.
+
+        After each yielded model a blocking clause is attached *in place*:
+        the solver backjumps only far enough to make the clause assert, so
+        the shared prefix of consecutive models (usually almost all of it,
+        thanks to phase saving) is never re-propagated.  This is the
+        engine behind :func:`repro.sat.enumerate.iter_models` and
+        :meth:`repro.relational.translate.Problem.iter_instances`.
+
+        ``blocking_literals``: optional ``callable(model) -> list[int]``
+        returning literals, all false under the model, whose clause rules
+        it out (e.g. the negated projection values).  The default blocks
+        the model's decision literals, which excludes exactly that one
+        total model.
+
+        ``assumptions`` scopes the enumeration: the given literals are
+        held as pseudo-decisions for the whole run (exactly as in
+        :meth:`solve`), and enumeration ends — leaving the solver usable —
+        as soon as the formula is exhausted *under the assumptions*.
+        Because assumption literals sit on decision levels, the default
+        blocking clauses automatically carry their negations, so an
+        incremental session that retires one assumption literal (e.g. a
+        fresh per-enumeration activation tag asserted false afterwards)
+        retracts every blocking clause of that enumeration in one unit
+        clause.
+
+        The generator yields each model dict exactly once; the solver must
+        not be used for other queries while enumeration is in progress.
+        Enumeration is deterministic and complete: it ends when the
+        formula plus blocking clauses becomes unsatisfiable (under the
+        assumptions, if any).
+        """
+        if not self._ok:
+            return
+        for lit in assumptions:
+            self._grow_to(abs(lit))
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return
+        self.maybe_inprocess()
+        if not self._ok:
+            return
+
+        restart_index = 1
+        conflict_budget = 32 * luby(restart_index)
+        conflicts_here = 0
+        next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
+
+        while True:
+            if self.stats.propagations >= next_poll:
+                next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
+                # Re-read the ambient deadline every poll (see solve()).
+                deadline = current_deadline()
+                if deadline is not None and time.monotonic() > deadline:
+                    # Backtrack first so the solver stays usable; an
+                    # abandoned enumeration must not poison later queries.
+                    self._cancel_until(0)
+                    raise SolverInterrupted(
+                        "SAT enumeration interrupted by cooperative deadline"
+                    )
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) == 0:
+                    self._cancel_until(0)
+                    self._ok = False
+                    return
+                if assumptions and not self._all_assumptions_hold(assumptions):
+                    # The conflict needs an assumption flipped: the model
+                    # space under the assumptions is exhausted, but the
+                    # solver (and its learned clauses) stay usable.
+                    self._cancel_until(0)
+                    return
+                outcome = self._learn_and_backjump(conflict)
+                if outcome is None:
+                    return
+                if (
+                    outcome == "unit"
+                    and assumptions
+                    and not self._replay_assumptions(assumptions)
+                ):
+                    return
+                if conflicts_here >= conflict_budget:
+                    restart_index += 1
+                    conflict_budget = 32 * luby(restart_index)
+                    conflicts_here = 0
+                    self._restart()
+                    if not self._ok:
+                        return
+                    if assumptions and not self._replay_assumptions(assumptions):
+                        return
+                continue
+
+            if assumptions:
+                if not self._replay_assumptions(assumptions):
+                    return
+                if self._qhead < len(self._trail):
+                    continue
+
+            decision = self._decide()
+            if decision is not None:
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                if len(self._trail_lim) > self.stats.max_decision_level:
+                    self.stats.max_decision_level = len(self._trail_lim)
+                self._enqueue(decision, self._NO_REASON)
+                continue
+
+            values = self._values
+            model = {
+                var: values[var << 1] > 0 for var in range(1, self._nvars + 1)
+            }
+            trail = self._trail
+            self._last_model_decisions = [
+                trail[position] for position in self._trail_lim
+            ]
+            yield model
+            if blocking_literals is None:
+                lits = [-lit for lit in self._last_model_decisions]
+            else:
+                lits = blocking_literals(model)
+            if not self._block_and_continue(lits):
+                self._cancel_until(0)
+                return
+            if not self._trail_lim:
+                # A unit blocking clause (or a learned unit) brought the
+                # search back to level 0: an enumeration-burst boundary,
+                # the natural place for an inprocessing pass.
+                self.maybe_inprocess()
+                if not self._ok:
+                    return
+
+    def _block_and_continue(self, lits: list[int]) -> bool:
+        """Attach a blocking clause mid-search and backjump so the search
+        continues past it; returns False when enumeration is complete.
+
+        Every literal must be false under the current (total) assignment.
+        Level-0-false literals are dropped; if none survive, every model
+        matches the blocked pattern and enumeration is over.
+        """
+        for lit in lits:
+            self._grow_to(abs(lit))
+        level = self._level
+        live = [lit for lit in lits if level[abs(lit)] > 0]
+        if not live:
+            return False
+        if len(live) == 1:
+            self._cancel_until(0)
+            if not self._enqueue(live[0], self._NO_REASON) or (
+                self._propagate() is not None
+            ):
+                self._ok = False
+                return False
+            return True
+        live.sort(key=lambda lit: level[abs(lit)], reverse=True)
+        top_level = level[abs(live[0])]
+        second_level = level[abs(live[1])]
+        token = self._attach_clause(live)
+        self._cancel_until(top_level - 1)
+        if second_level < top_level:
+            # The clause is unit now: assert its deepest literal here.
+            self._enqueue(live[0], token)
+        return True
+
+    def last_model_decisions(self) -> list[int]:
+        """The decision (and assumption) literals of the most recent SAT
+        result, in trail order.
+
+        Every other literal of that model was forced by unit propagation
+        from these, so the model is the *unique* total model extending
+        them.  AllSAT loops exploit this: adding the clause that negates
+        just the decisions blocks exactly that one model while staying far
+        shorter than a full-model blocking clause (see
+        :func:`repro.sat.enumerate.iter_models`).
+        """
+        return list(self._last_model_decisions)
+
+    # ------------------------------------------------------------------
+    # Assumption handling (shared)
+    # ------------------------------------------------------------------
+    def _all_assumptions_hold(self, assumptions: Sequence[int]) -> bool:
+        values = self._values
+        for lit in assumptions:
+            if values[(lit << 1) if lit > 0 else ((-lit) << 1) | 1] < 0:
+                return False
+        return True
+
+    def _replay_assumptions(self, assumptions: Sequence[int]) -> bool:
+        """Ensure every assumption literal is enqueued; returns False on
+        conflict with the assumptions."""
+        for lit in assumptions:
+            value = self._value(lit)
+            if value is True:
+                continue
+            if value is False:
+                self._cancel_until(0)
+                return False
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, self._NO_REASON)
+            conflict = self._propagate()
+            if conflict is not None:
+                if len(self._trail_lim) == 0:
+                    self._ok = False
+                self._cancel_until(0)
+                return False
+        return True

@@ -1,0 +1,343 @@
+"""Array-based clause storage for the CDCL core (no per-clause objects).
+
+Every clause lives in one flat integer *arena*:
+
+    ... | size | flags | lit0 | lit1 | ... | lit_{size-1} | ...
+                        ^
+                        cref (clause reference = arena index of lit0)
+
+``flags`` packs the LBD quality tag and the learned bit
+(``lbd << 1 | learned``).  Watch lists are flat integer lists of
+``blocker, cref`` pairs (``other, cref`` pairs for the dedicated binary
+watch lists), and a propagation *reason* is just the forcing clause's
+``cref`` (−1 for decisions).  The inner propagation loop therefore
+touches only integer lists — no tuples, no clause objects, no attribute
+loads — which is what makes this module a worthwhile mypyc target (see
+``repro.sat.build_compiled``).
+
+The search heuristics are inherited unchanged from
+:class:`repro.sat.core.CdclCore` and the storage mirrors
+:mod:`repro.sat.core_object` operation for operation (same watch-list
+orders, same database-reduction ranking, same rebuild order after
+reduction/inprocessing), so both cores run byte-for-byte the same
+search and report identical statistics — the object core is the
+differential oracle for this one.
+
+Clause deletion (database reduction, inprocessing) compacts the arena:
+surviving clauses are copied to a fresh arena, every ``cref`` — clause
+lists, watch lists, trail reasons — is remapped, and the old arena is
+dropped.  Locked clauses (reasons of trail literals) are always kept
+alive by :meth:`_reduce_db`, so remapping a reason can never dangle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .core import CdclCore
+
+
+class ArrayCdclSolver(CdclCore):
+    """CDCL solver with flat-arena clause storage (see module docstring)."""
+
+    _NO_REASON = -1
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def _init_storage(self, size: int) -> None:
+        # Arena slot 0/1 are padding so that no real cref is ever <= 1:
+        # cref 0 would collide with header reads at cref-2.
+        self._arena: list[int] = [0, 0]
+        # _watches[i]: flat (blocker, cref) pairs whose watched literal is
+        # the negation of literal i; _bin_watches[i]: (other, cref) int
+        # tuples for binary clauses (-lit(i), other) — tuples of two ints,
+        # not objects, so the binary loop unpacks them at C speed.
+        self._watches: list[list[int]] = [[] for _ in range(size)]
+        self._bin_watches: list[list[tuple[int, int]]] = [[] for _ in range(size)]
+        self._long_crefs: list[int] = []
+        self._learned_crefs: list[int] = []
+        self._bin_crefs: list[int] = []
+
+    def _grow_storage(self) -> None:
+        self._watches.append([])
+        self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
+
+    def _alloc(self, lits: list[int], learned: bool, lbd: int) -> int:
+        arena = self._arena
+        arena.append(len(lits))
+        arena.append((lbd << 1) | (1 if learned else 0))
+        cref = len(arena)
+        arena.extend(lits)
+        return cref
+
+    def _attach_clause(self, lits: list[int], learned: bool = False, lbd: int = 0):
+        cref = self._alloc(lits, learned, lbd)
+        if len(lits) == 2:
+            self._bin_crefs.append(cref)
+            self._watch_binary(cref)
+        else:
+            if learned:
+                self._learned_crefs.append(cref)
+            else:
+                self._long_crefs.append(cref)
+            self._watch(cref)
+        return cref
+
+    def _watch(self, cref: int) -> None:
+        arena = self._arena
+        first = arena[cref]
+        second = arena[cref + 1]
+        watch = self._watches[self._lit_index(-first)]
+        watch.append(second)
+        watch.append(cref)
+        watch = self._watches[self._lit_index(-second)]
+        watch.append(first)
+        watch.append(cref)
+
+    def _watch_binary(self, cref: int) -> None:
+        arena = self._arena
+        a = arena[cref]
+        b = arena[cref + 1]
+        self._bin_watches[self._lit_index(-a)].append((b, cref))
+        self._bin_watches[self._lit_index(-b)].append((a, cref))
+
+    def _reason_lits(self, var: int) -> Optional[Sequence[int]]:
+        cref = self._reason[var]
+        if cref < 0:
+            return None
+        arena = self._arena
+        return arena[cref : cref + arena[cref - 2]]
+
+    @property
+    def learned_count(self) -> int:
+        return len(self._learned_crefs)
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction + arena compaction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        """Same policy as the object core (rank by LBD/length/age, keep
+        the best half plus glue and *locked* clauses), then compact the
+        arena so deleted clauses stop occupying memory."""
+        arena = self._arena
+        learned = self._learned_crefs
+        reasons = self._reason
+        locked: set[int] = set()
+        for lit in self._trail:
+            cref = reasons[lit if lit > 0 else -lit]
+            if cref >= 0:
+                locked.add(cref)
+        ranked = sorted(
+            range(len(learned)),
+            key=lambda i: (arena[learned[i] - 1] >> 1, arena[learned[i] - 2], i),
+        )
+        keep_indices = set(ranked[: len(learned) // 2])
+        kept: list[int] = []
+        deleted = 0
+        for i, cref in enumerate(learned):
+            if i in keep_indices or (arena[cref - 1] >> 1) <= 2 or cref in locked:
+                kept.append(cref)
+            else:
+                deleted += 1
+        self._learned_crefs = kept
+        self._compact_and_rebuild()
+        self.stats.db_reductions += 1
+        self.stats.deleted_clauses += deleted
+        self._max_learned = self._max_learned + self._max_learned // 2
+
+    def _compact_and_rebuild(self) -> None:
+        """Copy surviving clauses into a fresh arena, remap every cref
+        (clause lists, trail reasons), and rebuild all watch lists in the
+        same order the object core's ``_rebuild_watches`` uses."""
+        old = self._arena
+        new: list[int] = [0, 0]
+        remap: dict[int, int] = {}
+        for crefs in (self._bin_crefs, self._long_crefs, self._learned_crefs):
+            for cref in crefs:
+                size = old[cref - 2]
+                new.append(size)
+                new.append(old[cref - 1])
+                remap[cref] = len(new)
+                new.extend(old[cref : cref + size])
+        self._arena = new
+        self._bin_crefs = [remap[c] for c in self._bin_crefs]
+        self._long_crefs = [remap[c] for c in self._long_crefs]
+        self._learned_crefs = [remap[c] for c in self._learned_crefs]
+        reasons = self._reason
+        for var in range(1, self._nvars + 1):
+            cref = reasons[var]
+            if cref >= 0:
+                # Locked clauses are always kept, so this never dangles.
+                reasons[var] = remap[cref]
+        for watch_list in self._watches:
+            del watch_list[:]
+        for cref in self._long_crefs:
+            self._watch(cref)
+        for cref in self._learned_crefs:
+            self._watch(cref)
+        # Binary watch lists are rebuilt in chronological clause order —
+        # the same per-literal order the object core reaches by never
+        # rebuilding them at all.
+        for watch_list in self._bin_watches:
+            del watch_list[:]
+        for cref in self._bin_crefs:
+            self._watch_binary(cref)
+
+    # ------------------------------------------------------------------
+    # Inprocessing storage API (see repro.sat.inprocess)
+    # ------------------------------------------------------------------
+    def _inprocess_learned(self) -> list:
+        return list(self._learned_crefs)
+
+    def _inprocess_lits(self, ref) -> list[int]:
+        arena = self._arena
+        return arena[ref : ref + arena[ref - 2]]
+
+    def _inprocess_locked(self) -> set:
+        reasons = self._reason
+        learned = set(self._learned_crefs)
+        locked: set[int] = set()
+        for lit in self._trail:
+            cref = reasons[lit if lit > 0 else -lit]
+            if cref >= 0 and cref in learned:
+                locked.add(cref)
+        return locked
+
+    def _inprocess_apply(self, deletions: set, replacements: dict) -> None:
+        arena = self._arena
+        kept: list[int] = []
+        for cref in self._learned_crefs:
+            if cref in deletions:
+                continue
+            new_lits = replacements.get(cref)
+            if new_lits is None:
+                kept.append(cref)
+            elif len(new_lits) == 2:
+                # Shrunk to binary: migrate to the binary watch lists,
+                # exactly like the object core.
+                self._attach_clause(list(new_lits))
+            else:
+                lbd = arena[cref - 1] >> 1
+                if lbd > len(new_lits) - 1:
+                    lbd = len(new_lits) - 1
+                kept.append(self._alloc(list(new_lits), True, lbd))
+        self._learned_crefs = kept
+        self._compact_and_rebuild()
+
+    # ------------------------------------------------------------------
+    # Unit propagation (the hot loop)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation; returns a conflicting clause's literals or None.
+
+        Mirrors the object core's loop exactly — same blocking-literal
+        short-cuts, same watch-entry orders — but every structure it
+        touches is a flat integer list."""
+        values = self._values
+        trail = self._trail
+        watches = self._watches
+        bin_watches = self._bin_watches
+        arena = self._arena
+        level_now = len(self._trail_lim)
+        levels = self._level
+        reasons = self._reason
+        qhead = self._qhead
+        start = qhead
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            lit_idx = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+            for other, bin_cref in bin_watches[lit_idx]:
+                other_idx = (other << 1) if other > 0 else ((-other) << 1) | 1
+                value = values[other_idx]
+                if value < 0:
+                    self._qhead = len(trail)
+                    self.stats.propagations += qhead - start
+                    return arena[bin_cref : bin_cref + 2]
+                if value == 0:
+                    values[other_idx] = 1
+                    values[other_idx ^ 1] = -1
+                    var = other if other > 0 else -other
+                    levels[var] = level_now
+                    reasons[var] = bin_cref
+                    trail.append(other)
+
+            watch_list = watches[lit_idx]
+            neg_lit = -lit
+            i = 0
+            j = 0
+            end = len(watch_list)
+            while i < end:
+                # Watch entries are flat (blocker, cref) pairs; the
+                # blocker is *some* literal of the clause whose truth
+                # proves the clause satisfied without touching the arena.
+                # Compaction writes are skipped while i == j (nothing has
+                # moved out of this list yet) — the common case.
+                blocker = watch_list[i]
+                if values[(blocker << 1) if blocker > 0 else ((-blocker) << 1) | 1] > 0:
+                    if i != j:
+                        watch_list[j] = blocker
+                        watch_list[j + 1] = watch_list[i + 1]
+                    i += 2
+                    j += 2
+                    continue
+                cref = watch_list[i + 1]
+                i += 2
+                # Normalize: the false literal goes to position 1.
+                if arena[cref] == neg_lit:
+                    arena[cref] = arena[cref + 1]
+                    arena[cref + 1] = neg_lit
+                first = arena[cref]
+                first_idx = (first << 1) if first > 0 else ((-first) << 1) | 1
+                if values[first_idx] > 0:
+                    if i != j + 2:
+                        watch_list[j] = blocker
+                        watch_list[j + 1] = cref
+                    j += 2
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for pos in range(cref + 2, cref + arena[cref - 2]):
+                    cand = arena[pos]
+                    cand_idx = (cand << 1) if cand > 0 else ((-cand) << 1) | 1
+                    if values[cand_idx] >= 0:
+                        arena[cref + 1] = cand
+                        arena[pos] = neg_lit
+                        moved_watch = watches[cand_idx ^ 1]
+                        moved_watch.append(blocker)
+                        moved_watch.append(cref)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if i != j + 2:
+                    watch_list[j] = blocker
+                    watch_list[j + 1] = cref
+                j += 2
+                if values[first_idx] < 0:
+                    if i != j:
+                        while i < end:
+                            watch_list[j] = watch_list[i]
+                            watch_list[j + 1] = watch_list[i + 1]
+                            i += 2
+                            j += 2
+                        del watch_list[j:]
+                    self._qhead = len(trail)
+                    self.stats.propagations += qhead - start
+                    return arena[cref : cref + arena[cref - 2]]
+                values[first_idx] = 1
+                values[first_idx ^ 1] = -1
+                var = first if first > 0 else -first
+                levels[var] = level_now
+                reasons[var] = cref
+                trail.append(first)
+            if j != end:
+                del watch_list[j:]
+        self._qhead = qhead
+        self.stats.propagations += qhead - start
+        return None

@@ -1,0 +1,279 @@
+"""Object-based clause storage for the CDCL core.
+
+This is the solver's original representation — one Python object per
+long clause, watch lists of ``(blocker, clause)`` tuples, binary clauses
+living purely in dedicated binary watch lists with their shared literal
+list doubling as the propagation reason.  It is kept as the
+*differential oracle* for the flat-arena core
+(:mod:`repro.sat.core_array`): both cores implement identical
+heuristics, so ``--solver-core object`` must reproduce the array core's
+search, models, and counters exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .core import CdclCore
+
+
+class _Clause:
+    """A clause of three or more literals (binary clauses live purely in
+    the binary watch lists).  ``lits[0]`` and ``lits[1]`` are the watched
+    positions; ``lbd`` is the literal-block-distance quality tag used by
+    database reduction (0 for problem clauses, which are never deleted)."""
+
+    __slots__ = ("lits", "learned", "lbd")
+
+    def __init__(self, lits: list[int], learned: bool = False, lbd: int = 0) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+
+
+class ObjectCdclSolver(CdclCore):
+    """CDCL solver with per-clause-object storage (see module docstring)."""
+
+    _NO_REASON = None
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def _init_storage(self, size: int) -> None:
+        # _watches[i] holds (blocker, clause) pairs whose watched literal is
+        # the negation of literal i; _bin_watches[i] holds (other, lits)
+        # pairs for binary clauses (-lit(i), other).
+        self._watches: list[list[tuple[int, _Clause]]] = [[] for _ in range(size)]
+        self._bin_watches: list[list[tuple[int, list[int]]]] = [
+            [] for _ in range(size)
+        ]
+        self._long_clauses: list[_Clause] = []
+        self._learned: list[_Clause] = []
+
+    def _grow_storage(self) -> None:
+        self._watches.append([])
+        self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
+
+    def _attach_clause(self, lits: list[int], learned: bool = False, lbd: int = 0):
+        if len(lits) == 2:
+            self._watch_binary(lits)
+            return lits
+        clause = _Clause(lits, learned=learned, lbd=lbd)
+        if learned:
+            self._learned.append(clause)
+        else:
+            self._long_clauses.append(clause)
+        self._watch(clause)
+        return lits
+
+    def _watch(self, clause: _Clause) -> None:
+        lits = clause.lits
+        self._watches[self._lit_index(-lits[0])].append((lits[1], clause))
+        self._watches[self._lit_index(-lits[1])].append((lits[0], clause))
+
+    def _watch_binary(self, lits: list[int]) -> None:
+        a, b = lits
+        self._bin_watches[self._lit_index(-a)].append((b, lits))
+        self._bin_watches[self._lit_index(-b)].append((a, lits))
+
+    def _reason_lits(self, var: int) -> Optional[Sequence[int]]:
+        return self._reason[var]
+
+    @property
+    def learned_count(self) -> int:
+        return len(self._learned)
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        """Drop the worst half of the learned clauses (called at decision
+        level 0 only).
+
+        Clauses are ranked by (LBD, length, age); "glue" clauses with
+        LBD <= 2 are always kept, the standard heuristic for clauses that
+        connect decision levels and get reused constantly.  A clause that
+        is currently the *reason* for a literal on the trail (level-0
+        forced literals survive the backtrack to level 0) is *locked* and
+        always kept: deleting it would leave a dangling reason reference
+        that conflict analysis or arena compaction could later trip
+        over."""
+        learned = self._learned
+        reasons = self._reason
+        locked: set[int] = set()
+        for lit in self._trail:
+            reason = reasons[lit if lit > 0 else -lit]
+            if reason is not None:
+                locked.add(id(reason))
+        ranked = sorted(
+            range(len(learned)),
+            key=lambda i: (learned[i].lbd, len(learned[i].lits), i),
+        )
+        keep_indices = set(ranked[: len(learned) // 2])
+        kept: list[_Clause] = []
+        deleted = 0
+        for i, clause in enumerate(learned):
+            if i in keep_indices or clause.lbd <= 2 or id(clause.lits) in locked:
+                kept.append(clause)
+            else:
+                deleted += 1
+        self._learned = kept
+        self._rebuild_watches()
+        self.stats.db_reductions += 1
+        self.stats.deleted_clauses += deleted
+        self._max_learned = self._max_learned + self._max_learned // 2
+
+    def _rebuild_watches(self) -> None:
+        for watch_list in self._watches:
+            del watch_list[:]
+        for clause in self._long_clauses:
+            self._watch(clause)
+        for clause in self._learned:
+            self._watch(clause)
+
+    # ------------------------------------------------------------------
+    # Inprocessing storage API (see repro.sat.inprocess)
+    # ------------------------------------------------------------------
+    def _inprocess_learned(self) -> list:
+        return list(self._learned)
+
+    def _inprocess_lits(self, ref) -> list[int]:
+        return list(ref.lits)
+
+    def _inprocess_locked(self) -> set:
+        reasons = self._reason
+        locked_ids = set()
+        for lit in self._trail:
+            reason = reasons[lit if lit > 0 else -lit]
+            if reason is not None:
+                locked_ids.add(id(reason))
+        return {c for c in self._learned if id(c.lits) in locked_ids}
+
+    def _inprocess_apply(self, deletions: set, replacements: dict) -> None:
+        kept: list[_Clause] = []
+        for clause in self._learned:
+            if clause in deletions:
+                continue
+            new_lits = replacements.get(clause)
+            if new_lits is None:
+                kept.append(clause)
+            elif len(new_lits) == 2:
+                # Shrunk to binary: migrate to the binary watch lists
+                # (binary clauses are untracked there, exactly like
+                # binary learned clauses from conflict analysis).
+                self._watch_binary(new_lits)
+            else:
+                clause.lits = new_lits
+                if clause.lbd > len(new_lits) - 1:
+                    clause.lbd = len(new_lits) - 1
+                kept.append(clause)
+        self._learned = kept
+        self._rebuild_watches()
+
+    # ------------------------------------------------------------------
+    # Unit propagation (the hot loop)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation; returns a conflicting clause's literals or None.
+
+        The hot loop: truth values are read straight out of the
+        literal-indexed array (no method call), blocking literals short-cut
+        satisfied clauses, and binary clauses propagate from their own
+        watch lists without touching clause objects at all.
+        """
+        values = self._values
+        trail = self._trail
+        watches = self._watches
+        bin_watches = self._bin_watches
+        level_now = len(self._trail_lim)
+        levels = self._level
+        reasons = self._reason
+        qhead = self._qhead
+        processed = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            processed += 1
+            lit_idx = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+            for other, bin_lits in bin_watches[lit_idx]:
+                other_idx = (other << 1) if other > 0 else ((-other) << 1) | 1
+                value = values[other_idx]
+                if value < 0:
+                    self._qhead = len(trail)
+                    self.stats.propagations += processed
+                    return bin_lits
+                if value == 0:
+                    values[other_idx] = 1
+                    values[other_idx ^ 1] = -1
+                    var = other if other > 0 else -other
+                    levels[var] = level_now
+                    reasons[var] = bin_lits
+                    trail.append(other)
+
+            watch_list = watches[lit_idx]
+            neg_lit = -lit
+            i = 0
+            j = 0
+            end = len(watch_list)
+            while i < end:
+                # Watch entries are (blocker, clause) tuples; the blocker is
+                # *some* literal of the clause whose truth proves the clause
+                # satisfied without touching it.  Entries are reused verbatim
+                # on the keep path — no allocation in the hot loop.
+                entry = watch_list[i]
+                i += 1
+                blocker = entry[0]
+                if values[(blocker << 1) if blocker > 0 else ((-blocker) << 1) | 1] > 0:
+                    watch_list[j] = entry
+                    j += 1
+                    continue
+                clause = entry[1]
+                lits = clause.lits
+                # Normalize: the false literal goes to position 1.
+                if lits[0] == neg_lit:
+                    lits[0] = lits[1]
+                    lits[1] = neg_lit
+                first = lits[0]
+                first_idx = (first << 1) if first > 0 else ((-first) << 1) | 1
+                if values[first_idx] > 0:
+                    watch_list[j] = entry
+                    j += 1
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for pos in range(2, len(lits)):
+                    cand = lits[pos]
+                    cand_idx = (cand << 1) if cand > 0 else ((-cand) << 1) | 1
+                    if values[cand_idx] >= 0:
+                        lits[1] = cand
+                        lits[pos] = neg_lit
+                        watches[cand_idx ^ 1].append(entry)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                watch_list[j] = entry
+                j += 1
+                if values[first_idx] < 0:
+                    while i < end:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    self._qhead = len(trail)
+                    self.stats.propagations += processed
+                    return lits
+                values[first_idx] = 1
+                values[first_idx ^ 1] = -1
+                var = first if first > 0 else -first
+                levels[var] = level_now
+                reasons[var] = lits
+                trail.append(first)
+            del watch_list[j:]
+        self._qhead = qhead
+        self.stats.propagations += processed
+        return None

@@ -1,0 +1,270 @@
+"""Inprocessing for the CDCL cores: learned-clause vivification and
+subsumption / self-subsumption.
+
+Between enumeration bursts a long-lived solver (an AllSAT blocking loop,
+an incremental :class:`~repro.relational.translate.ProblemSession`)
+accumulates thousands of learned clauses.  Database *reduction* already
+bounds their number; these passes instead improve the survivors —
+shorter clauses propagate earlier and cost less to traverse — which is
+where the enumeration-heavy synthesis loop (paper §VI) spends its time.
+
+Soundness.  Every learned clause is entailed by the clause database
+(conflict analysis keeps assumption negations inside clauses learned
+under assumptions), so a pass may freely
+
+* **delete** a learned clause subsumed by another learned clause,
+* **strengthen** ``D`` to ``D \\ {-l}`` when some learned ``C`` with
+  ``C \\ {l} ⊆ D`` and ``-l ∈ D`` exists (self-subsuming resolution),
+* **vivify** ``C``: probe ``¬l1, ¬l2, ...`` one decision level per
+  literal; a propagation conflict proves the probed prefix is itself a
+  clause, an implied-true literal closes the clause early, an
+  implied-false literal is redundant and dropped.  Every outcome is a
+  subset of ``C``'s literals, so the replacement both entails and is
+  entailed with the rest of the database — the model set (and hence
+  every enumeration result) is unchanged.
+
+Restrictions, enforced here and by the storage hooks:
+
+* passes run at decision level 0 only (scheduled from
+  :meth:`repro.sat.core.CdclCore.maybe_inprocess`);
+* only *learned* clauses are touched — AllSAT blocking clauses are
+  problem clauses and never enter the learned database;
+* *locked* clauses (reasons of literals still on the trail) are never
+  deleted or strengthened, mirroring the database-reduction invariant.
+
+All passes are deterministic, and both solver cores expose the same
+storage API, so inprocessing preserves the cores' lockstep equality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs import current_registry
+
+#: Clauses vivified per pass (a cursor cycles through the database
+#: round-robin across passes so the whole DB is eventually covered).
+VIVIFY_CLAUSE_BUDGET = 64
+#: Unit-propagation budget per vivification pass; probing is charged at
+#: the solver's normal propagation cost, so this bounds a pass to a
+#: small fraction of a typical query's propagation work.
+VIVIFY_PROPAGATION_BUDGET = 20_000
+
+
+def run_inprocessing(solver) -> None:
+    """One inprocessing pass over ``solver``'s learned database:
+    subsumption/self-subsumption first, then bounded vivification.
+
+    The caller (:meth:`~repro.sat.core.CdclCore.maybe_inprocess`)
+    guarantees the solver is at decision level 0 and usable."""
+    subsumed, strengthened = _subsume(solver)
+    vivified = _vivify(solver) if solver._ok else 0
+    stats = solver.stats
+    stats.inprocessings += 1
+    stats.subsumed_clauses += subsumed
+    stats.strengthened_clauses += strengthened
+    stats.vivified_clauses += vivified
+    registry = current_registry()
+    if registry:
+        # Informational: totals depend on which process ran the solver
+        # (cache warmth / --jobs), like the session-cache counters.  The
+        # deterministic view of the same numbers flows through
+        # SolverStats -> SuiteStats snapshot-replay.
+        registry.inc("inprocessing.passes", 1, informational=True)
+        registry.inc("inprocessing.subsumed", subsumed, informational=True)
+        registry.inc("inprocessing.strengthened", strengthened, informational=True)
+        registry.inc("inprocessing.vivified", vivified, informational=True)
+
+
+# ----------------------------------------------------------------------
+# Subsumption / self-subsumption
+# ----------------------------------------------------------------------
+def _subsume(solver) -> tuple[int, int]:
+    """Learned-vs-learned subsumption, occurrence-indexed.
+
+    For each clause ``C`` (shortest first) the candidates are the
+    clauses sharing ``C``'s least-occurring literal (plus its negation
+    for the flipped-pivot self-subsumption case), so the pass stays near
+    linear in total literal occurrences instead of quadratic in clauses.
+    """
+    refs = solver._inprocess_learned()
+    count = len(refs)
+    if count < 2:
+        return 0, 0
+    locked = solver._inprocess_locked()
+    lits_by: list[list[int]] = [solver._inprocess_lits(ref) for ref in refs]
+    sets: list[set[int]] = [set(lits) for lits in lits_by]
+    alive = [True] * count
+    occ: dict[int, list[int]] = {}
+    for index, lits in enumerate(lits_by):
+        for lit in lits:
+            occ.setdefault(lit, []).append(index)
+    order = sorted(range(count), key=lambda i: (len(lits_by[i]), i))
+
+    subsumed = 0
+    strengthened = 0
+    deletions: set = set()
+    replacements: dict = {}
+    units: list[int] = []
+
+    def strengthen(d: int, remove: int) -> None:
+        nonlocal strengthened
+        sets[d].discard(remove)
+        new_lits = [x for x in lits_by[d] if x != remove]
+        lits_by[d] = new_lits
+        strengthened += 1
+        if len(new_lits) == 1:
+            # Strengthened down to a unit: enqueue at level 0 after the
+            # batch apply, and drop the clause itself.
+            alive[d] = False
+            replacements.pop(refs[d], None)
+            deletions.add(refs[d])
+            units.append(new_lits[0])
+        else:
+            replacements[refs[d]] = new_lits
+
+    for i in order:
+        if not alive[i]:
+            continue
+        c_set = sets[i]
+        c_len = len(c_set)
+        pivot = min(lits_by[i], key=lambda lit: (len(occ.get(lit, ())), lit))
+        for d in occ.get(pivot, ()):
+            if d == i or not alive[d]:
+                continue
+            d_set = sets[d]
+            if len(d_set) < c_len or pivot not in d_set:
+                continue
+            diff = c_set - d_set
+            if not diff:
+                if refs[d] in locked:
+                    continue
+                alive[d] = False
+                replacements.pop(refs[d], None)
+                deletions.add(refs[d])
+                subsumed += 1
+            elif len(diff) == 1:
+                (lone,) = diff
+                if -lone in d_set and refs[d] not in locked:
+                    strengthen(d, -lone)
+        # Flipped pivot: the one resolved literal is the pivot itself.
+        for d in occ.get(-pivot, ()):
+            if d == i or not alive[d]:
+                continue
+            d_set = sets[d]
+            if -pivot not in d_set or len(d_set) < c_len:
+                continue
+            if refs[d] in locked:
+                continue
+            if c_set - d_set == {pivot}:
+                strengthen(d, -pivot)
+
+    if deletions or replacements:
+        solver._inprocess_apply(deletions, replacements)
+    for lit in units:
+        if not solver._enqueue(lit, solver._NO_REASON):
+            solver._ok = False
+            return subsumed, strengthened
+    if units and solver._propagate() is not None:
+        solver._ok = False
+    return subsumed, strengthened
+
+
+# ----------------------------------------------------------------------
+# Vivification
+# ----------------------------------------------------------------------
+def _vivify_clause(solver, lits: list[int]) -> tuple[Optional[list[int]], bool]:
+    """Probe one clause; returns ``(replacement, root_satisfied)``.
+
+    ``replacement`` is None when the clause is unchanged; otherwise a
+    strict subset of ``lits`` (possibly empty = formula UNSAT, or a unit).
+    ``root_satisfied`` means the clause is true at level 0 and can be
+    deleted outright.  The solver is returned to decision level 0."""
+    no_reason = solver._NO_REASON
+    levels = solver._level
+    kept: list[int] = []
+    dropped = False
+    new_lits: Optional[list[int]] = None
+    for position, lit in enumerate(lits):
+        value = solver._value(lit)
+        if value is True:
+            if levels[abs(lit)] == 0:
+                solver._cancel_until(0)
+                return None, True
+            # Implied true under the probed prefix: the clause closes here.
+            kept.append(lit)
+            new_lits = kept
+            break
+        if value is False:
+            # False at level 0, or implied false by the probed prefix:
+            # either way the literal is redundant in this clause.
+            dropped = True
+            continue
+        solver._trail_lim.append(len(solver._trail))
+        solver._enqueue(-lit, no_reason)
+        kept.append(lit)
+        if solver._propagate() is not None:
+            # The probed prefix alone is contradictory: it is the clause.
+            new_lits = kept
+            break
+    else:
+        new_lits = kept if dropped else None
+    solver._cancel_until(0)
+    if new_lits is not None and len(new_lits) < len(lits):
+        return new_lits, False
+    return None, False
+
+
+def _vivify(solver) -> int:
+    """Bounded vivification sweep (round-robin cursor across passes)."""
+    refs = solver._inprocess_learned()
+    count = len(refs)
+    if count == 0:
+        return 0
+    locked = solver._inprocess_locked()
+    budget = min(count, VIVIFY_CLAUSE_BUDGET)
+    cursor = solver._vivify_cursor % count
+    propagation_start = solver.stats.propagations
+
+    vivified = 0
+    deletions: set = set()
+    replacements: dict = {}
+    units: list[int] = []
+    examined = 0
+    while examined < budget:
+        if solver.stats.propagations - propagation_start > VIVIFY_PROPAGATION_BUDGET:
+            break
+        ref = refs[cursor]
+        cursor = (cursor + 1) % count
+        examined += 1
+        if ref in locked:
+            continue
+        replacement, root_satisfied = _vivify_clause(
+            solver, solver._inprocess_lits(ref)
+        )
+        if root_satisfied:
+            deletions.add(ref)
+            vivified += 1
+            continue
+        if replacement is None:
+            continue
+        vivified += 1
+        if not replacement:
+            solver._ok = False
+            break
+        if len(replacement) == 1:
+            deletions.add(ref)
+            units.append(replacement[0])
+        else:
+            replacements[ref] = replacement
+    solver._vivify_cursor = cursor
+
+    if deletions or replacements:
+        solver._inprocess_apply(deletions, replacements)
+    for lit in units:
+        if not solver._enqueue(lit, solver._NO_REASON):
+            solver._ok = False
+            return vivified
+    if units and solver._propagate() is not None:
+        solver._ok = False
+    return vivified

@@ -1,1023 +1,147 @@
-"""A CDCL SAT solver in pure Python.
+"""The CDCL SAT solver's public face: core selection and preferences.
 
 This is the reproduction's stand-in for MiniSat [17] in the paper's
-Alloy -> Kodkod -> SAT pipeline.  It implements the standard modern
-architecture:
+Alloy -> Kodkod -> SAT pipeline.  The implementation is split across
+three modules (see :mod:`repro.sat.core` for the architecture): the
+shared search driver, and two interchangeable clause-storage *cores* —
 
-* two-watched-literal unit propagation with *blocking literals* (a cached
-  literal per watch entry whose truth lets propagation skip the clause
-  without touching its memory),
-* dedicated watch lists for binary clauses (no clause traversal at all),
-* first-UIP conflict analysis with clause learning and learned-clause
-  minimization (self-subsuming resolution against reason clauses),
-* LBD-tagged learned-clause database with periodic reduction — essential
-  for AllSAT blocking-clause loops, where a solver instance otherwise
-  accumulates learned clauses without bound across thousands of calls,
-* VSIDS decision heuristic backed by an indexed max-heap (O(log n) per
-  decision/bump instead of an O(n) scan) with deterministic tie-breaking
-  on the variable index, plus phase saving,
-* Luby-sequence restarts,
-* solving under assumptions (used for incremental queries such as the
-  minimality checks in the relational synthesis backend).
+* ``"object"`` — per-clause Python objects (:class:`ObjectCdclSolver`,
+  the original representation and the differential oracle);
+* ``"array"`` — a flat integer clause arena with flat int watch lists
+  (:class:`ArrayCdclSolver`; optionally mypyc-compiled, see
+  :mod:`repro.sat.build_compiled`).
 
-The solver is complete: on every input it terminates with SAT (plus a total
-model) or UNSAT, which is what makes bounded-exhaustive ELT synthesis
-meaningful.  Every heuristic is deterministic, so a given clause stream
-always produces the same search, the same model, and the same statistics —
-the property the synthesis orchestrator's byte-identical-output guarantee
-rests on.
+Both cores implement identical heuristics and run the same search, so
+suites, models, and solver counters are byte-for-byte equal across
+cores — ``--solver-core object`` plays the same oracle role as
+``--fresh-solver`` and ``--no-symmetry``.
+
+:class:`CdclSolver` remains the object core, so existing constructions
+keep their exact historical behavior (no inprocessing, object storage).
+Pipeline code builds solvers through :func:`create_solver`, which
+resolves unset knobs from the ambient :func:`solver_preferences` scope —
+the engine enters that scope from ``SynthesisConfig.solver_core`` /
+``SynthesisConfig.inprocessing``, which is how the knobs reach every
+solver constructed behind :class:`repro.relational.translate.Problem`
+without threading parameters through the whole relational layer.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
 
-from ..errors import SolverInterrupted
-from ..resilience import current_deadline
 from .cnf import Cnf
+from .core import (
+    DEADLINE_POLL_PROPAGATIONS,
+    MAX_MERGED_STAT_FIELDS,
+    CdclCore,
+    SatResult,
+    SolverStats,
+    luby,
+)
+from .core_object import ObjectCdclSolver
 
-#: How many unit propagations may elapse between cooperative-deadline
-#: polls.  Coarse enough that the poll is invisible in profile (one
-#: comparison per loop iteration, one clock read per ~budget
-#: propagations), fine enough that a stuck query dies within a fraction
-#: of a second of its deadline.
-DEADLINE_POLL_PROPAGATIONS = 20000
+from . import core_array as _core_array_module
+from .core_array import ArrayCdclSolver
+
+#: True when the array core was imported from a mypyc-built extension
+#: (see :mod:`repro.sat.build_compiled`); the pure-Python module is the
+#: always-available fallback and behaves identically.
+COMPILED_ARRAY_CORE = str(getattr(_core_array_module, "__file__", "")).endswith(
+    (".so", ".pyd")
+)
+
+__all__ = [
+    "DEADLINE_POLL_PROPAGATIONS",
+    "MAX_MERGED_STAT_FIELDS",
+    "SOLVER_CORES",
+    "CdclCore",
+    "CdclSolver",
+    "ObjectCdclSolver",
+    "ArrayCdclSolver",
+    "SatResult",
+    "SolverStats",
+    "create_solver",
+    "current_solver_preferences",
+    "luby",
+    "solve_cnf",
+    "solver_preferences",
+]
+
+#: Selectable propagation cores (`SynthesisConfig.solver_core` /
+#: ``--solver-core``).
+SOLVER_CORES = ("object", "array")
+
+#: Back-compat name: bare ``CdclSolver(cnf)`` is the object core with
+#: inprocessing off — byte-for-byte the historical solver.
+CdclSolver = ObjectCdclSolver
+
+_CORE_CLASSES = {"object": ObjectCdclSolver, "array": ArrayCdclSolver}
+
+# Ambient defaults used by create_solver() when a knob is not given
+# explicitly.  Module-global (not a contextvar) for the same reason the
+# resilience deadline is: solver construction and the scopes that
+# configure it live on one thread per process.
+_PREFERRED_CORE = "object"
+_PREFERRED_INPROCESS = False
 
 
-def luby(index: int) -> int:
-    """Return the ``index``-th element (1-based) of the Luby sequence
-    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+def current_solver_preferences() -> tuple[str, bool]:
+    """The ambient ``(core, inprocess)`` defaults for :func:`create_solver`."""
+    return _PREFERRED_CORE, _PREFERRED_INPROCESS
 
-    >>> [luby(i) for i in range(1, 10)]
-    [1, 1, 2, 1, 1, 2, 4, 1, 1]
+
+@contextmanager
+def solver_preferences(
+    core: Optional[str] = None, inprocess: Optional[bool] = None
+) -> Iterator[None]:
+    """Scope the defaults :func:`create_solver` resolves unset knobs from.
+
+    ``None`` leaves the corresponding ambient value unchanged.  Scopes
+    nest; the previous preferences are restored on exit.
     """
-    while True:
-        k = 1
-        while (1 << k) - 1 < index:
-            k += 1
-        if index == (1 << k) - 1:
-            return 1 << (k - 1)
-        # Here 2^(k-1) - 1 < index < 2^k - 1: recurse into the repeated prefix.
-        index -= (1 << (k - 1)) - 1
-
-
-@dataclass
-class SolverStats:
-    """Counters exposed for benchmarks and tests."""
-
-    decisions: int = 0
-    propagations: int = 0
-    conflicts: int = 0
-    restarts: int = 0
-    learned_clauses: int = 0
-    max_decision_level: int = 0
-    #: Literals removed from learned clauses by minimization.
-    minimized_literals: int = 0
-    #: Learned-clause database reductions performed.
-    db_reductions: int = 0
-    #: Learned clauses deleted by those reductions.
-    deleted_clauses: int = 0
-    # ---- incremental-session counters (maintained by the session layers:
-    # :class:`repro.relational.translate.ProblemSession` and the witness
-    # session cache in :mod:`repro.synth.sat_backend`) ------------------
-    #: Persistent witness sessions opened (one per translated program).
-    sessions: int = 0
-    #: Relational-to-CNF translations performed.
-    translations: int = 0
-    #: Queries served by a live session that a fresh-solver run would
-    #: have paid a full translation for.
-    translations_avoided: int = 0
-    #: Assumption-scoped solves/enumerations answered by a live session
-    #: (reusing its translation and accumulated solver state).
-    incremental_solves: int = 0
-    #: Learned clauses already present (and reused) at the start of each
-    #: incremental solve, summed over solves.
-    retained_learned_clauses: int = 0
-    # ---- symmetry-breaking counters (maintained by the relational
-    # translation, :mod:`repro.relational.translate`) --------------------
-    #: Static lex-leader symmetry-breaking clauses emitted into the CNF
-    #: during translation (see :meth:`repro.relational.Problem.
-    #: add_symmetry`).  Deterministic for a fixed problem.
-    symmetry_clauses: int = 0
-
-    def merge(self, other: "SolverStats") -> None:
-        """Accumulate another counter set into this one (used when stats
-        from many solver instances are aggregated, e.g. per-program SAT
-        witness enumeration inside one synthesis run)."""
-        self.decisions += other.decisions
-        self.propagations += other.propagations
-        self.conflicts += other.conflicts
-        self.restarts += other.restarts
-        self.learned_clauses += other.learned_clauses
-        self.max_decision_level = max(
-            self.max_decision_level, other.max_decision_level
+    global _PREFERRED_CORE, _PREFERRED_INPROCESS
+    if core is not None and core not in SOLVER_CORES:
+        raise ValueError(
+            f"unknown solver core: {core!r} (expected one of {SOLVER_CORES})"
         )
-        self.minimized_literals += other.minimized_literals
-        self.db_reductions += other.db_reductions
-        self.deleted_clauses += other.deleted_clauses
-        self.sessions += other.sessions
-        self.translations += other.translations
-        self.translations_avoided += other.translations_avoided
-        self.incremental_solves += other.incremental_solves
-        self.retained_learned_clauses += other.retained_learned_clauses
-        self.symmetry_clauses += other.symmetry_clauses
+    previous = (_PREFERRED_CORE, _PREFERRED_INPROCESS)
+    if core is not None:
+        _PREFERRED_CORE = core
+    if inprocess is not None:
+        _PREFERRED_INPROCESS = bool(inprocess)
+    try:
+        yield
+    finally:
+        _PREFERRED_CORE, _PREFERRED_INPROCESS = previous
 
 
-@dataclass
-class SatResult:
-    """Outcome of a :meth:`CdclSolver.solve` call."""
+def create_solver(
+    cnf: Cnf,
+    core: Optional[str] = None,
+    inprocess: Optional[bool] = None,
+) -> CdclCore:
+    """Build a solver over ``cnf`` with the requested (or ambient) core
+    and inprocessing setting.
 
-    satisfiable: bool
-    model: Optional[dict[int, bool]] = None
-    stats: SolverStats = field(default_factory=SolverStats)
-
-    def __bool__(self) -> bool:
-        return self.satisfiable
-
-
-class _Clause:
-    """A clause of three or more literals (binary clauses live purely in
-    the binary watch lists).  ``lits[0]`` and ``lits[1]`` are the watched
-    positions; ``lbd`` is the literal-block-distance quality tag used by
-    database reduction (0 for problem clauses, which are never deleted)."""
-
-    __slots__ = ("lits", "learned", "lbd")
-
-    def __init__(self, lits: list[int], learned: bool = False, lbd: int = 0) -> None:
-        self.lits = lits
-        self.learned = learned
-        self.lbd = lbd
-
-
-class CdclSolver:
-    """Conflict-driven clause-learning solver over a :class:`Cnf`.
-
-    The solver copies the clauses out of the given CNF, so the CNF may keep
-    growing for other purposes afterwards; use :meth:`add_clause` to feed
-    additional clauses (e.g. AllSAT blocking clauses) to the same solver
-    instance between ``solve`` calls.
+    This is the construction point the relational layer and the AllSAT
+    enumerator use; benchmarks and tests may also pass the knobs
+    explicitly to pin a configuration regardless of scope.
     """
-
-    def __init__(self, cnf: Cnf) -> None:
-        self._nvars = cnf.num_vars
-        # Literal encoding: positive literal v -> 2v, negative -> 2v+1.
-        # _watches[i] holds (blocker, clause) pairs whose watched literal is
-        # the negation of literal i; _bin_watches[i] holds (other, lits)
-        # pairs for binary clauses (-lit(i), other).
-        size = 2 * self._nvars + 2
-        self._watches: list[list[tuple[int, _Clause]]] = [[] for _ in range(size)]
-        self._bin_watches: list[list[tuple[int, list[int]]]] = [
-            [] for _ in range(size)
-        ]
-        # Literal-indexed truth values: 1 true, -1 false, 0 unassigned.
-        self._values: list[int] = [0] * size
-        self._long_clauses: list[_Clause] = []
-        self._learned: list[_Clause] = []
-        self._max_learned = 2000
-        self._level: list[int] = [0] * (self._nvars + 1)
-        self._reason: list[Optional[list[int]]] = [None] * (self._nvars + 1)
-        self._trail: list[int] = []  # literals in assignment order
-        self._trail_lim: list[int] = []  # trail indices at each decision level
-        self._qhead = 0
-        self._activity: list[float] = [0.0] * (self._nvars + 1)
-        self._var_inc = 1.0
-        self._var_decay = 0.95
-        self._saved_phase: list[bool] = [False] * (self._nvars + 1)
-        self._seen = bytearray(self._nvars + 1)
-        # Indexed max-heap over unassigned variables: ordered by activity,
-        # ties broken deterministically by the smaller variable index.
-        self._heap: list[int] = []
-        self._heap_pos: list[int] = [-1] * (self._nvars + 1)
-        for var in range(1, self._nvars + 1):
-            self._heap_insert(var)
-        self._ok = True
-        self._last_model_decisions: list[int] = []
-        self.stats = SolverStats()
-        self._load(cnf.clauses)
-
-    def _load(self, clauses: Iterable[Sequence[int]]) -> None:
-        """Bulk-load clauses from a :class:`Cnf`.
-
-        The container guarantees clauses are deduplicated and
-        tautology-free, and nothing is assigned yet, so clauses can be
-        installed without the per-clause filtering of :meth:`add_clause`;
-        unit clauses are enqueued at the end and propagated once.
-        """
-        units: list[int] = []
-        for clause in clauses:
-            size = len(clause)
-            if size == 0:
-                self._ok = False
-                return
-            if size == 1:
-                units.append(clause[0])
-            elif size == 2:
-                self._watch_binary(list(clause))
-            else:
-                long_clause = _Clause(list(clause))
-                self._long_clauses.append(long_clause)
-                self._watch(long_clause)
-        for lit in units:
-            if not self._enqueue(lit, None):
-                self._ok = False
-                return
-        if self._propagate() is not None:
-            self._ok = False
-
-    # ------------------------------------------------------------------
-    # Clause database
-    # ------------------------------------------------------------------
-    def add_clause(self, literals: Iterable[int]) -> bool:
-        """Add a clause; returns False if the formula became trivially UNSAT.
-
-        Intended for use between solve calls; if the solver was abandoned
-        mid-search (an enumeration generator closed early), the search is
-        first cancelled back to decision level 0 so the clause — and any
-        unit it implies — lands on the root level.  Duplicate literals
-        and tautologies are detected in one linear pass.
-        """
-        if not self._ok:
-            return False
-        self._cancel_until(0)
-        seen: set[int] = set()
-        lits: list[int] = []
-        max_var = 0
-        for lit in literals:
-            if -lit in seen:
-                return True  # tautology
-            if lit not in seen:
-                seen.add(lit)
-                lits.append(lit)
-                var = lit if lit > 0 else -lit
-                if var > max_var:
-                    max_var = var
-        self._grow_to(max_var)
-        lits.sort(key=abs)
-        # Remove literals already false at level 0; succeed early on a true one.
-        values = self._values
-        level = self._level
-        filtered: list[int] = []
-        for lit in lits:
-            index = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
-            value = values[index]
-            if value > 0 and level[abs(lit)] == 0:
-                return True
-            if value < 0 and level[abs(lit)] == 0:
-                continue
-            filtered.append(lit)
-        if not filtered:
-            self._ok = False
-            return False
-        if len(filtered) == 1:
-            if not self._enqueue(filtered[0], None):
-                self._ok = False
-                return False
-            conflict = self._propagate()
-            if conflict is not None:
-                self._ok = False
-                return False
-            return True
-        if len(filtered) == 2:
-            self._watch_binary(filtered)
-            return True
-        clause = _Clause(list(filtered))
-        self._long_clauses.append(clause)
-        self._watch(clause)
-        return True
-
-    def _grow_to(self, var: int) -> None:
-        while self._nvars < var:
-            self._nvars += 1
-            self._level.append(0)
-            self._reason.append(None)
-            self._activity.append(0.0)
-            self._saved_phase.append(False)
-            self._heap_pos.append(-1)
-            self._watches.append([])
-            self._watches.append([])
-            self._bin_watches.append([])
-            self._bin_watches.append([])
-            self._values.append(0)
-            self._values.append(0)
-            self._seen.append(0)
-            self._heap_insert(self._nvars)
-
-    def _watch(self, clause: _Clause) -> None:
-        lits = clause.lits
-        self._watches[self._lit_index(-lits[0])].append((lits[1], clause))
-        self._watches[self._lit_index(-lits[1])].append((lits[0], clause))
-
-    def _watch_binary(self, lits: list[int]) -> None:
-        a, b = lits
-        self._bin_watches[self._lit_index(-a)].append((b, lits))
-        self._bin_watches[self._lit_index(-b)].append((a, lits))
-
-    @staticmethod
-    def _lit_index(lit: int) -> int:
-        return 2 * lit if lit > 0 else -2 * lit + 1
-
-    # ------------------------------------------------------------------
-    # Learned-clause database reduction
-    # ------------------------------------------------------------------
-    def _reduce_db(self) -> None:
-        """Drop the worst half of the learned clauses (must be called at
-        decision level 0, where no learned clause can be a reason for a
-        surviving assignment that conflict analysis might expand).
-
-        Clauses are ranked by (LBD, length, age); "glue" clauses with
-        LBD <= 2 are always kept, the standard heuristic for clauses that
-        connect decision levels and get reused constantly."""
-        learned = self._learned
-        ranked = sorted(
-            range(len(learned)),
-            key=lambda i: (learned[i].lbd, len(learned[i].lits), i),
-        )
-        keep_indices = set(ranked[: len(learned) // 2])
-        kept: list[_Clause] = []
-        deleted = 0
-        for i, clause in enumerate(learned):
-            if i in keep_indices or clause.lbd <= 2:
-                kept.append(clause)
-            else:
-                deleted += 1
-        self._learned = kept
-        self._rebuild_watches()
-        self.stats.db_reductions += 1
-        self.stats.deleted_clauses += deleted
-        self._max_learned = self._max_learned + self._max_learned // 2
-
-    def _rebuild_watches(self) -> None:
-        for watch_list in self._watches:
-            del watch_list[:]
-        for clause in self._long_clauses:
-            self._watch(clause)
-        for clause in self._learned:
-            self._watch(clause)
-
-    # ------------------------------------------------------------------
-    # Assignment primitives
-    # ------------------------------------------------------------------
-    def _value(self, lit: int) -> Optional[bool]:
-        value = self._values[(lit << 1) if lit > 0 else ((-lit) << 1) | 1]
-        if value == 0:
-            return None
-        return value > 0
-
-    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
-        index = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
-        value = self._values[index]
-        if value != 0:
-            return value > 0
-        var = lit if lit > 0 else -lit
-        self._values[index] = 1
-        self._values[index ^ 1] = -1
-        self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
-        self._trail.append(lit)
-        return True
-
-    def _propagate(self) -> Optional[list[int]]:
-        """Unit propagation; returns a conflicting clause's literals or None.
-
-        The hot loop: truth values are read straight out of the
-        literal-indexed array (no method call), blocking literals short-cut
-        satisfied clauses, and binary clauses propagate from their own
-        watch lists without touching clause objects at all.
-        """
-        values = self._values
-        trail = self._trail
-        watches = self._watches
-        bin_watches = self._bin_watches
-        level_now = len(self._trail_lim)
-        levels = self._level
-        reasons = self._reason
-        qhead = self._qhead
-        processed = 0
-        while qhead < len(trail):
-            lit = trail[qhead]
-            qhead += 1
-            processed += 1
-            lit_idx = (lit << 1) if lit > 0 else ((-lit) << 1) | 1
-
-            for other, bin_lits in bin_watches[lit_idx]:
-                other_idx = (other << 1) if other > 0 else ((-other) << 1) | 1
-                value = values[other_idx]
-                if value < 0:
-                    self._qhead = len(trail)
-                    self.stats.propagations += processed
-                    return bin_lits
-                if value == 0:
-                    values[other_idx] = 1
-                    values[other_idx ^ 1] = -1
-                    var = other if other > 0 else -other
-                    levels[var] = level_now
-                    reasons[var] = bin_lits
-                    trail.append(other)
-
-            watch_list = watches[lit_idx]
-            neg_lit = -lit
-            i = 0
-            j = 0
-            end = len(watch_list)
-            while i < end:
-                # Watch entries are (blocker, clause) tuples; the blocker is
-                # *some* literal of the clause whose truth proves the clause
-                # satisfied without touching it.  Entries are reused verbatim
-                # on the keep path — no allocation in the hot loop.
-                entry = watch_list[i]
-                i += 1
-                blocker = entry[0]
-                if values[(blocker << 1) if blocker > 0 else ((-blocker) << 1) | 1] > 0:
-                    watch_list[j] = entry
-                    j += 1
-                    continue
-                clause = entry[1]
-                lits = clause.lits
-                # Normalize: the false literal goes to position 1.
-                if lits[0] == neg_lit:
-                    lits[0] = lits[1]
-                    lits[1] = neg_lit
-                first = lits[0]
-                first_idx = (first << 1) if first > 0 else ((-first) << 1) | 1
-                if values[first_idx] > 0:
-                    watch_list[j] = entry
-                    j += 1
-                    continue
-                # Look for a replacement watch.
-                moved = False
-                for pos in range(2, len(lits)):
-                    cand = lits[pos]
-                    cand_idx = (cand << 1) if cand > 0 else ((-cand) << 1) | 1
-                    if values[cand_idx] >= 0:
-                        lits[1] = cand
-                        lits[pos] = neg_lit
-                        watches[cand_idx ^ 1].append(entry)
-                        moved = True
-                        break
-                if moved:
-                    continue
-                # Clause is unit or conflicting.
-                watch_list[j] = entry
-                j += 1
-                if values[first_idx] < 0:
-                    while i < end:
-                        watch_list[j] = watch_list[i]
-                        j += 1
-                        i += 1
-                    del watch_list[j:]
-                    self._qhead = len(trail)
-                    self.stats.propagations += processed
-                    return lits
-                values[first_idx] = 1
-                values[first_idx ^ 1] = -1
-                var = first if first > 0 else -first
-                levels[var] = level_now
-                reasons[var] = lits
-                trail.append(first)
-            del watch_list[j:]
-        self._qhead = qhead
-        self.stats.propagations += processed
-        return None
-
-    # ------------------------------------------------------------------
-    # Conflict analysis (first UIP)
-    # ------------------------------------------------------------------
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int, int]:
-        """Derive the first-UIP learned clause; returns (clause, backjump
-        level, LBD).  The clause is minimized by self-subsumption: a
-        non-asserting literal whose reason clause is entirely covered by
-        the other learned literals (or level-0 facts) is redundant."""
-        seen = self._seen
-        to_clear: list[int] = []
-        learned: list[int] = []
-        counter = 0
-        pivot: Optional[int] = None  # trail literal whose reason is expanded
-        reason: Sequence[int] = conflict
-        trail = self._trail
-        trail_index = len(trail) - 1
-        current_level = len(self._trail_lim)
-        levels = self._level
-        while True:
-            for q in reason:
-                if pivot is not None and q == pivot:
-                    continue
-                var = abs(q)
-                if not seen[var] and levels[var] > 0:
-                    seen[var] = 1
-                    to_clear.append(var)
-                    self._bump(var)
-                    if levels[var] >= current_level:
-                        counter += 1
-                    else:
-                        learned.append(q)
-            while not seen[abs(trail[trail_index])]:
-                trail_index -= 1
-            pivot = trail[trail_index]
-            var = abs(pivot)
-            seen[var] = 0
-            counter -= 1
-            trail_index -= 1
-            if counter == 0:
-                break
-            clause_reason = self._reason[var]
-            assert clause_reason is not None
-            reason = clause_reason
-
-        # Minimization.  Every current-level variable has been resolved
-        # away, so a learned literal's reason (all at its own, lower,
-        # level or below) is checked purely against the seen set — i.e.
-        # against the other learned literals and level-0 facts.
-        if learned:
-            reasons = self._reason
-            kept: list[int] = []
-            for q in learned:
-                reason_q = reasons[abs(q)]
-                if reason_q is None:
-                    kept.append(q)
-                    continue
-                redundant = True
-                for r in reason_q:
-                    if r == -q:
-                        continue
-                    rvar = abs(r)
-                    if levels[rvar] > 0 and not seen[rvar]:
-                        redundant = False
-                        break
-                if redundant:
-                    self.stats.minimized_literals += 1
-                else:
-                    kept.append(q)
-            learned = kept
-        for var in to_clear:
-            seen[var] = 0
-
-        learned.insert(0, -pivot)
-        if len(learned) == 1:
-            return learned, 0, 1
-        # Backjump level = max level among the non-asserting literals.
-        back_level = 0
-        distinct_levels = {current_level}
-        for q in learned[1:]:
-            q_level = levels[abs(q)]
-            distinct_levels.add(q_level)
-            if q_level > back_level:
-                back_level = q_level
-        # Put one literal of the backjump level in watch position 1.
-        for pos in range(1, len(learned)):
-            if levels[abs(learned[pos])] == back_level:
-                learned[1], learned[pos] = learned[pos], learned[1]
-                break
-        return learned, back_level, len(distinct_levels)
-
-    def _bump(self, var: int) -> None:
-        activity = self._activity
-        activity[var] += self._var_inc
-        if activity[var] > 1e100:
-            for index in range(1, self._nvars + 1):
-                activity[index] *= 1e-100
-            self._var_inc *= 1e-100
-            # Uniform rescaling preserves the heap order; no repair needed.
-        if self._heap_pos[var] >= 0:
-            self._heap_sift_up(self._heap_pos[var])
-
-    def _decay(self) -> None:
-        self._var_inc /= self._var_decay
-
-    # ------------------------------------------------------------------
-    # VSIDS order heap (indexed binary max-heap; deterministic ties)
-    # ------------------------------------------------------------------
-    def _heap_before(self, a: int, b: int) -> bool:
-        activity = self._activity
-        if activity[a] != activity[b]:
-            return activity[a] > activity[b]
-        return a < b
-
-    def _heap_insert(self, var: int) -> None:
-        if self._heap_pos[var] >= 0:
-            return
-        heap = self._heap
-        heap.append(var)
-        self._heap_pos[var] = len(heap) - 1
-        self._heap_sift_up(len(heap) - 1)
-
-    def _heap_sift_up(self, index: int) -> None:
-        heap = self._heap
-        pos = self._heap_pos
-        var = heap[index]
-        while index > 0:
-            parent = (index - 1) >> 1
-            parent_var = heap[parent]
-            if not self._heap_before(var, parent_var):
-                break
-            heap[index] = parent_var
-            pos[parent_var] = index
-            index = parent
-        heap[index] = var
-        pos[var] = index
-
-    def _heap_sift_down(self, index: int) -> None:
-        heap = self._heap
-        pos = self._heap_pos
-        size = len(heap)
-        var = heap[index]
-        while True:
-            child = 2 * index + 1
-            if child >= size:
-                break
-            right = child + 1
-            if right < size and self._heap_before(heap[right], heap[child]):
-                child = right
-            child_var = heap[child]
-            if not self._heap_before(child_var, var):
-                break
-            heap[index] = child_var
-            pos[child_var] = index
-            index = child
-        heap[index] = var
-        pos[var] = index
-
-    def _heap_pop(self) -> int:
-        heap = self._heap
-        pos = self._heap_pos
-        top = heap[0]
-        pos[top] = -1
-        last = heap.pop()
-        if heap:
-            heap[0] = last
-            pos[last] = 0
-            self._heap_sift_down(0)
-        return top
-
-    # ------------------------------------------------------------------
-    # Conflict learning (shared by solve() and iter_solutions())
-    # ------------------------------------------------------------------
-    def _learn_and_backjump(self, conflict: list[int]) -> Optional[str]:
-        """Analyze a conflict at decision level > 0, install the learned
-        clause and backjump.  Returns None when the formula became
-        unsatisfiable, ``"unit"`` when a unit was learned (the solver is
-        back at level 0), ``"clause"`` otherwise."""
-        learned, back_level, lbd = self._analyze(conflict)
-        self._cancel_until(back_level)
-        if len(learned) == 1:
-            self._cancel_until(0)
-            if not self._enqueue(learned[0], None):
-                self._ok = False
-                return None
-            if self._propagate() is not None:
-                self._ok = False
-                return None
-            self._decay()
-            return "unit"
-        if len(learned) == 2:
-            self._watch_binary(learned)
-        else:
-            clause = _Clause(learned, learned=True, lbd=lbd)
-            self._learned.append(clause)
-            self._watch(clause)
-        self.stats.learned_clauses += 1
-        self._enqueue(learned[0], learned)
-        self._decay()
-        return "clause"
-
-    def _restart(self) -> None:
-        """Cancel to level 0 and, if due, reduce the learned database."""
-        self.stats.restarts += 1
-        self._cancel_until(0)
-        if len(self._learned) > self._max_learned:
-            self._reduce_db()
-
-    # ------------------------------------------------------------------
-    # Backtracking
-    # ------------------------------------------------------------------
-    def _cancel_until(self, level: int) -> None:
-        if len(self._trail_lim) <= level:
-            return
-        limit = self._trail_lim[level]
-        values = self._values
-        for index in range(len(self._trail) - 1, limit - 1, -1):
-            lit = self._trail[index]
-            var = lit if lit > 0 else -lit
-            self._saved_phase[var] = lit > 0
-            lit_idx = (lit << 1) if lit > 0 else (var << 1) | 1
-            values[lit_idx] = 0
-            values[lit_idx ^ 1] = 0
-            self._reason[var] = None
-            if self._heap_pos[var] < 0:
-                self._heap_insert(var)
-        del self._trail[limit:]
-        del self._trail_lim[level:]
-        self._qhead = len(self._trail)
-
-    def _decide(self) -> Optional[int]:
-        values = self._values
-        heap = self._heap
-        while heap:
-            var = self._heap_pop()
-            if values[var << 1] == 0:
-                return var if self._saved_phase[var] else -var
-        return None
-
-    # ------------------------------------------------------------------
-    # Main search loop
-    # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Search for a model extending ``assumptions``.
-
-        Assumptions are literals treated as decisions; if the formula is
-        unsatisfiable only under the assumptions, the result is UNSAT but the
-        solver stays usable for further calls.
-        """
-        if not self._ok:
-            return SatResult(False, stats=self.stats)
-        for lit in assumptions:
-            self._grow_to(abs(lit))
-        self._cancel_until(0)
-        conflict = self._propagate()
-        if conflict is not None:
-            self._ok = False
-            return SatResult(False, stats=self.stats)
-        if len(self._learned) > self._max_learned:
-            # Incremental use (AllSAT blocking loops) adds clauses between
-            # many short solve calls; reduce here too, not just at restarts.
-            self._reduce_db()
-
-        restart_index = 1
-        conflict_budget = 32 * luby(restart_index)
-        conflicts_here = 0
-        deadline = current_deadline()
-        next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
-
-        while True:
-            if deadline is not None and self.stats.propagations >= next_poll:
-                next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
-                if time.monotonic() > deadline:
-                    # Backtrack first so the solver stays usable.
-                    self._cancel_until(0)
-                    raise SolverInterrupted(
-                        "SAT solve interrupted by cooperative deadline"
-                    )
-            conflict = self._propagate()
-            if conflict is not None:
-                self.stats.conflicts += 1
-                conflicts_here += 1
-                if len(self._trail_lim) == 0:
-                    self._cancel_until(0)
-                    return SatResult(False, stats=self.stats)
-                if not self._all_assumptions_hold(assumptions):
-                    # Conflict depends on assumptions only.
-                    self._cancel_until(0)
-                    return SatResult(False, stats=self.stats)
-                outcome = self._learn_and_backjump(conflict)
-                if outcome is None:
-                    return SatResult(False, stats=self.stats)
-                if outcome == "unit" and not self._replay_assumptions(assumptions):
-                    return SatResult(False, stats=self.stats)
-                if conflicts_here >= conflict_budget:
-                    restart_index += 1
-                    conflict_budget = 32 * luby(restart_index)
-                    conflicts_here = 0
-                    self._restart()
-                    if not self._replay_assumptions(assumptions):
-                        return SatResult(False, stats=self.stats)
-                continue
-
-            if not self._replay_assumptions(assumptions):
-                return SatResult(False, stats=self.stats)
-            if self._qhead < len(self._trail):
-                continue
-
-            decision = self._decide()
-            if decision is None:
-                values = self._values
-                model = {
-                    var: values[var << 1] > 0
-                    for var in range(1, self._nvars + 1)
-                }
-                trail = self._trail
-                self._last_model_decisions = [
-                    trail[position] for position in self._trail_lim
-                ]
-                self._cancel_until(0)
-                return SatResult(True, model=model, stats=self.stats)
-            self.stats.decisions += 1
-            self._trail_lim.append(len(self._trail))
-            if len(self._trail_lim) > self.stats.max_decision_level:
-                self.stats.max_decision_level = len(self._trail_lim)
-            self._enqueue(decision, None)
-
-    # ------------------------------------------------------------------
-    # Incremental AllSAT
-    # ------------------------------------------------------------------
-    def iter_solutions(self, blocking_literals=None, assumptions: Sequence[int] = ()):
-        """Enumerate models without restarting the search between them.
-
-        After each yielded model a blocking clause is attached *in place*:
-        the solver backjumps only far enough to make the clause assert, so
-        the shared prefix of consecutive models (usually almost all of it,
-        thanks to phase saving) is never re-propagated.  This is the
-        engine behind :func:`repro.sat.enumerate.iter_models` and
-        :meth:`repro.relational.translate.Problem.iter_instances`.
-
-        ``blocking_literals``: optional ``callable(model) -> list[int]``
-        returning literals, all false under the model, whose clause rules
-        it out (e.g. the negated projection values).  The default blocks
-        the model's decision literals, which excludes exactly that one
-        total model.
-
-        ``assumptions`` scopes the enumeration: the given literals are
-        held as pseudo-decisions for the whole run (exactly as in
-        :meth:`solve`), and enumeration ends — leaving the solver usable —
-        as soon as the formula is exhausted *under the assumptions*.
-        Because assumption literals sit on decision levels, the default
-        blocking clauses automatically carry their negations, so an
-        incremental session that retires one assumption literal (e.g. a
-        fresh per-enumeration activation tag asserted false afterwards)
-        retracts every blocking clause of that enumeration in one unit
-        clause.
-
-        The generator yields each model dict exactly once; the solver must
-        not be used for other queries while enumeration is in progress.
-        Enumeration is deterministic and complete: it ends when the
-        formula plus blocking clauses becomes unsatisfiable (under the
-        assumptions, if any).
-        """
-        if not self._ok:
-            return
-        for lit in assumptions:
-            self._grow_to(abs(lit))
-        self._cancel_until(0)
-        if self._propagate() is not None:
-            self._ok = False
-            return
-
-        restart_index = 1
-        conflict_budget = 32 * luby(restart_index)
-        conflicts_here = 0
-        deadline = current_deadline()
-        next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
-
-        while True:
-            if deadline is not None and self.stats.propagations >= next_poll:
-                next_poll = self.stats.propagations + DEADLINE_POLL_PROPAGATIONS
-                if time.monotonic() > deadline:
-                    # Backtrack first so the solver stays usable; an
-                    # abandoned enumeration must not poison later queries.
-                    self._cancel_until(0)
-                    raise SolverInterrupted(
-                        "SAT enumeration interrupted by cooperative deadline"
-                    )
-            conflict = self._propagate()
-            if conflict is not None:
-                self.stats.conflicts += 1
-                conflicts_here += 1
-                if len(self._trail_lim) == 0:
-                    self._cancel_until(0)
-                    self._ok = False
-                    return
-                if assumptions and not self._all_assumptions_hold(assumptions):
-                    # The conflict needs an assumption flipped: the model
-                    # space under the assumptions is exhausted, but the
-                    # solver (and its learned clauses) stay usable.
-                    self._cancel_until(0)
-                    return
-                outcome = self._learn_and_backjump(conflict)
-                if outcome is None:
-                    return
-                if (
-                    outcome == "unit"
-                    and assumptions
-                    and not self._replay_assumptions(assumptions)
-                ):
-                    return
-                if conflicts_here >= conflict_budget:
-                    restart_index += 1
-                    conflict_budget = 32 * luby(restart_index)
-                    conflicts_here = 0
-                    self._restart()
-                    if assumptions and not self._replay_assumptions(assumptions):
-                        return
-                continue
-
-            if assumptions:
-                if not self._replay_assumptions(assumptions):
-                    return
-                if self._qhead < len(self._trail):
-                    continue
-
-            decision = self._decide()
-            if decision is not None:
-                self.stats.decisions += 1
-                self._trail_lim.append(len(self._trail))
-                if len(self._trail_lim) > self.stats.max_decision_level:
-                    self.stats.max_decision_level = len(self._trail_lim)
-                self._enqueue(decision, None)
-                continue
-
-            values = self._values
-            model = {
-                var: values[var << 1] > 0 for var in range(1, self._nvars + 1)
-            }
-            trail = self._trail
-            self._last_model_decisions = [
-                trail[position] for position in self._trail_lim
-            ]
-            yield model
-            if blocking_literals is None:
-                lits = [-lit for lit in self._last_model_decisions]
-            else:
-                lits = blocking_literals(model)
-            if not self._block_and_continue(lits):
-                self._cancel_until(0)
-                return
-
-    def _block_and_continue(self, lits: list[int]) -> bool:
-        """Attach a blocking clause mid-search and backjump so the search
-        continues past it; returns False when enumeration is complete.
-
-        Every literal must be false under the current (total) assignment.
-        Level-0-false literals are dropped; if none survive, every model
-        matches the blocked pattern and enumeration is over.
-        """
-        for lit in lits:
-            self._grow_to(abs(lit))
-        level = self._level
-        live = [lit for lit in lits if level[abs(lit)] > 0]
-        if not live:
-            return False
-        if len(live) == 1:
-            self._cancel_until(0)
-            if not self._enqueue(live[0], None) or self._propagate() is not None:
-                self._ok = False
-                return False
-            return True
-        live.sort(key=lambda lit: level[abs(lit)], reverse=True)
-        top_level = level[abs(live[0])]
-        second_level = level[abs(live[1])]
-        if len(live) == 2:
-            self._watch_binary(live)
-        else:
-            clause = _Clause(live)
-            self._long_clauses.append(clause)
-            self._watch(clause)
-        self._cancel_until(top_level - 1)
-        if second_level < top_level:
-            # The clause is unit now: assert its deepest literal here.
-            self._enqueue(live[0], live)
-        return True
-
-    def last_model_decisions(self) -> list[int]:
-        """The decision (and assumption) literals of the most recent SAT
-        result, in trail order.
-
-        Every other literal of that model was forced by unit propagation
-        from these, so the model is the *unique* total model extending
-        them.  AllSAT loops exploit this: adding the clause that negates
-        just the decisions blocks exactly that one model while staying far
-        shorter than a full-model blocking clause (see
-        :func:`repro.sat.enumerate.iter_models`).
-        """
-        return list(self._last_model_decisions)
-
-    @property
-    def learned_count(self) -> int:
-        """Learned clauses currently retained in the database (what an
-        incremental session reuses across queries; binary learned clauses
-        live in the binary watch lists and are not counted here)."""
-        return len(self._learned)
-
-    # ------------------------------------------------------------------
-    # Assumption handling
-    # ------------------------------------------------------------------
-    def _all_assumptions_hold(self, assumptions: Sequence[int]) -> bool:
-        values = self._values
-        for lit in assumptions:
-            if values[(lit << 1) if lit > 0 else ((-lit) << 1) | 1] < 0:
-                return False
-        return True
-
-    def _replay_assumptions(self, assumptions: Sequence[int]) -> bool:
-        """Ensure every assumption literal is enqueued; returns False on
-        conflict with the assumptions."""
-        for lit in assumptions:
-            value = self._value(lit)
-            if value is True:
-                continue
-            if value is False:
-                self._cancel_until(0)
-                return False
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(lit, None)
-            conflict = self._propagate()
-            if conflict is not None:
-                if len(self._trail_lim) == 0:
-                    self._ok = False
-                self._cancel_until(0)
-                return False
-        return True
+    if core is None:
+        core = _PREFERRED_CORE
+    if inprocess is None:
+        inprocess = _PREFERRED_INPROCESS
+    try:
+        solver_class = _CORE_CLASSES[core]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver core: {core!r} (expected one of {SOLVER_CORES})"
+        ) from None
+    return solver_class(cnf, inprocess=inprocess)
 
 
 def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
     """Convenience helper: build a solver for ``cnf`` and solve once."""
-    return CdclSolver(cnf).solve(assumptions)
+    return create_solver(cnf).solve(assumptions)

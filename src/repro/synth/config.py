@@ -84,6 +84,22 @@ class SynthesisConfig:
     #: ``incremental``, this is an output-invariant execution strategy
     #: and is excluded from suite-store cache identity.
     symmetry: bool = True
+    #: Clause-storage core of the CDCL solver (:mod:`repro.sat`):
+    #: ``"array"`` is the flat-arena core (mypyc-compilable, see
+    #: ``repro.sat.build_compiled``), ``"object"`` the original
+    #: per-clause-object representation.  Both run byte-for-byte the same
+    #: search with identical counters, so suites are byte-identical
+    #: either way — ``--solver-core object`` is the differential oracle,
+    #: exactly like ``--fresh-solver`` and ``--no-symmetry``.  Excluded
+    #: from suite-store cache identity.
+    solver_core: str = "array"
+    #: Solver inprocessing (:mod:`repro.sat.inprocess`): vivification and
+    #: subsumption passes over the learned-clause database at query
+    #: boundaries of long-lived solvers.  Model-set preserving, so
+    #: suites are byte-identical on or off — ``--no-inprocessing``
+    #: (False) is the differential oracle.  Excluded from suite-store
+    #: cache identity.
+    inprocessing: bool = True
 
     def __post_init__(self) -> None:
         if self.bound < 1:
@@ -92,6 +108,11 @@ class SynthesisConfig:
             raise SynthesisError(
                 f"unknown witness backend: {self.witness_backend!r} "
                 "(expected 'explicit' or 'sat')"
+            )
+        if self.solver_core not in ("object", "array"):
+            raise SynthesisError(
+                f"unknown solver core: {self.solver_core!r} "
+                "(expected 'object' or 'array')"
             )
         if self.max_threads < 1:
             raise SynthesisError("max_threads must be at least 1")

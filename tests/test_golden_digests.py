@@ -31,7 +31,12 @@ What the digests encode:
   ``symmetry=True`` (witness-orbit pruning + SAT lex-leader breaking +
   orbit-level program dedup) and with the ``--no-symmetry`` oracle;
   orbit pruning keeps exactly the witnesses the representative
-  tie-break can select, so the bytes cannot depend on it.
+  tie-break can select, so the bytes cannot depend on it;
+* **solver-core invariance** — every digest is asserted under both
+  ``solver_core="array"`` (the flat-arena propagation core) and
+  ``solver_core="object"`` (the per-clause-object oracle); the two
+  cores run lockstep-identical searches by contract, so the bytes
+  cannot depend on the storage layout.
 
 When an intentional engine change alters output, regenerate with::
 
@@ -116,22 +121,30 @@ def suite_digest(axiom: str, bound: int, backend: str, **kwargs) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+@pytest.mark.parametrize("solver_core", ["object", "array"])
 @pytest.mark.parametrize("symmetry", [False, True], ids=["no-symmetry", "symmetry"])
 @pytest.mark.parametrize("incremental", [False, True], ids=["fresh", "incremental"])
 @pytest.mark.parametrize(
     "axiom,bound,backend", sorted(GOLDEN_SUITES), ids=lambda v: str(v)
 )
 def test_serial_suite_matches_golden_digest(
-    axiom, bound, backend, incremental, symmetry
+    axiom, bound, backend, incremental, symmetry, solver_core
 ) -> None:
     """Every pinned digest must hold on BOTH solver paths (the
-    incremental-session path and the fresh-solver oracle) AND on both
-    symmetry paths (orbit-pruned and the --no-symmetry oracle).
+    incremental-session path and the fresh-solver oracle), on both
+    symmetry paths (orbit-pruned and the --no-symmetry oracle), and on
+    both solver cores (the array propagation core and the object-core
+    oracle — lockstep-identical searches by contract).
     Session reuse across these parametrized cases is exactly the
     production sweep workload, so cache warmth is deliberately not
     reset between them."""
     assert suite_digest(
-        axiom, bound, backend, incremental=incremental, symmetry=symmetry
+        axiom,
+        bound,
+        backend,
+        incremental=incremental,
+        symmetry=symmetry,
+        solver_core=solver_core,
     ) == GOLDEN_SUITES[(axiom, bound, backend)]
 
 

@@ -1,0 +1,473 @@
+"""Inprocessing, solver-core selection, and solver bugfix regressions.
+
+Covers the solver-correctness sweep that landed with the inprocessing /
+array-core work:
+
+* unit-level inprocessing semantics (subsumption, self-subsumption,
+  strengthen-to-unit and -to-binary, every vivification outcome) on
+  *both* storage cores through the shared hook API;
+* the immunity invariants — blocking clauses (problem clauses) and
+  locked clauses (trail reasons) are never touched;
+* database reduction under locked learned reasons (the dangling-cref
+  regression: a reduction must keep every clause that is a reason on
+  the trail, and compaction must remap those references);
+* cooperative-deadline re-reads: a deadline scope entered *after* an
+  enumeration started must still interrupt it at the next poll;
+* ``SolverStats.merge`` exhaustiveness over ``dataclasses.fields``;
+* the ``create_solver`` / ``solver_preferences`` construction surface;
+* the optional mypyc build's pure-Python fallback.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import random
+import time
+from dataclasses import asdict, fields
+
+import pytest
+
+import repro.sat.core as core_module
+from repro.errors import SolverInterrupted, SynthesisError
+from repro.resilience import deadline_scope
+from repro.sat import (
+    MAX_MERGED_STAT_FIELDS,
+    SOLVER_CORES,
+    ArrayCdclSolver,
+    CdclSolver,
+    Cnf,
+    ObjectCdclSolver,
+    SolverStats,
+    brute_force_models,
+    brute_force_satisfiable,
+    create_solver,
+    current_solver_preferences,
+    solver_preferences,
+)
+from repro.sat.inprocess import run_inprocessing
+
+
+def make_cnf(num_vars: int, clauses: list[list[int]] = ()) -> Cnf:
+    cnf = Cnf(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def pigeonhole(holes: int) -> Cnf:
+    pigeons = holes + 1
+    cnf = Cnf(pigeons * holes)
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    for pigeon in range(pigeons):
+        cnf.add_clause([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for a in range(pigeons):
+            for b in range(a + 1, pigeons):
+                cnf.add_clause([-var(a, hole), -var(b, hole)])
+    return cnf
+
+
+def learned_lit_sets(solver) -> list[frozenset[int]]:
+    return [
+        frozenset(solver._inprocess_lits(ref))
+        for ref in solver._inprocess_learned()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Inprocessing pass semantics (both cores, through the shared hooks)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("core", SOLVER_CORES)
+class TestInprocessingPasses:
+    def test_subsumption_deletes_the_superset(self, core) -> None:
+        solver = create_solver(make_cnf(4), core=core)
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        solver._attach_clause([1, 2, 3, 4], learned=True, lbd=3)
+        run_inprocessing(solver)
+        assert learned_lit_sets(solver) == [frozenset({1, 2, 3})]
+        assert solver.stats.subsumed_clauses == 1
+
+    def test_self_subsumption_strengthens(self, core) -> None:
+        solver = create_solver(make_cnf(4), core=core)
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        solver._attach_clause([-1, 2, 3, 4], learned=True, lbd=3)
+        run_inprocessing(solver)
+        assert frozenset({2, 3, 4}) in learned_lit_sets(solver)
+        assert solver.stats.strengthened_clauses == 1
+
+    def test_strengthen_to_binary_migrates_and_propagates(self, core) -> None:
+        solver = create_solver(make_cnf(3), core=core)
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        solver._attach_clause([-1, 2, 3], learned=True, lbd=2)
+        run_inprocessing(solver)
+        # [-1, 2, 3] lost -1 and migrated to the binary watch lists
+        # (binary learned clauses are untracked there); the strengthened
+        # [2, 3] then subsumes [1, 2, 3], emptying the long learned DB.
+        assert learned_lit_sets(solver) == []
+        assert solver.stats.strengthened_clauses == 1
+        assert solver.stats.subsumed_clauses == 1
+        # ... but [2, 3] must still propagate: -2 forces 3.
+        result = solver.solve(assumptions=[-2])
+        assert result.satisfiable and result.model[3] is True
+
+    def test_vivify_deletes_root_satisfied(self, core) -> None:
+        solver = create_solver(make_cnf(4, [[1]]), core=core)
+        assert solver.solve().satisfiable  # puts 1 on the root trail
+        solver._attach_clause([1, 3, 4], learned=True, lbd=2)
+        run_inprocessing(solver)
+        assert learned_lit_sets(solver) == []
+        assert solver.stats.vivified_clauses == 1
+
+    def test_vivify_drops_root_false_literal(self, core) -> None:
+        solver = create_solver(make_cnf(4, [[-1]]), core=core)
+        assert solver.solve().satisfiable
+        solver._attach_clause([1, 3, 4, 2], learned=True, lbd=3)
+        run_inprocessing(solver)
+        assert learned_lit_sets(solver) == [frozenset({3, 4, 2})]
+        assert solver.stats.vivified_clauses == 1
+
+    def test_vivify_closes_on_implied_true(self, core) -> None:
+        solver = create_solver(make_cnf(6, [[3, 4]]), core=core)
+        solver._attach_clause([5, 3, 4, 6], learned=True, lbd=3)
+        # Probing -5 then -3 propagates 4 via [3, 4]: the clause closes
+        # at the implied-true literal, dropping the unreached tail.
+        run_inprocessing(solver)
+        assert learned_lit_sets(solver) == [frozenset({5, 3, 4})]
+        assert solver.stats.vivified_clauses == 1
+
+    def test_vivify_conflict_prefix_becomes_the_clause(self, core) -> None:
+        solver = create_solver(
+            make_cnf(5, [[1, 2, 3, 4], [1, 2, 3, -4]]), core=core
+        )
+        solver._attach_clause([1, 2, 3, 5], learned=True, lbd=3)
+        # Probing -1, -2, -3 conflicts on the problem clauses: the
+        # prefix [1, 2, 3] is itself a clause, strictly shorter.
+        run_inprocessing(solver)
+        assert learned_lit_sets(solver) == [frozenset({1, 2, 3})]
+        assert solver.stats.vivified_clauses == 1
+
+    def test_vivify_unit_prefix_asserts_at_root(self, core) -> None:
+        solver = create_solver(make_cnf(3, [[1, 2], [1, -2]]), core=core)
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        # Probing -1 conflicts immediately: the clause shrinks to the
+        # unit [1], which is enqueued at level 0 and dropped from the DB.
+        run_inprocessing(solver)
+        assert learned_lit_sets(solver) == []
+        assert solver._value(1) is True
+        assert solver._level[1] == 0
+
+    def test_blocking_clauses_are_not_learned(self, core) -> None:
+        """AllSAT blocking clauses attach as problem clauses; no pass
+        may see them."""
+        solver = create_solver(make_cnf(4), core=core)
+        solver._attach_clause([1, 2, 3, 4])  # a blocking-style clause
+        assert learned_lit_sets(solver) == []
+        run_inprocessing(solver)
+        # Still enforced after the (empty) pass.
+        result = solver.solve(assumptions=[-1, -2, -3])
+        assert result.satisfiable and result.model[4] is True
+
+    def test_locked_clause_survives_subsumption(self, core) -> None:
+        solver = create_solver(make_cnf(3), core=core)
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        locked_token = solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        # Make the second copy the reason of a root assignment: locked.
+        assert solver._enqueue(3, locked_token)
+        run_inprocessing(solver)
+        # The duplicate pair collapses to one clause — and it must be
+        # the locked one: its reason reference has to stay valid.
+        assert learned_lit_sets(solver) == [frozenset({1, 2, 3})]
+        assert list(solver._reason_lits(3)) in ([1, 2, 3], [3, 1, 2], [3, 2, 1])
+        assert solver.stats.subsumed_clauses == 1
+
+    def test_passes_preserve_solve_loop_enumeration(self, core) -> None:
+        """A session-style AllSAT loop (solve, block the model, solve
+        again — each solve entry is a query boundary) with aggressive
+        inprocessing returns exactly the brute-force model set, with
+        passes actually firing on real learned databases."""
+        rng = random.Random(0x15A)
+        fired = 0
+        for _ in range(12):
+            num_vars = 9
+            cnf = Cnf(num_vars)
+            for _clause in range(rng.randint(num_vars, 4 * num_vars)):
+                width = rng.randint(1, 3)
+                chosen = rng.sample(range(1, num_vars + 1), width)
+                cnf.add_clause(
+                    [v if rng.random() < 0.5 else -v for v in chosen]
+                )
+            solver = create_solver(cnf, core=core, inprocess=True)
+            solver._inprocess_min_learned = 1
+            solver._inprocess_interval = 1
+            seen = set()
+            while True:
+                result = solver.solve()
+                if not result.satisfiable:
+                    break
+                seen.add(tuple(sorted(result.model.items())))
+                solver.add_clause(
+                    [
+                        -var if value else var
+                        for var, value in result.model.items()
+                    ]
+                )
+            expected = {
+                tuple(sorted(m.items())) for m in brute_force_models(cnf)
+            }
+            assert seen == expected
+            fired += solver.stats.inprocessings
+        assert fired > 0, "no inprocessing pass ever ran"
+
+    def test_burst_boundary_triggers_a_due_pass(self, core) -> None:
+        """iter_solutions runs a due pass when a unit blocking clause
+        brings the search back to level 0 (the enumeration-burst
+        boundary), and the enumeration still completes."""
+        solver = create_solver(make_cnf(2), core=core, inprocess=True)
+        solver._inprocess_min_learned = 0
+        solver._inprocess_interval = 0
+        models = list(solver.iter_solutions())
+        assert len(models) == 4
+        assert solver.stats.inprocessings > 0
+
+
+# ----------------------------------------------------------------------
+# Scheduling gates
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("core", SOLVER_CORES)
+class TestInprocessingScheduling:
+    def test_disabled_by_default_for_bare_constructions(self, core) -> None:
+        solver = create_solver(make_cnf(2), core=core)
+        assert not solver.inprocessing_enabled
+        assert not solver.maybe_inprocess()
+
+    def test_gates_min_learned_and_level(self, core) -> None:
+        solver = create_solver(make_cnf(3), core=core, inprocess=True)
+        solver._inprocess_interval = 0
+        assert not solver.maybe_inprocess()  # below the learned floor
+        solver._inprocess_min_learned = 1
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        solver._trail_lim.append(len(solver._trail))
+        assert not solver.maybe_inprocess()  # mid-search: level > 0
+        solver._cancel_until(0)
+        assert solver.maybe_inprocess()
+        assert solver.stats.inprocessings == 1
+
+    def test_interval_throttles_consecutive_passes(self, core) -> None:
+        solver = create_solver(make_cnf(3), core=core, inprocess=True)
+        solver._inprocess_min_learned = 1
+        solver._attach_clause([1, 2, 3], learned=True, lbd=2)
+        solver._inprocess_interval = 0
+        assert solver.maybe_inprocess()
+        solver._inprocess_interval = 100
+        assert not solver.maybe_inprocess()  # too few conflicts since
+
+
+# ----------------------------------------------------------------------
+# Locked reasons under database reduction (dangling-reference sweep)
+# ----------------------------------------------------------------------
+
+
+def assert_reason_integrity(solver) -> None:
+    """Every trail literal's reason clause must still read back as a
+    clause containing that literal with every other literal false —
+    exactly what conflict analysis will assume of it."""
+    for lit in solver._trail:
+        var = lit if lit > 0 else -lit
+        reason = solver._reason_lits(var)
+        if reason is None:
+            continue
+        lits = list(reason)
+        assert lit in lits
+        assert all(
+            solver._value(other) is False for other in lits if other != lit
+        )
+
+
+@pytest.mark.parametrize("core", SOLVER_CORES)
+def test_reduce_db_keeps_locked_reasons_valid(core) -> None:
+    """Force a database reduction at every restart and every solve
+    entry: clauses that are reasons of root-level assignments must
+    survive (and, in the array core, have their references remapped
+    across compaction)."""
+    php = pigeonhole(6)
+    solver = create_solver(php, core=core)
+    solver._max_learned = 0
+    assert not solver.solve().satisfiable
+    assert solver.stats.db_reductions > 0
+
+    rng = random.Random(0xBEEF)
+    for _ in range(25):
+        num_vars = rng.randint(4, 9)
+        cnf = Cnf(num_vars)
+        for _clause in range(rng.randint(num_vars, 4 * num_vars)):
+            width = rng.randint(1, min(4, num_vars))
+            chosen = rng.sample(range(1, num_vars + 1), width)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+        solver = create_solver(cnf, core=core)
+        solver._max_learned = 0
+        result = solver.solve()
+        assert result.satisfiable == brute_force_satisfiable(cnf)
+        assert_reason_integrity(solver)
+        seen = {tuple(sorted(m.items())) for m in solver.iter_solutions()}
+        expected = {
+            tuple(sorted(m.items())) for m in brute_force_models(cnf)
+        }
+        if result.satisfiable:
+            assert seen == expected
+        assert_reason_integrity(solver)
+
+
+# ----------------------------------------------------------------------
+# Cooperative-deadline re-reads
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("core", SOLVER_CORES)
+def test_deadline_installed_mid_enumeration_interrupts(
+    core, monkeypatch
+) -> None:
+    """The solver re-reads the ambient deadline at every poll, so a
+    scope entered *after* iter_solutions started must interrupt the
+    very next burst — an entry-time snapshot would never see it."""
+    monkeypatch.setattr(core_module, "DEADLINE_POLL_PROPAGATIONS", 1)
+    solver = create_solver(make_cnf(4), core=core)
+    models = solver.iter_solutions()
+    assert next(models) is not None  # no deadline active: runs fine
+    with deadline_scope(time.monotonic() - 1.0):
+        with pytest.raises(SolverInterrupted):
+            next(models)
+    # The interrupt backtracked to the root: the solver stays usable.
+    assert solver.solve().satisfiable
+
+
+@pytest.mark.parametrize("core", SOLVER_CORES)
+def test_expired_deadline_interrupts_solve(core, monkeypatch) -> None:
+    monkeypatch.setattr(core_module, "DEADLINE_POLL_PROPAGATIONS", 1)
+    solver = create_solver(pigeonhole(4), core=core)
+    with deadline_scope(time.monotonic() - 1.0):
+        with pytest.raises(SolverInterrupted):
+            solver.solve()
+    assert not solver.solve().satisfiable
+
+
+# ----------------------------------------------------------------------
+# SolverStats.merge exhaustiveness
+# ----------------------------------------------------------------------
+
+
+def test_solver_stats_merge_covers_every_field() -> None:
+    """merge() iterates dataclasses.fields, so a newly added counter is
+    aggregated automatically — this pins the policy: every field is
+    summed unless listed in MAX_MERGED_STAT_FIELDS, and that list only
+    names real fields."""
+    names = [f.name for f in fields(SolverStats)]
+    assert MAX_MERGED_STAT_FIELDS <= set(names)
+    left = SolverStats()
+    right = SolverStats()
+    for index, name in enumerate(names):
+        setattr(left, name, 3 + 2 * index)
+        setattr(right, name, 1000 + 3 * index)
+    left.merge(right)
+    for index, name in enumerate(names):
+        a, b = 3 + 2 * index, 1000 + 3 * index
+        want = max(a, b) if name in MAX_MERGED_STAT_FIELDS else a + b
+        assert getattr(left, name) == want, name
+
+
+def test_solver_stats_replace_covers_every_field() -> None:
+    """Both cores expose identical stats objects; asdict round-trips."""
+    stats = SolverStats()
+    payload = asdict(stats)
+    assert set(payload) == {f.name for f in fields(SolverStats)}
+
+
+# ----------------------------------------------------------------------
+# create_solver / solver_preferences
+# ----------------------------------------------------------------------
+
+
+class TestSolverConstruction:
+    def test_bare_cdcl_solver_is_the_historical_object_core(self) -> None:
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        assert isinstance(solver, ObjectCdclSolver)
+        assert not solver.inprocessing_enabled
+
+    def test_create_solver_defaults(self) -> None:
+        assert current_solver_preferences() == ("object", False)
+        solver = create_solver(make_cnf(2))
+        assert isinstance(solver, ObjectCdclSolver)
+        assert not solver.inprocessing_enabled
+
+    def test_explicit_knobs_override_ambient(self) -> None:
+        with solver_preferences(core="object", inprocess=False):
+            solver = create_solver(make_cnf(2), core="array", inprocess=True)
+        assert isinstance(solver, ArrayCdclSolver)
+        assert solver.inprocessing_enabled
+
+    def test_preferences_scope_and_nest(self) -> None:
+        with solver_preferences(core="array", inprocess=True):
+            assert current_solver_preferences() == ("array", True)
+            assert isinstance(create_solver(make_cnf(1)), ArrayCdclSolver)
+            with solver_preferences(core="object"):
+                # inprocess=None leaves the ambient value alone.
+                assert current_solver_preferences() == ("object", True)
+            assert current_solver_preferences() == ("array", True)
+        assert current_solver_preferences() == ("object", False)
+
+    def test_preferences_restore_on_error(self) -> None:
+        with pytest.raises(RuntimeError):
+            with solver_preferences(core="array", inprocess=True):
+                raise RuntimeError("boom")
+        assert current_solver_preferences() == ("object", False)
+
+    def test_unknown_core_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown solver core"):
+            create_solver(make_cnf(1), core="vectorized")
+        with pytest.raises(ValueError, match="unknown solver core"):
+            with solver_preferences(core="vectorized"):
+                pass  # pragma: no cover - the enter must raise
+
+    def test_synthesis_config_validates_solver_core(self) -> None:
+        from repro.models import x86t_elt
+        from repro.synth import SynthesisConfig
+
+        with pytest.raises(SynthesisError, match="solver core"):
+            SynthesisConfig(
+                bound=4,
+                model=x86t_elt(),
+                target_axiom="sc_per_loc",
+                solver_core="vectorized",
+            )
+
+
+# ----------------------------------------------------------------------
+# Optional mypyc build: the pure-Python fallback path
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypyc") is not None,
+    reason="mypyc installed: the fallback path is not reachable",
+)
+def test_build_compiled_falls_back_without_mypyc(capsys) -> None:
+    from repro.sat import build_compiled, solver
+
+    assert build_compiled.build() == 0
+    assert "pure-Python solver cores remain active" in capsys.readouterr().out
+    assert solver.COMPILED_ARRAY_CORE is False
+
+
+def test_build_compiled_clean_is_idempotent(tmp_path) -> None:
+    from repro.sat import build_compiled
+
+    # Nothing was ever built in this tree; clean finds nothing and the
+    # pure-Python modules stay importable afterwards.
+    assert build_compiled.clean() == 0
+    import repro.sat.core_array  # noqa: F401  (still importable)

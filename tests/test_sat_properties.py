@@ -6,10 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sat import (
+    SOLVER_CORES,
     Cnf,
     brute_force_count,
+    brute_force_models,
     brute_force_satisfiable,
     count_models,
+    create_solver,
     solve_cnf,
 )
 
@@ -47,6 +50,43 @@ def test_sat_agrees_with_brute_force(cnf: Cnf) -> None:
 @settings(max_examples=75, deadline=None)
 def test_model_count_agrees_with_brute_force(cnf: Cnf) -> None:
     assert count_models(cnf) == brute_force_count(cnf)
+
+
+@given(random_cnf())
+@settings(max_examples=60, deadline=None)
+def test_cores_and_inprocessing_agree_with_brute_force(cnf: Cnf) -> None:
+    """Differential enumeration across the solver-core × inprocessing
+    matrix.
+
+    Every configuration must enumerate exactly the brute-force model
+    set with no duplicates.  The two cores are lockstep by contract, so
+    for a fixed inprocessing setting they must also produce the same
+    model *order* and the same search counters.  Inprocessing is forced
+    aggressive (every conflict makes a pass due) so the passes actually
+    fire at enumeration-burst boundaries on these small formulas.
+    """
+    from dataclasses import asdict
+
+    expected = {
+        tuple(sorted(model.items())) for model in brute_force_models(cnf)
+    }
+    for inprocess in (False, True):
+        orders = []
+        stats = []
+        for core in SOLVER_CORES:
+            solver = create_solver(cnf, core=core, inprocess=inprocess)
+            solver._inprocess_min_learned = 1
+            solver._inprocess_interval = 1
+            models = [
+                tuple(sorted(model.items()))
+                for model in solver.iter_solutions()
+            ]
+            assert len(models) == len(set(models))
+            assert set(models) == expected
+            orders.append(models)
+            stats.append(asdict(solver.stats))
+        assert orders[0] == orders[1], "cores diverged in model order"
+        assert stats[0] == stats[1], "cores diverged in search counters"
 
 
 @given(random_cnf(), st.lists(st.integers(min_value=1, max_value=MAX_VARS), max_size=3))
