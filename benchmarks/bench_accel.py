@@ -1,0 +1,224 @@
+"""Microbenchmarks for the C-accelerated propagation core.
+
+Runs the pigeonhole and AllSAT workloads named in the acceptance
+criteria on the pure-Python flat-arena core (``array``) and the
+C-accelerated core (``accel``), asserts the two produce byte-identical
+search counters (the lockstep contract), and records the wall-clock
+speedup honestly — whatever this machine measured, no rounding up.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_accel.py --out BENCH_accel.json
+    PYTHONPATH=src python benchmarks/bench_accel.py --quick --check
+
+``--check`` fails (exit 1) when the extension is not built or any
+workload's counters diverge between cores; add ``--min-speedup`` to
+also gate on wall clock (only meaningful on quiet, comparable
+hardware — CI shares runners, so the default gate is counters only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.sat import Cnf, accel_status, create_solver  # noqa: E402
+
+COUNTER_KEYS = ("decisions", "propagations", "conflicts", "learned_clauses")
+CORES = ("array", "accel")
+
+
+# ----------------------------------------------------------------------
+# Formula generators (deterministic)
+# ----------------------------------------------------------------------
+def pigeonhole(holes: int) -> Cnf:
+    """PHP(holes+1, holes): classically hard UNSAT, resolution-heavy."""
+    pigeons = holes + 1
+    cnf = Cnf(pigeons * holes)
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+def random_3sat(num_vars: int, num_clauses: int, seed: int) -> Cnf:
+    rng = random.Random(seed)
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        vs = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in vs])
+    return cnf
+
+
+# ----------------------------------------------------------------------
+# Workloads: each returns (counters, models_or_result_note) per core
+# ----------------------------------------------------------------------
+def wl_pigeonhole(quick: bool, core: str) -> tuple[dict, str]:
+    holes = 6 if quick else 7
+    solver = create_solver(pigeonhole(holes), core=core)
+    result = solver.solve()
+    assert not result.satisfiable
+    return asdict(solver.stats), f"php({holes}) UNSAT"
+
+
+def wl_allsat(quick: bool, core: str) -> tuple[dict, str]:
+    nv, nc = (18, 40) if quick else (22, 50)
+    solver = create_solver(random_3sat(nv, nc, seed=3), core=core)
+    models = sum(1 for _ in solver.iter_solutions())
+    return asdict(solver.stats), f"{models} models enumerated"
+
+
+def wl_allsat_inprocess(quick: bool, core: str) -> tuple[dict, str]:
+    """AllSAT with aggressive inprocessing: exercises the compaction
+    path (arena rewrite in C) between enumeration bursts."""
+    nv, nc = (16, 38) if quick else (20, 46)
+    solver = create_solver(random_3sat(nv, nc, seed=11), core=core, inprocess=True)
+    solver._max_learned = 20
+    models = sum(1 for _ in solver.iter_solutions())
+    return asdict(solver.stats), f"{models} models, inprocessing on"
+
+
+def wl_random_3sat_batch(quick: bool, core: str) -> tuple[dict, str]:
+    """A batch of near-threshold instances: mixed SAT/UNSAT decisions."""
+    count = 10 if quick else 20
+    totals: dict = {}
+    sat = 0
+    for seed in range(count):
+        solver = create_solver(random_3sat(20, 85, seed=seed), core=core)
+        sat += 1 if solver.solve().satisfiable else 0
+        for key, value in asdict(solver.stats).items():
+            totals[key] = totals.get(key, 0) + value
+    return totals, f"{count} instances, {sat} SAT"
+
+
+WORKLOADS = [
+    ("pigeonhole_unsat", wl_pigeonhole),
+    ("allsat_enumeration", wl_allsat),
+    ("allsat_inprocess_compaction", wl_allsat_inprocess),
+    ("random_3sat_batch", wl_random_3sat_batch),
+]
+
+
+def run_suite(quick: bool) -> tuple[dict, list[str]]:
+    failures: list[str] = []
+    results: dict = {}
+    for name, fn in WORKLOADS:
+        walls: dict = {}
+        stats_by_core: dict = {}
+        note = ""
+        for core in CORES:
+            started = time.perf_counter()
+            stats, note = fn(quick, core)
+            walls[core] = round(time.perf_counter() - started, 6)
+            stats_by_core[core] = stats
+        if stats_by_core["array"] != stats_by_core["accel"]:
+            failures.append(f"{name}: accel counters diverged from array core")
+        counters = {k: stats_by_core["array"][k] for k in COUNTER_KEYS}
+        speedup = (
+            round(walls["array"] / walls["accel"], 3) if walls["accel"] > 0 else None
+        )
+        results[name] = {
+            "counters": counters,
+            "counter_total": sum(counters.values()),
+            "wall_s": walls,
+            "speedup": speedup,
+            "lockstep": stats_by_core["array"] == stats_by_core["accel"],
+            "note": note,
+        }
+        print(
+            f"  {name:32s} array {walls['array']:8.3f}s  "
+            f"accel {walls['accel']:8.3f}s  {speedup}x  [{note}]"
+        )
+    return results, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--out", type=Path, help="write the JSON document here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when the extension is unbuilt or counters diverge",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="with --check: also require every workload's accel speedup "
+        "to reach this factor (wall clock — quiet hardware only)",
+    )
+    args = parser.parse_args(argv)
+
+    status = accel_status()
+    if not status["available"]:
+        message = (
+            "repro.sat._accel is not built; run "
+            "`PYTHONPATH=src python -m repro.sat.build_accel` first"
+        )
+        print(message, file=sys.stderr)
+        return 1 if args.check else 0
+
+    mode = "quick" if args.quick else "full"
+    print(f"bench_accel ({mode} mode): array vs accel, lockstep-gated")
+    results, failures = run_suite(args.quick)
+
+    speedups = [r["speedup"] for r in results.values() if r["speedup"]]
+    document = {
+        "meta": {
+            "mode": mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "solver": status,
+        },
+        "workloads": results,
+        "min_speedup": min(speedups) if speedups else None,
+        "aggregate_wall_speedup": (
+            round(
+                sum(r["wall_s"]["array"] for r in results.values())
+                / sum(r["wall_s"]["accel"] for r in results.values()),
+                3,
+            )
+            if results
+            else None
+        ),
+    }
+    print(
+        f"min speedup {document['min_speedup']}x, "
+        f"aggregate {document['aggregate_wall_speedup']}x"
+    )
+
+    if args.check and args.min_speedup is not None:
+        for name, entry in results.items():
+            if entry["speedup"] is not None and entry["speedup"] < args.min_speedup:
+                failures.append(
+                    f"{name}: speedup {entry['speedup']}x below "
+                    f"--min-speedup {args.min_speedup}x"
+                )
+
+    if args.out:
+        args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if (args.check and failures) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

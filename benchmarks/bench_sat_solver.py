@@ -197,19 +197,25 @@ def _has_solver_cores() -> bool:
 
 
 def wl_core_lockstep_php(quick: bool) -> tuple[Counters, object]:
-    """Pigeonhole on both storage cores: the cores must produce *equal*
-    counters (lockstep contract), so the gate covers either; the note
-    records the per-core wall times."""
+    """Pigeonhole on every runnable storage core (the C-accelerated core
+    joins automatically when its extension is built): the cores must
+    produce *equal* counters (lockstep contract), so the gate covers all
+    of them; the note records the per-core wall times."""
     if not _has_solver_cores():
         return {}, "skipped (no solver cores on this tree)"
     from dataclasses import asdict
 
     from repro.sat import create_solver
 
+    try:
+        from repro.sat import SOLVER_CORES as cores
+    except ImportError:  # pre-accel tree
+        cores = ("object", "array")
+
     holes = 6 if quick else 7
     walls = {}
     stats_by_core = {}
-    for core in ("object", "array"):
+    for core in cores:
         cnf = pigeonhole(holes)
         solver = create_solver(cnf, core=core)
         started = time.perf_counter()
@@ -217,17 +223,16 @@ def wl_core_lockstep_php(quick: bool) -> tuple[Counters, object]:
         walls[core] = time.perf_counter() - started
         assert not result.satisfiable
         stats_by_core[core] = asdict(solver.stats)
-    assert stats_by_core["object"] == stats_by_core["array"], (
-        "storage cores diverged on php"
-    )
+    for core in cores:
+        assert stats_by_core[core] == stats_by_core["array"], (
+            f"storage core {core} diverged on php"
+        )
     counters: Counters = {
         key: stats_by_core["array"][key]
         for key in ("decisions", "propagations", "conflicts", "learned_clauses")
     }
-    return counters, (
-        f"php({holes}): object {walls['object']:.3f}s, "
-        f"array {walls['array']:.3f}s, counters equal"
-    )
+    timings = ", ".join(f"{core} {walls[core]:.3f}s" for core in cores)
+    return counters, f"php({holes}): {timings}, counters equal"
 
 
 def _session_queries(core: str, inprocess: bool, quick: bool) -> tuple[Counters, str]:
@@ -323,6 +328,17 @@ WORKLOADS: list[tuple[str, Callable[[bool], tuple[Counters, object]], bool]] = [
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
+def _solver_meta() -> dict:
+    """Which propagation backend produced this run — stamped into the
+    JSON so baselines are attributable to the core that made them."""
+    try:
+        from repro.sat import accel_status
+
+        return accel_status()
+    except ImportError:  # pre-accel tree
+        return {"available": False}
+
+
 def run_suite(quick: bool) -> dict:
     results: dict = {}
     for name, fn, gated in WORKLOADS:
@@ -348,6 +364,7 @@ def compare(
     baseline: dict,
     max_regression: float,
     check_wall: bool,
+    exact_counters: bool = False,
 ) -> tuple[dict, list[str]]:
     failures: list[str] = []
     speedups: dict = {}
@@ -359,6 +376,13 @@ def compare(
         speedups[name] = {
             "wall_speedup": round(ratio, 3) if ratio is not None else None,
         }
+        if exact_counters and entry.get("gated") and base.get("counter_total"):
+            if entry["counter_total"] != base["counter_total"]:
+                failures.append(
+                    f"{name}: counter total {entry['counter_total']} != "
+                    f"baseline {base['counter_total']} (--check requires "
+                    "exact deterministic-counter reproduction)"
+                )
         if entry.get("gated") and base.get("counter_total"):
             counter_ratio = entry["counter_total"] / base["counter_total"]
             speedups[name]["counter_ratio"] = round(counter_ratio, 3)
@@ -398,6 +422,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="also gate on wall time (only meaningful on comparable hardware)",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --baseline: require EXACT counter reproduction for "
+        "gated workloads (counters are deterministic and "
+        "machine-independent, so any drift is a semantic change)",
+    )
+    parser.add_argument(
         "--merge-before",
         default=None,
         help="emit a {before, after, speedup} document using this JSON as 'before'",
@@ -411,6 +442,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             "mode": "quick" if args.quick else "full",
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "solver": _solver_meta(),
         },
         "workloads": results,
     }
@@ -420,7 +452,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         baseline_doc = json.loads(Path(args.baseline).read_text())
         baseline = baseline_doc.get("workloads", baseline_doc)
         speedups, failures = compare(
-            results, baseline, args.max_regression, args.check_wall
+            results,
+            baseline,
+            args.max_regression,
+            args.check_wall,
+            exact_counters=args.check,
         )
         document["speedup_vs_baseline"] = speedups
         for name, entry in speedups.items():

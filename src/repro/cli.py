@@ -598,6 +598,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(manifests, indent=2, sort_keys=True))
         return 0
+    from .sat import accel_status
+
+    status = accel_status()
+    built = (
+        f"built ({status['extension']}, {status['built_at']})"
+        if status["available"]
+        else "not built (python -m repro.sat.build_accel)"
+    )
+    print(
+        f"solver acceleration: {built}; "
+        f"default core: {status['default_core']}"
+    )
     if not manifests:
         print(f"no run manifests under {args.cache_dir}/manifests")
         return 0
@@ -708,12 +720,14 @@ def _add_orchestration_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--solver-core",
-        choices=("object", "array"),
-        default="array",
-        help="CDCL clause-storage core: the flat-arena array core "
-        "(default) or the per-clause-object core; both run byte-for-byte "
-        "the same search, so 'object' is the differential oracle path "
-        "and output is byte-identical either way",
+        choices=("auto", "object", "array", "accel"),
+        default="auto",
+        help="CDCL clause-storage core: 'auto' (default) picks the "
+        "C-accelerated arena core when the repro.sat._accel extension "
+        "is built (python -m repro.sat.build_accel) and the pure-Python "
+        "array core otherwise; all cores run byte-for-byte the same "
+        "search, so 'object' is the differential oracle path and output "
+        "is byte-identical whichever is selected",
     )
     parser.add_argument(
         "--no-inprocessing",

@@ -1,0 +1,651 @@
+/* _accel.c — native inner loops for the flat-arena CDCL core.
+ *
+ * This module accelerates `repro.sat.core_accel.AccelCdclSolver`, whose
+ * storage is the same flat integer arena as the pure-Python
+ * `ArrayCdclSolver` but held in `array('i')` objects.  All functions
+ * here operate on the solver's storage *in place* through the buffer
+ * protocol: Python and C read and write the same memory, there is no
+ * per-call marshalling, and any state a function leaves behind is
+ * immediately visible to the pure-Python driver code (and vice versa).
+ *
+ * The contract is strict lockstep with the pure-Python cores:
+ * `propagate` is a line-by-line translation of
+ * `ArrayCdclSolver._propagate` (same blocking-literal shortcuts, same
+ * watch-entry orders, same compaction-write skipping, same statistics
+ * accounting), so searches, model orders, and every SolverStats counter
+ * stay byte-identical to the object-core oracle.
+ *
+ * Buffer-safety rules (array('i') refuses to resize while a buffer is
+ * exported, and appends may reallocate):
+ *   - values/level/reason/arena buffers are held for a whole call; no
+ *     code path appends to those arrays while C runs.
+ *   - a watch list's buffer is released before `del wl[j:]` truncation.
+ *   - a moved watch is appended to a *different* list than the one
+ *     being scanned (cand != -lit because cand is non-false while lit
+ *     is true), so the held scan buffer is never invalidated.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <string.h>
+
+static PyObject *s_values, *s_level, *s_reason, *s_arena, *s_trail,
+    *s_trail_lim, *s_watches, *s_bin_watches, *s_qhead, *s_stats,
+    *s_propagations, *s_bin_crefs, *s_long_crefs, *s_learned_crefs,
+    *s_nvars, *s_append;
+
+#define LIT_INDEX(lit) \
+    ((lit) > 0 ? (Py_ssize_t)((lit) << 1) : (Py_ssize_t)(((-(lit)) << 1) | 1))
+
+/* Acquire a C-int buffer over an array('i'); rejects anything whose
+ * item layout does not match the C `int` this module was compiled for. */
+static int
+acquire_int_buffer(PyObject *obj, Py_buffer *view, int writable)
+{
+    int flags = PyBUF_FORMAT | (writable ? PyBUF_WRITABLE : PyBUF_SIMPLE);
+    if (PyObject_GetBuffer(obj, view, flags) < 0)
+        return -1;
+    if (view->itemsize != (Py_ssize_t)sizeof(int) || view->format == NULL ||
+        view->format[0] != 'i' || view->format[1] != '\0') {
+        PyBuffer_Release(view);
+        PyErr_SetString(PyExc_TypeError,
+                        "repro.sat._accel requires array('i') storage with "
+                        "C-int items");
+        return -1;
+    }
+    return 0;
+}
+
+static int
+append_int(PyObject *arr, long value)
+{
+    PyObject *obj = PyLong_FromLong(value);
+    if (obj == NULL)
+        return -1;
+    PyObject *result = PyObject_CallMethodObjArgs(arr, s_append, obj, NULL);
+    Py_DECREF(obj);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 0;
+}
+
+static int
+trail_append(PyObject *trail, long lit)
+{
+    PyObject *obj = PyLong_FromLong(lit);
+    if (obj == NULL)
+        return -1;
+    int status = PyList_Append(trail, obj);
+    Py_DECREF(obj);
+    return status;
+}
+
+static int
+set_qhead(PyObject *solver, Py_ssize_t qhead)
+{
+    PyObject *obj = PyLong_FromSsize_t(qhead);
+    if (obj == NULL)
+        return -1;
+    int status = PyObject_SetAttr(solver, s_qhead, obj);
+    Py_DECREF(obj);
+    return status;
+}
+
+static int
+bump_propagations(PyObject *stats, Py_ssize_t delta)
+{
+    if (delta == 0)
+        return 0;
+    PyObject *current = PyObject_GetAttr(stats, s_propagations);
+    if (current == NULL)
+        return -1;
+    PyObject *add = PyLong_FromSsize_t(delta);
+    if (add == NULL) {
+        Py_DECREF(current);
+        return -1;
+    }
+    PyObject *total = PyNumber_Add(current, add);
+    Py_DECREF(current);
+    Py_DECREF(add);
+    if (total == NULL)
+        return -1;
+    int status = PyObject_SetAttr(stats, s_propagations, total);
+    Py_DECREF(total);
+    return status;
+}
+
+/* A fresh list of `size` clause literals starting at arena[cref]. */
+static PyObject *
+conflict_list(const int *arena, Py_ssize_t cref, Py_ssize_t size)
+{
+    PyObject *out = PyList_New(size);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t k = 0; k < size; k++) {
+        PyObject *lit = PyLong_FromLong(arena[cref + k]);
+        if (lit == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, k, lit);
+    }
+    return out;
+}
+
+/* propagate(solver) -> conflict literal list | None.
+ * Exact translation of ArrayCdclSolver._propagate. */
+static PyObject *
+accel_propagate(PyObject *module, PyObject *solver)
+{
+    PyObject *values_o = NULL, *level_o = NULL, *reason_o = NULL,
+             *arena_o = NULL, *trail = NULL, *trail_lim = NULL,
+             *watches = NULL, *bin_watches = NULL, *qhead_o = NULL,
+             *stats = NULL, *result = NULL;
+    Py_buffer values_b, level_b, reason_b, arena_b;
+    int have_values = 0, have_level = 0, have_reason = 0, have_arena = 0;
+    int failed = 1;
+    Py_ssize_t qhead = 0, start = 0, qhead_final = 0;
+
+    values_o = PyObject_GetAttr(solver, s_values);
+    level_o = values_o ? PyObject_GetAttr(solver, s_level) : NULL;
+    reason_o = level_o ? PyObject_GetAttr(solver, s_reason) : NULL;
+    arena_o = reason_o ? PyObject_GetAttr(solver, s_arena) : NULL;
+    trail = arena_o ? PyObject_GetAttr(solver, s_trail) : NULL;
+    trail_lim = trail ? PyObject_GetAttr(solver, s_trail_lim) : NULL;
+    watches = trail_lim ? PyObject_GetAttr(solver, s_watches) : NULL;
+    bin_watches = watches ? PyObject_GetAttr(solver, s_bin_watches) : NULL;
+    qhead_o = bin_watches ? PyObject_GetAttr(solver, s_qhead) : NULL;
+    stats = qhead_o ? PyObject_GetAttr(solver, s_stats) : NULL;
+    if (stats == NULL)
+        goto cleanup;
+
+    if (!PyList_Check(trail) || !PyList_Check(trail_lim) ||
+        !PyList_Check(watches) || !PyList_Check(bin_watches)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_accel.propagate: trail/watch containers must be "
+                        "lists");
+        goto cleanup;
+    }
+    qhead = PyLong_AsSsize_t(qhead_o);
+    if (qhead == -1 && PyErr_Occurred())
+        goto cleanup;
+    start = qhead;
+
+    if (acquire_int_buffer(values_o, &values_b, 1) < 0)
+        goto cleanup;
+    have_values = 1;
+    if (acquire_int_buffer(level_o, &level_b, 1) < 0)
+        goto cleanup;
+    have_level = 1;
+    if (acquire_int_buffer(reason_o, &reason_b, 1) < 0)
+        goto cleanup;
+    have_reason = 1;
+    if (acquire_int_buffer(arena_o, &arena_b, 1) < 0)
+        goto cleanup;
+    have_arena = 1;
+
+    {
+        int *values = (int *)values_b.buf;
+        int *levels = (int *)level_b.buf;
+        int *reasons = (int *)reason_b.buf;
+        int *arena = (int *)arena_b.buf;
+        int level_now = (int)PyList_GET_SIZE(trail_lim);
+        Py_ssize_t nlists = PyList_GET_SIZE(watches);
+
+        while (qhead < PyList_GET_SIZE(trail)) {
+            long lit = PyLong_AsLong(PyList_GET_ITEM(trail, qhead));
+            if (lit == -1 && PyErr_Occurred())
+                goto cleanup;
+            qhead++;
+            Py_ssize_t lit_idx = LIT_INDEX(lit);
+            if (lit_idx >= nlists ||
+                lit_idx >= PyList_GET_SIZE(bin_watches)) {
+                PyErr_SetString(PyExc_SystemError,
+                                "_accel.propagate: literal outside watch "
+                                "table");
+                goto cleanup;
+            }
+
+            /* Binary clauses first, through the dedicated watch lists. */
+            {
+                PyObject *bw_o = PyList_GET_ITEM(bin_watches, lit_idx);
+                Py_buffer bw_b;
+                if (acquire_int_buffer(bw_o, &bw_b, 0) < 0)
+                    goto cleanup;
+                const int *bw = (const int *)bw_b.buf;
+                Py_ssize_t bn = bw_b.len / (Py_ssize_t)sizeof(int);
+                for (Py_ssize_t k = 0; k + 1 < bn; k += 2) {
+                    int other = bw[k];
+                    int bin_cref = bw[k + 1];
+                    Py_ssize_t other_idx = LIT_INDEX(other);
+                    int value = values[other_idx];
+                    if (value < 0) {
+                        PyBuffer_Release(&bw_b);
+                        result = conflict_list(arena, bin_cref, 2);
+                        if (result == NULL)
+                            goto cleanup;
+                        qhead_final = PyList_GET_SIZE(trail);
+                        goto conflict_exit;
+                    }
+                    if (value == 0) {
+                        values[other_idx] = 1;
+                        values[other_idx ^ 1] = -1;
+                        int var = other > 0 ? other : -other;
+                        levels[var] = level_now;
+                        reasons[var] = bin_cref;
+                        if (trail_append(trail, other) < 0) {
+                            PyBuffer_Release(&bw_b);
+                            goto cleanup;
+                        }
+                    }
+                }
+                PyBuffer_Release(&bw_b);
+            }
+
+            /* Long clauses through the (blocker, cref) watch pairs. */
+            {
+                PyObject *wl_o = PyList_GET_ITEM(watches, lit_idx);
+                Py_buffer wl_b;
+                if (acquire_int_buffer(wl_o, &wl_b, 1) < 0)
+                    goto cleanup;
+                int *wl = (int *)wl_b.buf;
+                Py_ssize_t end = wl_b.len / (Py_ssize_t)sizeof(int);
+                int neg_lit = (int)-lit;
+                Py_ssize_t i = 0, j = 0;
+
+                while (i < end) {
+                    int blocker = wl[i];
+                    if (values[LIT_INDEX(blocker)] > 0) {
+                        if (i != j) {
+                            wl[j] = blocker;
+                            wl[j + 1] = wl[i + 1];
+                        }
+                        i += 2;
+                        j += 2;
+                        continue;
+                    }
+                    int cref = wl[i + 1];
+                    i += 2;
+                    /* Normalize: the false literal goes to position 1. */
+                    if (arena[cref] == neg_lit) {
+                        arena[cref] = arena[cref + 1];
+                        arena[cref + 1] = neg_lit;
+                    }
+                    int first = arena[cref];
+                    Py_ssize_t first_idx = LIT_INDEX(first);
+                    if (values[first_idx] > 0) {
+                        if (i != j + 2) {
+                            wl[j] = blocker;
+                            wl[j + 1] = cref;
+                        }
+                        j += 2;
+                        continue;
+                    }
+                    /* Look for a replacement watch. */
+                    int moved = 0;
+                    Py_ssize_t limit = (Py_ssize_t)cref + arena[cref - 2];
+                    for (Py_ssize_t pos = cref + 2; pos < limit; pos++) {
+                        int cand = arena[pos];
+                        Py_ssize_t cand_idx = LIT_INDEX(cand);
+                        if (values[cand_idx] >= 0) {
+                            arena[cref + 1] = cand;
+                            arena[pos] = neg_lit;
+                            /* cand != -lit, so this is never wl_o and the
+                             * buffer held on wl_o stays valid. */
+                            PyObject *moved_o =
+                                PyList_GET_ITEM(watches, cand_idx ^ 1);
+                            if (append_int(moved_o, blocker) < 0 ||
+                                append_int(moved_o, cref) < 0) {
+                                PyBuffer_Release(&wl_b);
+                                goto cleanup;
+                            }
+                            moved = 1;
+                            break;
+                        }
+                    }
+                    if (moved)
+                        continue;
+                    /* Clause is unit or conflicting. */
+                    if (i != j + 2) {
+                        wl[j] = blocker;
+                        wl[j + 1] = cref;
+                    }
+                    j += 2;
+                    if (values[first_idx] < 0) {
+                        int need_trunc = 0;
+                        if (i != j) {
+                            while (i < end) {
+                                wl[j] = wl[i];
+                                wl[j + 1] = wl[i + 1];
+                                i += 2;
+                                j += 2;
+                            }
+                            need_trunc = 1;
+                        }
+                        Py_ssize_t csize = arena[cref - 2];
+                        PyBuffer_Release(&wl_b);
+                        if (need_trunc &&
+                            PySequence_DelSlice(wl_o, j, end) < 0)
+                            goto cleanup;
+                        result = conflict_list(arena, cref, csize);
+                        if (result == NULL)
+                            goto cleanup;
+                        qhead_final = PyList_GET_SIZE(trail);
+                        goto conflict_exit;
+                    }
+                    values[first_idx] = 1;
+                    values[first_idx ^ 1] = -1;
+                    int var = first > 0 ? first : -first;
+                    levels[var] = level_now;
+                    reasons[var] = cref;
+                    if (trail_append(trail, first) < 0) {
+                        PyBuffer_Release(&wl_b);
+                        goto cleanup;
+                    }
+                }
+                PyBuffer_Release(&wl_b);
+                if (j != end && PySequence_DelSlice(wl_o, j, end) < 0)
+                    goto cleanup;
+            }
+        }
+    }
+
+    result = Py_None;
+    Py_INCREF(result);
+    qhead_final = qhead;
+
+conflict_exit:
+    /* On conflict, _qhead jumps to the end of the trail while the
+     * propagation counter advances only by the literals scanned —
+     * exactly the pure-Python accounting. */
+    if (set_qhead(solver, qhead_final) < 0 ||
+        bump_propagations(stats, qhead - start) < 0) {
+        Py_CLEAR(result);
+        goto cleanup;
+    }
+    failed = 0;
+
+cleanup:
+    if (have_arena)
+        PyBuffer_Release(&arena_b);
+    if (have_reason)
+        PyBuffer_Release(&reason_b);
+    if (have_level)
+        PyBuffer_Release(&level_b);
+    if (have_values)
+        PyBuffer_Release(&values_b);
+    Py_XDECREF(stats);
+    Py_XDECREF(qhead_o);
+    Py_XDECREF(bin_watches);
+    Py_XDECREF(watches);
+    Py_XDECREF(trail_lim);
+    Py_XDECREF(trail);
+    Py_XDECREF(arena_o);
+    Py_XDECREF(reason_o);
+    Py_XDECREF(level_o);
+    Py_XDECREF(values_o);
+    if (failed) {
+        Py_XDECREF(result);
+        return NULL;
+    }
+    return result;
+}
+
+/* enqueue(solver, lit, reason) -> bool.
+ * Exact translation of CdclCore._enqueue for int reason tokens. */
+static PyObject *
+accel_enqueue(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_accel.enqueue expects (solver, lit, reason)");
+        return NULL;
+    }
+    PyObject *solver = args[0];
+    long lit = PyLong_AsLong(args[1]);
+    if (lit == -1 && PyErr_Occurred())
+        return NULL;
+    long reason = PyLong_AsLong(args[2]);
+    if (reason == -1 && PyErr_Occurred())
+        return NULL;
+
+    PyObject *values_o = PyObject_GetAttr(solver, s_values);
+    if (values_o == NULL)
+        return NULL;
+    Py_buffer values_b;
+    if (acquire_int_buffer(values_o, &values_b, 1) < 0) {
+        Py_DECREF(values_o);
+        return NULL;
+    }
+    int *values = (int *)values_b.buf;
+    Py_ssize_t index = LIT_INDEX(lit);
+    int value = values[index];
+    if (value != 0) {
+        PyBuffer_Release(&values_b);
+        Py_DECREF(values_o);
+        return PyBool_FromLong(value > 0);
+    }
+
+    PyObject *level_o = PyObject_GetAttr(solver, s_level);
+    PyObject *reason_o = level_o ? PyObject_GetAttr(solver, s_reason) : NULL;
+    PyObject *trail = reason_o ? PyObject_GetAttr(solver, s_trail) : NULL;
+    PyObject *trail_lim = trail ? PyObject_GetAttr(solver, s_trail_lim) : NULL;
+    Py_buffer level_b, reason_b;
+    int ok = 0;
+    if (trail_lim != NULL && PyList_Check(trail) && PyList_Check(trail_lim) &&
+        acquire_int_buffer(level_o, &level_b, 1) == 0) {
+        if (acquire_int_buffer(reason_o, &reason_b, 1) == 0) {
+            values[index] = 1;
+            values[index ^ 1] = -1;
+            long var = lit > 0 ? lit : -lit;
+            ((int *)level_b.buf)[var] = (int)PyList_GET_SIZE(trail_lim);
+            ((int *)reason_b.buf)[var] = (int)reason;
+            ok = PyList_Append(trail, args[1]) == 0;
+            PyBuffer_Release(&reason_b);
+        }
+        PyBuffer_Release(&level_b);
+    }
+    else if (trail_lim != NULL && (!PyList_Check(trail) ||
+                                   !PyList_Check(trail_lim))) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_accel.enqueue: trail containers must be lists");
+    }
+    Py_XDECREF(trail_lim);
+    Py_XDECREF(trail);
+    Py_XDECREF(reason_o);
+    Py_XDECREF(level_o);
+    PyBuffer_Release(&values_b);
+    Py_DECREF(values_o);
+    if (!ok)
+        return NULL;
+    Py_RETURN_TRUE;
+}
+
+/* compact(solver) -> None.
+ * The arena walk of ArrayCdclSolver._compact_and_rebuild: copy the
+ * surviving clauses (binary, long, learned order) into a fresh arena,
+ * rewrite the three cref lists in place, and remap trail reasons.
+ * Watch-list rebuilding stays in Python (cold path). */
+static PyObject *
+accel_compact(PyObject *module, PyObject *solver)
+{
+    PyObject *arena_o = NULL, *reason_o = NULL, *bin_crefs = NULL,
+             *long_crefs = NULL, *learned_crefs = NULL, *nvars_o = NULL,
+             *new_arena = NULL;
+    Py_buffer arena_b, reason_b;
+    int have_arena = 0, have_reason = 0, failed = 1;
+    int *newbuf = NULL;
+    int *remap = NULL;
+
+    arena_o = PyObject_GetAttr(solver, s_arena);
+    reason_o = arena_o ? PyObject_GetAttr(solver, s_reason) : NULL;
+    bin_crefs = reason_o ? PyObject_GetAttr(solver, s_bin_crefs) : NULL;
+    long_crefs = bin_crefs ? PyObject_GetAttr(solver, s_long_crefs) : NULL;
+    learned_crefs =
+        long_crefs ? PyObject_GetAttr(solver, s_learned_crefs) : NULL;
+    nvars_o = learned_crefs ? PyObject_GetAttr(solver, s_nvars) : NULL;
+    if (nvars_o == NULL)
+        goto cleanup;
+    long nvars = PyLong_AsLong(nvars_o);
+    if (nvars == -1 && PyErr_Occurred())
+        goto cleanup;
+    if (!PyList_Check(bin_crefs) || !PyList_Check(long_crefs) ||
+        !PyList_Check(learned_crefs)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_accel.compact: cref containers must be lists");
+        goto cleanup;
+    }
+    if (acquire_int_buffer(arena_o, &arena_b, 0) < 0)
+        goto cleanup;
+    have_arena = 1;
+    if (acquire_int_buffer(reason_o, &reason_b, 1) < 0)
+        goto cleanup;
+    have_reason = 1;
+
+    {
+        const int *old = (const int *)arena_b.buf;
+        Py_ssize_t old_n = arena_b.len / (Py_ssize_t)sizeof(int);
+        int *reasons = (int *)reason_b.buf;
+        PyObject *lists[3] = {bin_crefs, long_crefs, learned_crefs};
+        Py_ssize_t total = 2;
+
+        for (int l = 0; l < 3; l++) {
+            Py_ssize_t n = PyList_GET_SIZE(lists[l]);
+            for (Py_ssize_t k = 0; k < n; k++) {
+                long cref = PyLong_AsLong(PyList_GET_ITEM(lists[l], k));
+                if (cref == -1 && PyErr_Occurred())
+                    goto cleanup;
+                if (cref < 2 || cref >= old_n ||
+                    old[cref - 2] < 2 || cref + old[cref - 2] > old_n) {
+                    PyErr_SetString(PyExc_SystemError,
+                                    "_accel.compact: cref outside arena");
+                    goto cleanup;
+                }
+                total += old[cref - 2] + 2;
+            }
+        }
+        newbuf = PyMem_New(int, (size_t)total);
+        remap = PyMem_New(int, (size_t)(old_n > 0 ? old_n : 1));
+        if (newbuf == NULL || remap == NULL) {
+            PyErr_NoMemory();
+            goto cleanup;
+        }
+        for (Py_ssize_t k = 0; k < old_n; k++)
+            remap[k] = -1;
+        newbuf[0] = 0;
+        newbuf[1] = 0;
+        Py_ssize_t pos = 2;
+        for (int l = 0; l < 3; l++) {
+            Py_ssize_t n = PyList_GET_SIZE(lists[l]);
+            for (Py_ssize_t k = 0; k < n; k++) {
+                long cref = PyLong_AsLong(PyList_GET_ITEM(lists[l], k));
+                int size = old[cref - 2];
+                newbuf[pos] = size;
+                newbuf[pos + 1] = old[cref - 1];
+                memcpy(newbuf + pos + 2, old + cref,
+                       (size_t)size * sizeof(int));
+                remap[cref] = (int)(pos + 2);
+                PyObject *ncref = PyLong_FromSsize_t(pos + 2);
+                if (ncref == NULL ||
+                    PyList_SetItem(lists[l], k, ncref) < 0)
+                    goto cleanup;
+                pos += size + 2;
+            }
+        }
+        for (long var = 1; var <= nvars; var++) {
+            int r = reasons[var];
+            if (r >= 0) {
+                /* Locked clauses are always kept, so this never dangles. */
+                if (r >= old_n || remap[r] < 0) {
+                    PyErr_SetString(PyExc_SystemError,
+                                    "_accel.compact: dangling reason cref");
+                    goto cleanup;
+                }
+                reasons[var] = remap[r];
+            }
+        }
+        new_arena = PyObject_CallFunction(
+            (PyObject *)Py_TYPE(arena_o), "sy#", "i", (const char *)newbuf,
+            (Py_ssize_t)(total * (Py_ssize_t)sizeof(int)));
+        if (new_arena == NULL)
+            goto cleanup;
+        if (PyObject_SetAttr(solver, s_arena, new_arena) < 0)
+            goto cleanup;
+    }
+    failed = 0;
+
+cleanup:
+    PyMem_Free(remap);
+    PyMem_Free(newbuf);
+    if (have_reason)
+        PyBuffer_Release(&reason_b);
+    if (have_arena)
+        PyBuffer_Release(&arena_b);
+    Py_XDECREF(new_arena);
+    Py_XDECREF(nvars_o);
+    Py_XDECREF(learned_crefs);
+    Py_XDECREF(long_crefs);
+    Py_XDECREF(bin_crefs);
+    Py_XDECREF(reason_o);
+    Py_XDECREF(arena_o);
+    if (failed)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef accel_methods[] = {
+    {"propagate", (PyCFunction)accel_propagate, METH_O,
+     "propagate(solver) -> conflict literal list or None"},
+    {"enqueue", (PyCFunction)(void (*)(void))accel_enqueue, METH_FASTCALL,
+     "enqueue(solver, lit, reason) -> bool"},
+    {"compact", (PyCFunction)accel_compact, METH_O,
+     "compact(solver) -> None (arena walk of _compact_and_rebuild)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static int
+intern_names(void)
+{
+#define INTERN(var, text)                    \
+    do {                                     \
+        var = PyUnicode_InternFromString(text); \
+        if (var == NULL)                     \
+            return -1;                       \
+    } while (0)
+    INTERN(s_values, "_values");
+    INTERN(s_level, "_level");
+    INTERN(s_reason, "_reason");
+    INTERN(s_arena, "_arena");
+    INTERN(s_trail, "_trail");
+    INTERN(s_trail_lim, "_trail_lim");
+    INTERN(s_watches, "_watches");
+    INTERN(s_bin_watches, "_bin_watches");
+    INTERN(s_qhead, "_qhead");
+    INTERN(s_stats, "stats");
+    INTERN(s_propagations, "propagations");
+    INTERN(s_bin_crefs, "_bin_crefs");
+    INTERN(s_long_crefs, "_long_crefs");
+    INTERN(s_learned_crefs, "_learned_crefs");
+    INTERN(s_nvars, "_nvars");
+    INTERN(s_append, "append");
+#undef INTERN
+    return 0;
+}
+
+static struct PyModuleDef accel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.sat._accel",
+    "Native inner loops (propagate/enqueue/compact) for the flat-arena "
+    "CDCL core; see repro.sat.core_accel.",
+    -1,
+    accel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__accel(void)
+{
+    if (intern_names() < 0)
+        return NULL;
+    return PyModule_Create(&accel_module);
+}

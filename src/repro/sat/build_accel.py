@@ -1,0 +1,170 @@
+"""Build the :mod:`repro.sat._accel` CPython extension on demand.
+
+``python -m repro.sat.build_accel`` compiles ``_accel.c`` with the
+system C compiler (via a setuptools ``Extension``, no new Python
+dependencies) and drops the shared object next to the source inside the
+package, where ``repro.sat.core_accel`` picks it up on the next import.
+
+Fallback semantics mirror :mod:`repro.sat.build_compiled`'s hardened
+contract:
+
+* no C toolchain (or no setuptools) — a note is printed and the exit
+  status is 0: the pure-Python cores remain active and nothing is wrong;
+* toolchain present but the compile *fails* — the compiler diagnostics
+  are printed and the exit status is nonzero: that is a real build
+  failure which must not masquerade as the benign path.
+
+``--clean`` removes any previously built extension; ``--force``
+rebuilds even when the artifact is newer than the source.
+"""
+
+from __future__ import annotations
+
+import importlib
+import shutil
+import sys
+import sysconfig
+import tempfile
+import traceback
+from pathlib import Path
+from typing import Optional
+
+SOURCE_NAME = "_accel.c"
+MODULE_NAME = "repro.sat._accel"
+
+
+def _package_dir() -> Path:
+    return Path(__file__).resolve().parent
+
+
+def source_path() -> Path:
+    return _package_dir() / SOURCE_NAME
+
+
+def extension_path() -> Path:
+    """Where the built extension lives for *this* interpreter's ABI."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return _package_dir() / f"_accel{suffix}"
+
+
+def built_extensions() -> list[Path]:
+    """Every built ``_accel`` artifact in the package (any ABI)."""
+    return sorted(
+        path
+        for pattern in ("_accel.*.so", "_accel.*.pyd", "_accel.so", "_accel.pyd")
+        for path in _package_dir().glob(pattern)
+    )
+
+
+def _compiler_name() -> str:
+    cc = sysconfig.get_config_var("CC") or "cc"
+    return str(cc).split()[0]
+
+
+def _have_compiler() -> bool:
+    return shutil.which(_compiler_name()) is not None
+
+
+def _run_build(build_dir: str) -> Path:
+    """Compile the extension under ``build_dir``; returns the artifact.
+
+    Raises on any compile/link failure — the caller decides how to
+    present it.  Separated out so tests can monkeypatch the seam.
+    """
+    from setuptools import Distribution, Extension
+
+    extension = Extension(
+        MODULE_NAME, sources=[str(source_path())], optional=False
+    )
+    dist = Distribution({"name": "repro-accel", "ext_modules": [extension]})
+    cmd = dist.get_command_obj("build_ext")
+    cmd.build_lib = build_dir
+    cmd.build_temp = build_dir
+    cmd.ensure_finalized()
+    cmd.run()
+    built = sorted(Path(build_dir).glob("repro/sat/_accel*"))
+    if not built:
+        raise RuntimeError("build_ext produced no _accel artifact")
+    return built[0]
+
+
+def clean() -> int:
+    """Remove previously built extensions; returns the count removed."""
+    removed = 0
+    for path in built_extensions():
+        path.unlink()
+        removed += 1
+    return removed
+
+
+def build(force: bool = False) -> int:
+    """Build the extension in place.  See module docstring for the
+    exit-status contract (0 = built or benign fallback, 1 = real
+    compile failure)."""
+    source = source_path()
+    target = extension_path()
+    if (
+        not force
+        and target.exists()
+        and target.stat().st_mtime >= source.stat().st_mtime
+    ):
+        print(f"accel extension up to date: {target.name}")
+        return 0
+    try:
+        import setuptools  # noqa: F401  (probe only)
+    except ImportError:
+        print(
+            "setuptools is not available; skipping the _accel build "
+            "(pure-Python solver cores remain active)"
+        )
+        return 0
+    if not _have_compiler():
+        print(
+            f"no C compiler ({_compiler_name()!r} not on PATH); skipping "
+            "the _accel build (pure-Python solver cores remain active)"
+        )
+        return 0
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-accel-") as tmp:
+            artifact = _run_build(tmp)
+            shutil.copy2(artifact, target)
+    except Exception:
+        # Toolchain present but the compile failed: that is a real error.
+        # Print the diagnostics and return nonzero — do not let a broken
+        # build masquerade as the benign absent-toolchain path.
+        traceback.print_exc()
+        print(
+            "_accel build FAILED with the toolchain present (diagnostics "
+            "above); pure-Python solver cores remain active",
+            file=sys.stderr,
+        )
+        return 1
+    importlib.invalidate_caches()
+    print(f"built {target.name} with {_compiler_name()!r}")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sat.build_accel", description=__doc__
+    )
+    parser.add_argument(
+        "--clean", action="store_true", help="remove built extensions"
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when the artifact is up to date",
+    )
+    args = parser.parse_args(argv)
+    if args.clean:
+        removed = clean()
+        print(f"removed {removed} built extension(s)")
+        return 0
+    return build(force=args.force)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

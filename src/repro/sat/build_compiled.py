@@ -16,7 +16,10 @@ Usage::
     python -m repro.sat.build_compiled --clean   # remove built extensions
 
 The build is strictly optional: when mypyc is unavailable the script
-says so and exits 0, leaving the pure-Python cores active.  It is never
+says so and exits 0, leaving the pure-Python cores active.  A mypyc
+*crash* with the toolchain present is different — that is a real build
+failure, so the compiler diagnostics are printed and the exit status is
+nonzero (same contract as :mod:`repro.sat.build_accel`).  It is never
 run in CI — the committed baselines and golden digests are produced and
 gated on the pure-Python cores.
 """
@@ -52,8 +55,11 @@ def clean() -> int:
 def build() -> int:
     """Compile the core modules with mypyc if available.
 
-    Returns 0 in every non-crash outcome — an absent toolchain is the
-    supported fallback, not an error."""
+    Returns 0 when the cores were built or when the toolchain is absent
+    (the supported fallback).  Returns nonzero when mypyc is *present*
+    but the compile failed: that is a real build failure, and the
+    compiler diagnostics are echoed so it cannot masquerade as the
+    benign absent-toolchain path."""
     try:
         import mypyc  # noqa: F401
     except ImportError:
@@ -71,10 +77,14 @@ def build() -> int:
         text=True,
     )
     if result.returncode != 0:
-        print("mypyc build failed; pure-Python solver cores remain active")
         sys.stderr.write(result.stdout)
         sys.stderr.write(result.stderr)
-        return 0
+        print(
+            "mypyc build FAILED with the toolchain present (diagnostics "
+            "above); pure-Python solver cores remain active",
+            file=sys.stderr,
+        )
+        return result.returncode
     print("compiled solver cores built:", ", ".join(CORE_MODULES))
     return 0
 

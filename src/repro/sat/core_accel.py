@@ -1,0 +1,132 @@
+"""Native-accelerated clause storage: the arena core over C inner loops.
+
+:class:`AccelCdclSolver` is the third interchangeable storage backend
+behind :class:`repro.sat.core.CdclCore` (``solver_core=accel``).  It
+reuses the flat-int clause arena of :class:`ArrayCdclSolver` unchanged —
+same layout, same watch-entry orders, same compaction — but keeps every
+hot structure in ``array('i')`` objects and dispatches the inner loops
+(`_propagate`, `_enqueue`, the arena walk of `_compact_and_rebuild`) to
+the hand-written CPython extension :mod:`repro.sat._accel`.
+
+The extension operates on the solver's arrays **in place** through the
+buffer protocol: Python and C views are the same memory, so there is no
+per-call marshalling and the pure-Python driver (decisions, conflict
+analysis, restarts, inprocessing) reads C-written state directly.  The
+memory-layout contract is documented in ``docs/SAT_SUBSTRATE.md``
+("Native acceleration").
+
+Lockstep contract: searches, model orders, and every
+:class:`~repro.sat.core.SolverStats` counter are byte-identical to the
+``object`` and ``array`` cores — the object core remains the always-on
+differential oracle, and the golden-digest suite plus the Hypothesis
+differential fuzz pin the equivalence.
+
+The extension is optional.  Build it on demand with
+``python -m repro.sat.build_accel`` (system C compiler, no new Python
+dependencies); when it is absent this module still imports cleanly,
+``accel_available()`` returns False, and constructing the solver raises
+:class:`repro.errors.AccelUnavailableError` with the build hint — the
+pure-Python cores remain fully functional (same contract as
+:mod:`repro.sat.build_compiled`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from ..errors import AccelUnavailableError
+from .core_array import ArrayCdclSolver
+
+try:  # pragma: no cover - exercised via accel_available() either way
+    from . import _accel as _accel_module
+except ImportError:  # pragma: no cover
+    _accel_module = None
+
+#: Hint printed whenever the accel core is requested but not built.
+BUILD_HINT = "build it with `python -m repro.sat.build_accel`"
+
+
+def accel_available() -> bool:
+    """True when the compiled :mod:`repro.sat._accel` extension imported."""
+    return _accel_module is not None
+
+
+def extension_file() -> Optional[str]:
+    """Filesystem path of the loaded extension, or None when unbuilt."""
+    if _accel_module is None:
+        return None
+    return getattr(_accel_module, "__file__", None)
+
+
+class AccelCdclSolver(ArrayCdclSolver):
+    """Arena-storage CDCL solver with C-accelerated inner loops."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        if _accel_module is None:
+            raise AccelUnavailableError(
+                'solver core "accel" requested but the native extension '
+                f"repro.sat._accel is not built; {BUILD_HINT} or select "
+                "--solver-core array"
+            )
+        super().__init__(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Storage: same flat arena, held in typed int arrays so the C side
+    # shares the memory through the buffer protocol (zero copies).
+    # ------------------------------------------------------------------
+    def _init_storage(self, size: int) -> None:
+        super()._init_storage(size)
+        self._arena = array("i", (0, 0))
+        # Driver-side assignment state converts to arrays too: _enqueue
+        # and _propagate write values/levels/reasons from C.
+        self._values = array("i", self._values)
+        self._level = array("i", self._level)
+        self._reason = array("i", self._reason)
+        # Watch lists are flat int pairs like the array core's, but each
+        # per-literal list is an array('i'); the binary lists drop the
+        # tuples for flat (other, cref) pairs so C scans raw ints.
+        self._watches = [array("i") for _ in range(size)]
+        self._bin_watches = [array("i") for _ in range(size)]
+
+    def _grow_storage(self) -> None:
+        self._watches.append(array("i"))
+        self._watches.append(array("i"))
+        self._bin_watches.append(array("i"))
+        self._bin_watches.append(array("i"))
+
+    def _watch_binary(self, cref: int) -> None:
+        arena = self._arena
+        a = arena[cref]
+        b = arena[cref + 1]
+        watch = self._bin_watches[self._lit_index(-a)]
+        watch.append(b)
+        watch.append(cref)
+        watch = self._bin_watches[self._lit_index(-b)]
+        watch.append(a)
+        watch.append(cref)
+
+    # ------------------------------------------------------------------
+    # Hot loops: dispatch to the C extension (in-place, lockstep).
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[list[int]]:
+        return _accel_module.propagate(self)
+
+    def _enqueue(self, lit: int, reason) -> bool:
+        return _accel_module.enqueue(self, lit, reason)
+
+    def _compact_and_rebuild(self) -> None:
+        # C walks the arena (copy survivors, remap cref lists and trail
+        # reasons); the watch-list rebuild stays in Python — it is the
+        # cold path and must mirror the array core's rebuild order.
+        _accel_module.compact(self)
+        for watch_list in self._watches:
+            del watch_list[:]
+        for cref in self._long_crefs:
+            self._watch(cref)
+        for cref in self._learned_crefs:
+            self._watch(cref)
+        for watch_list in self._bin_watches:
+            del watch_list[:]
+        for cref in self._bin_crefs:
+            self._watch_binary(cref)

@@ -9,12 +9,21 @@ shared search driver, and two interchangeable clause-storage *cores* —
   the original representation and the differential oracle);
 * ``"array"`` — a flat integer clause arena with flat int watch lists
   (:class:`ArrayCdclSolver`; optionally mypyc-compiled, see
-  :mod:`repro.sat.build_compiled`).
+  :mod:`repro.sat.build_compiled`);
+* ``"accel"`` — the same arena held in ``array('i')`` storage with the
+  inner loops dispatched to the hand-written C extension
+  :mod:`repro.sat._accel` (:class:`AccelCdclSolver`; built on demand by
+  :mod:`repro.sat.build_accel`, only selectable when the extension
+  imported — see :data:`SOLVER_CORES` vs :data:`SOLVER_CORE_NAMES`).
 
-Both cores implement identical heuristics and run the same search, so
+The cores implement identical heuristics and run the same search, so
 suites, models, and solver counters are byte-for-byte equal across
 cores — ``--solver-core object`` plays the same oracle role as
-``--fresh-solver`` and ``--no-symmetry``.
+``--fresh-solver`` and ``--no-symmetry``.  The pseudo-core ``"auto"``
+resolves to the fastest core available in this environment
+(:func:`default_solver_core`: ``accel`` when built, else ``array``);
+:func:`accel_status` reports which one that is, and is surfaced by
+``repro stats``, the run manifests, and every benchmark JSON.
 
 :class:`CdclSolver` remains the object core, so existing constructions
 keep their exact historical behavior (no inprocessing, object storage).
@@ -29,8 +38,11 @@ without threading parameters through the whole relational layer.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
+from ..errors import AccelUnavailableError
 from .cnf import Cnf
 from .core import (
     DEADLINE_POLL_PROPAGATIONS,
@@ -44,6 +56,7 @@ from .core_object import ObjectCdclSolver
 
 from . import core_array as _core_array_module
 from .core_array import ArrayCdclSolver
+from .core_accel import AccelCdclSolver, accel_available, extension_file
 
 #: True when the array core was imported from a mypyc-built extension
 #: (see :mod:`repro.sat.build_compiled`); the pure-Python module is the
@@ -56,28 +69,99 @@ __all__ = [
     "DEADLINE_POLL_PROPAGATIONS",
     "MAX_MERGED_STAT_FIELDS",
     "SOLVER_CORES",
+    "SOLVER_CORE_NAMES",
+    "AccelCdclSolver",
     "CdclCore",
     "CdclSolver",
     "ObjectCdclSolver",
     "ArrayCdclSolver",
     "SatResult",
     "SolverStats",
+    "accel_status",
     "create_solver",
     "current_solver_preferences",
+    "default_solver_core",
     "luby",
+    "resolve_solver_core",
     "solve_cnf",
     "solver_preferences",
 ]
 
-#: Selectable propagation cores (`SynthesisConfig.solver_core` /
-#: ``--solver-core``).
-SOLVER_CORES = ("object", "array")
+#: Every named propagation core, selectable or not in this environment.
+SOLVER_CORE_NAMES = ("object", "array", "accel")
+
+#: The cores actually runnable here (`SynthesisConfig.solver_core` /
+#: ``--solver-core``): ``accel`` appears only when the native extension
+#: imported, so parametrizing over this tuple is automatically
+#: skip-safe in environments that never built it.
+SOLVER_CORES = tuple(
+    name
+    for name in SOLVER_CORE_NAMES
+    if name != "accel" or accel_available()
+)
+
+
+def default_solver_core() -> str:
+    """What the pseudo-core ``"auto"`` resolves to: the fastest core
+    available in this environment (``accel`` when built, else ``array``)."""
+    return "accel" if accel_available() else "array"
+
+
+def resolve_solver_core(core: Optional[str]) -> str:
+    """Resolve a requested core name (``None``/``"auto"`` included) to a
+    concrete runnable core; raise for unknown or unavailable cores."""
+    if core is None or core == "auto":
+        return default_solver_core()
+    if core not in SOLVER_CORE_NAMES:
+        raise ValueError(
+            f"unknown solver core: {core!r} "
+            f"(expected one of {('auto',) + SOLVER_CORE_NAMES})"
+        )
+    if core not in SOLVER_CORES:
+        from .core_accel import BUILD_HINT
+
+        raise AccelUnavailableError(
+            f'solver core "{core}" requested but the native extension '
+            f"repro.sat._accel is not built; {BUILD_HINT} or select "
+            "--solver-core array"
+        )
+    return core
+
+
+def accel_status() -> dict:
+    """Which propagation backend this process runs on (see module doc).
+
+    The dict is JSON-ready and stable-keyed; it is surfaced by
+    ``repro stats``, recorded in :mod:`repro.obs` run manifests, and
+    stamped into every benchmark JSON so baselines are attributable to
+    the core that produced them.
+    """
+    path = extension_file()
+    built_at = None
+    if path:
+        try:
+            built_at = datetime.fromtimestamp(
+                Path(path).stat().st_mtime, timezone.utc
+            ).isoformat(timespec="seconds")
+        except OSError:  # pragma: no cover - racing a concurrent clean
+            pass
+    return {
+        "available": accel_available(),
+        "extension": Path(path).name if path else None,
+        "built_at": built_at,
+        "default_core": default_solver_core(),
+        "compiled_array_core": COMPILED_ARRAY_CORE,
+    }
 
 #: Back-compat name: bare ``CdclSolver(cnf)`` is the object core with
 #: inprocessing off — byte-for-byte the historical solver.
 CdclSolver = ObjectCdclSolver
 
-_CORE_CLASSES = {"object": ObjectCdclSolver, "array": ArrayCdclSolver}
+_CORE_CLASSES = {
+    "object": ObjectCdclSolver,
+    "array": ArrayCdclSolver,
+    "accel": AccelCdclSolver,
+}
 
 # Ambient defaults used by create_solver() when a knob is not given
 # explicitly.  Module-global (not a contextvar) for the same reason the
@@ -102,10 +186,11 @@ def solver_preferences(
     nest; the previous preferences are restored on exit.
     """
     global _PREFERRED_CORE, _PREFERRED_INPROCESS
-    if core is not None and core not in SOLVER_CORES:
-        raise ValueError(
-            f"unknown solver core: {core!r} (expected one of {SOLVER_CORES})"
-        )
+    if core is not None:
+        # "auto" resolves at scope entry, so every solver constructed
+        # under the scope uses one concrete core; an unavailable accel
+        # request fails here with the build hint, not deep in a worker.
+        core = resolve_solver_core(core)
     previous = (_PREFERRED_CORE, _PREFERRED_INPROCESS)
     if core is not None:
         _PREFERRED_CORE = core
@@ -131,6 +216,8 @@ def create_solver(
     """
     if core is None:
         core = _PREFERRED_CORE
+    else:
+        core = resolve_solver_core(core)
     if inprocess is None:
         inprocess = _PREFERRED_INPROCESS
     try:

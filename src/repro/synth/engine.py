@@ -51,7 +51,7 @@ from ..models import MemoryModel, x86t_elt
 from ..mtm import Execution, Program
 from ..obs import current_registry, current_tracer
 from ..resilience import deadline_scope
-from ..sat import solver_preferences
+from ..sat import resolve_solver_core, solver_preferences
 from ..symmetry import (
     execution_key_via,
     program_symmetry,
@@ -376,9 +376,13 @@ def run_pipeline(
     )
 
     if registry:
-        # Which propagation core serves this run (informational: the
-        # cores are lockstep-identical, so nothing deterministic varies).
-        registry.inc(f"solver.core.{config.solver_core}", informational=True)
+        # Which propagation core serves this run, with "auto" resolved
+        # to the concrete core (informational: the cores are
+        # lockstep-identical, so nothing deterministic varies).
+        registry.inc(
+            f"solver.core.{resolve_solver_core(config.solver_core)}",
+            informational=True,
+        )
 
     generated = clock()
     # Publish the deadline on the cooperative channel so a stuck SAT

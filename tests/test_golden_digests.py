@@ -55,6 +55,7 @@ import pytest
 from repro.litmus import suite_from_diff, suite_from_synthesis
 from repro.models import x86t_amd_bug, x86t_elt
 from repro.orchestrate import run_sharded
+from repro.sat import SOLVER_CORES
 from repro.synth import SynthesisConfig, synthesize
 
 #: (target axiom, bound, witness backend) -> sha256 of the suite text.
@@ -121,7 +122,20 @@ def suite_digest(axiom: str, bound: int, backend: str, **kwargs) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-@pytest.mark.parametrize("solver_core", ["object", "array"])
+@pytest.mark.parametrize(
+    "solver_core",
+    [
+        "object",
+        "array",
+        pytest.param(
+            "accel",
+            marks=pytest.mark.skipif(
+                "accel" not in SOLVER_CORES,
+                reason="repro.sat._accel extension not built",
+            ),
+        ),
+    ],
+)
 @pytest.mark.parametrize("symmetry", [False, True], ids=["no-symmetry", "symmetry"])
 @pytest.mark.parametrize("incremental", [False, True], ids=["fresh", "incremental"])
 @pytest.mark.parametrize(
@@ -133,8 +147,9 @@ def test_serial_suite_matches_golden_digest(
     """Every pinned digest must hold on BOTH solver paths (the
     incremental-session path and the fresh-solver oracle), on both
     symmetry paths (orbit-pruned and the --no-symmetry oracle), and on
-    both solver cores (the array propagation core and the object-core
-    oracle — lockstep-identical searches by contract).
+    every solver core (the array propagation core, the C-accelerated
+    core when its extension is built, and the object-core oracle —
+    lockstep-identical searches by contract).
     Session reuse across these parametrized cases is exactly the
     production sweep workload, so cache warmth is deliberately not
     reset between them."""

@@ -1,0 +1,361 @@
+"""The C-accelerated solver core (`repro.sat._accel` / `AccelCdclSolver`).
+
+Covers the native core's specific risk surface beyond the shared
+parametrized suites (which pick up ``accel`` automatically through
+``SOLVER_CORES`` whenever the extension is built):
+
+* clean import + clear error when the extension is unbuilt;
+* ``auto`` core resolution and ``accel_status()`` reporting;
+* zero-copy buffer aliasing — C writes are visible through the same
+  Python ``array('i')`` objects, across ``_grow_storage`` and arena
+  compaction;
+* interrupt/deadline polls crossing the C boundary;
+* lockstep equality of model orders and SolverStats counters against
+  the pure-Python oracles;
+* the build helpers' hardened exit-status contract (both
+  ``build_accel`` and the mypyc ``build_compiled``).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from array import array
+from dataclasses import asdict
+
+import pytest
+
+import repro.sat
+import repro.sat.core as core_module
+from repro.errors import AccelUnavailableError, SolverInterrupted, SynthesisError
+from repro.resilience import deadline_scope
+from repro.sat import (
+    SOLVER_CORES,
+    SOLVER_CORE_NAMES,
+    AccelCdclSolver,
+    ArrayCdclSolver,
+    Cnf,
+    ObjectCdclSolver,
+    accel_status,
+    create_solver,
+    default_solver_core,
+    resolve_solver_core,
+)
+from repro.sat import build_accel, core_accel
+from repro.sat import solver as solver_module
+
+ACCEL_BUILT = core_accel.accel_available()
+
+needs_accel = pytest.mark.skipif(
+    not ACCEL_BUILT, reason="repro.sat._accel extension not built"
+)
+
+
+def pigeonhole(holes: int) -> Cnf:
+    pigeons = holes + 1
+    cnf = Cnf(pigeons * holes)
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    for pigeon in range(pigeons):
+        cnf.add_clause([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for a in range(pigeons):
+            for b in range(a + 1, pigeons):
+                cnf.add_clause([-var(a, hole), -var(b, hole)])
+    return cnf
+
+
+def random_cnf(num_vars: int, num_clauses: int, seed: int) -> Cnf:
+    rng = random.Random(seed)
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+# ----------------------------------------------------------------------
+# Fallback import + core selection
+# ----------------------------------------------------------------------
+
+
+def test_core_accel_imports_without_extension() -> None:
+    # The module itself must import cleanly whether or not the
+    # extension is built; availability is a queryable fact, not an
+    # import-time crash.
+    assert isinstance(core_accel.accel_available(), bool)
+    assert core_accel.accel_available() == (
+        core_accel._accel_module is not None
+    )
+
+
+def test_unbuilt_extension_raises_clear_error(monkeypatch) -> None:
+    monkeypatch.setattr(core_accel, "_accel_module", None)
+    with pytest.raises(AccelUnavailableError, match="build_accel"):
+        AccelCdclSolver(Cnf(1))
+
+
+def test_unavailable_core_request_raises_clear_error(monkeypatch) -> None:
+    monkeypatch.setattr(solver_module, "SOLVER_CORES", ("object", "array"))
+    with pytest.raises(AccelUnavailableError, match="build_accel"):
+        resolve_solver_core("accel")
+    # The config layer reports the same condition as a SynthesisError.
+    monkeypatch.setattr(repro.sat, "SOLVER_CORES", ("object", "array"))
+    from repro.models import x86t_elt
+    from repro.synth import SynthesisConfig
+
+    with pytest.raises(SynthesisError, match="build_accel"):
+        SynthesisConfig(bound=4, model=x86t_elt(), solver_core="accel")
+
+
+def test_unknown_core_still_rejected() -> None:
+    with pytest.raises(ValueError, match="unknown solver core"):
+        resolve_solver_core("vectorized")
+
+
+def test_auto_resolves_to_default_core() -> None:
+    assert resolve_solver_core("auto") == default_solver_core()
+    assert resolve_solver_core(None) == default_solver_core()
+    expected = "accel" if ACCEL_BUILT else "array"
+    assert default_solver_core() == expected
+    solver = create_solver(Cnf(2), core="auto")
+    assert isinstance(
+        solver, AccelCdclSolver if ACCEL_BUILT else ArrayCdclSolver
+    )
+
+
+def test_solver_cores_lists_accel_only_when_built() -> None:
+    assert SOLVER_CORE_NAMES == ("object", "array", "accel")
+    assert ("accel" in SOLVER_CORES) == ACCEL_BUILT
+    assert set(SOLVER_CORES) <= set(SOLVER_CORE_NAMES)
+
+
+def test_accel_status_shape() -> None:
+    status = accel_status()
+    assert set(status) == {
+        "available",
+        "extension",
+        "built_at",
+        "default_core",
+        "compiled_array_core",
+    }
+    assert status["available"] == ACCEL_BUILT
+    assert status["default_core"] == default_solver_core()
+    if ACCEL_BUILT:
+        assert status["extension"].startswith("_accel")
+        assert status["built_at"] is not None
+
+
+# ----------------------------------------------------------------------
+# Zero-copy buffer aliasing (C and Python share the same memory)
+# ----------------------------------------------------------------------
+
+
+@needs_accel
+def test_c_writes_visible_through_python_arrays() -> None:
+    cnf = Cnf(3)
+    cnf.add_clause([1, 2, 3])
+    solver = AccelCdclSolver(cnf)
+    values_before = solver._values
+    view = memoryview(solver._values)
+    assert solver._enqueue(-1, solver._NO_REASON)
+    assert solver._enqueue(-2, solver._NO_REASON)
+    assert solver._propagate() is None
+    # C propagation forced literal 3 true; the *same* array object (and
+    # a memoryview exported before the call) show the assignment without
+    # any copy-back step.
+    assert solver._values is values_before
+    assert solver._value(3) is True
+    assert view[solver._lit_index(3)] == 1
+    assert view[solver._lit_index(-3)] == -1
+
+
+@needs_accel
+def test_conflict_is_reported_as_literal_list() -> None:
+    cnf = Cnf(2)
+    cnf.add_clause([1, 2])
+    solver = AccelCdclSolver(cnf)
+    assert solver._enqueue(-1, solver._NO_REASON)
+    assert solver._enqueue(-2, solver._NO_REASON)
+    conflict = solver._propagate()
+    assert sorted(conflict) == [1, 2]
+    assert solver.stats.propagations > 0
+
+
+@needs_accel
+def test_aliasing_survives_storage_growth() -> None:
+    cnf = Cnf(3)
+    cnf.add_clause([1, 2, 3])
+    solver = AccelCdclSolver(cnf)
+    assert solver.solve().satisfiable
+    # Growing the variable range appends to the shared arrays (Python
+    # side); the next C call must see the longer buffers.
+    solver.add_clause([-4, 5])
+    solver.add_clause([4])
+    assert isinstance(solver._values, array)
+    assert len(solver._values) == 2 * 5 + 2
+    result = solver.solve()
+    assert result.satisfiable
+    assert result.model[5] is True
+
+
+@needs_accel
+def test_aliasing_survives_compaction() -> None:
+    solver = AccelCdclSolver(random_cnf(60, 250, seed=11), inprocess=True)
+    solver._max_learned = 20  # force DB reductions -> arena compaction
+    first = solver.solve()
+    assert solver.stats.db_reductions > 0
+    assert isinstance(solver._arena, array)
+    # Every remapped trail reason must still name a clause containing
+    # the implied literal (a dangling cref would surface here).
+    for lit in solver._trail:
+        var = abs(lit)
+        lits = solver._reason_lits(var)
+        if lits is not None:
+            assert lit in list(lits)
+    # The solver stays usable after compaction (second query runs the
+    # inprocessing pass over the compacted arena).
+    assert solver.solve().satisfiable == first.satisfiable
+
+
+# ----------------------------------------------------------------------
+# Interrupt/deadline polls crossing the C boundary
+# ----------------------------------------------------------------------
+
+
+@needs_accel
+def test_deadline_interrupts_accel_solve(monkeypatch) -> None:
+    monkeypatch.setattr(core_module, "DEADLINE_POLL_PROPAGATIONS", 1)
+    solver = AccelCdclSolver(pigeonhole(4))
+    with deadline_scope(time.monotonic() - 1.0):
+        with pytest.raises(SolverInterrupted):
+            solver.solve()
+    # The solver backtracked to level 0 and stays usable: the C-side
+    # propagation counter kept advancing, so the poll fired between
+    # native calls, not inside one.
+    assert not solver.solve().satisfiable
+
+
+@needs_accel
+def test_deadline_interrupts_accel_enumeration(monkeypatch) -> None:
+    monkeypatch.setattr(core_module, "DEADLINE_POLL_PROPAGATIONS", 1)
+    solver = AccelCdclSolver(random_cnf(12, 20, seed=5))
+    models = solver.iter_solutions()
+    next(models)
+    with deadline_scope(time.monotonic() - 1.0):
+        with pytest.raises(SolverInterrupted):
+            while True:
+                next(models)
+
+
+# ----------------------------------------------------------------------
+# Lockstep with the pure-Python oracles
+# ----------------------------------------------------------------------
+
+
+@needs_accel
+@pytest.mark.parametrize("seed", range(8))
+def test_lockstep_model_order_and_counters(seed: int) -> None:
+    outcomes = []
+    for cls in (ObjectCdclSolver, ArrayCdclSolver, AccelCdclSolver):
+        solver = cls(random_cnf(40, 160, seed=seed))
+        result = solver.solve()
+        outcomes.append(
+            (result.satisfiable, result.model, asdict(solver.stats))
+        )
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@needs_accel
+@pytest.mark.parametrize("seed", range(4))
+def test_lockstep_allsat_enumeration(seed: int) -> None:
+    outcomes = []
+    for cls in (ObjectCdclSolver, ArrayCdclSolver, AccelCdclSolver):
+        solver = cls(random_cnf(12, 24, seed=seed))
+        models = [
+            tuple(sorted(model.items())) for model in solver.iter_solutions()
+        ]
+        outcomes.append((models, asdict(solver.stats)))
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+# ----------------------------------------------------------------------
+# build_accel exit-status contract
+# ----------------------------------------------------------------------
+
+
+@needs_accel
+def test_build_accel_up_to_date_short_circuit(capsys) -> None:
+    assert build_accel.build() == 0
+    assert "up to date" in capsys.readouterr().out
+
+
+def test_build_accel_without_compiler_is_benign(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(
+        build_accel, "extension_path", lambda: tmp_path / "_accel.so"
+    )
+    monkeypatch.setattr(build_accel, "_have_compiler", lambda: False)
+    assert build_accel.build() == 0
+    out = capsys.readouterr().out
+    assert "no C compiler" in out
+    assert "pure-Python solver cores remain active" in out
+
+
+def test_build_accel_compile_failure_is_nonzero(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(
+        build_accel, "extension_path", lambda: tmp_path / "_accel.so"
+    )
+    monkeypatch.setattr(build_accel, "_have_compiler", lambda: True)
+
+    def broken_build(build_dir: str):
+        raise RuntimeError("synthetic compiler explosion")
+
+    monkeypatch.setattr(build_accel, "_run_build", broken_build)
+    assert build_accel.build() == 1
+    err = capsys.readouterr().err
+    assert "synthetic compiler explosion" in err
+    assert "FAILED" in err
+
+
+def test_build_accel_clean_removes_artifacts(tmp_path, monkeypatch) -> None:
+    fake = tmp_path / "_accel.cpython-311-x86_64-linux-gnu.so"
+    fake.write_bytes(b"\x7fELF")
+    monkeypatch.setattr(build_accel, "_package_dir", lambda: tmp_path)
+    assert build_accel.clean() == 1
+    assert not fake.exists()
+    assert build_accel.clean() == 0
+
+
+# ----------------------------------------------------------------------
+# build_compiled hardening (mypyc crash vs absent toolchain)
+# ----------------------------------------------------------------------
+
+
+def test_build_compiled_crash_is_nonzero_with_diagnostics(
+    monkeypatch, capsys
+) -> None:
+    from types import ModuleType, SimpleNamespace
+
+    from repro.sat import build_compiled
+
+    # Simulate a *present* toolchain whose compile crashes: the helper
+    # must echo the diagnostics and return the failing status, not the
+    # benign 0 of the absent-toolchain path.
+    monkeypatch.setitem(sys.modules, "mypyc", ModuleType("mypyc"))
+    monkeypatch.setattr(
+        build_compiled.subprocess,
+        "run",
+        lambda *args, **kwargs: SimpleNamespace(
+            returncode=2,
+            stdout="mypyc: internal error\n",
+            stderr="Traceback: boom\n",
+        ),
+    )
+    assert build_compiled.build() == 2
+    err = capsys.readouterr().err
+    assert "mypyc: internal error" in err
+    assert "Traceback: boom" in err
+    assert "FAILED" in err
