@@ -33,6 +33,11 @@ Subpackages
     Differential conformance: single-pass classification of a bounded
     candidate space under a model pair, discriminating-ELT synthesis,
     and the all-pairs conformance matrix (``repro diff``).
+``repro.fuzz``
+    Coverage-guided differential fuzzing beyond the enumeration bound:
+    seeded random well-formed programs, the shared differential oracle,
+    greedy shrinking to §IV-B-minimal ELTs, and a deterministic
+    replayable regression corpus (``repro fuzz``).
 ``repro.reporting``
     ASCII tables/plots and the experiment drivers behind EXPERIMENTS.md.
 """

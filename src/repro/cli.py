@@ -11,6 +11,12 @@ Subcommands mirror the framework's workflow:
   AMD-erratum case study), or the whole catalog's conformance matrix
   with ``--all-pairs``.  Exit status: 0 when the pair(s) are equivalent
   at the bound, 1 when discriminating tests exist, 2 on usage errors.
+* ``fuzz``       — coverage-guided differential fuzzing *beyond* the
+  enumeration bound: seeded random well-formed programs judged by the
+  same differential oracle, findings shrunk to §IV-B-minimal ELTs and
+  landed in the standard suite format, with a replayable regression
+  corpus (``--corpus`` / ``--replay``).  Same exit convention as
+  ``diff``: 1 when findings exist, 0 when none, 2 on usage errors.
 
 ``synthesize``, ``sweep`` and ``diff`` scale across cores and
 invocations through the :mod:`repro.orchestrate` subsystem: ``--jobs N``
@@ -44,6 +50,10 @@ MODELS = dict(CATALOG)
 #: The smallest bound at which the paper's case study discriminates:
 #: x86t_elt vs x86t_amd_bug yields the fig 11-style stale-read ELT.
 DEFAULT_DIFF_BOUND = 5
+
+#: Default fuzz generation bound: just past the exhaustive enumeration's
+#: practical ceiling (the beyond-the-bound regime starts here).
+DEFAULT_FUZZ_BOUND = 8
 
 
 def _model(name: str) -> MemoryModel:
@@ -585,6 +595,158 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1 if cell.discriminating else 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, fuzz_identity, replay_corpus, run_fuzz, write_corpus
+
+    if args.replay:
+        if not args.corpus:
+            raise _usage_error("--replay needs --corpus DIR to replay from")
+        report = replay_corpus(args.corpus)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"corpus replay: {report.entries} entr"
+                f"{'y' if report.entries == 1 else 'ies'} in "
+                f"{report.directory}: {'OK' if report.ok else 'FAILED'}"
+            )
+            for file, test, reason in report.failures:
+                print(f"  {file} [{test}]: {reason}")
+        return 0 if report.ok else 1
+
+    # Validate orchestration arguments here so their failures honor the
+    # fuzz exit-code contract (2 = usage error, 1 = findings exist).
+    if args.jobs < 1:
+        raise _usage_error(f"--jobs must be positive, got {args.jobs}")
+    if args.shards is not None and args.shards < 1:
+        raise _usage_error(f"--shards must be positive, got {args.shards}")
+    if args.resume and not args.cache_dir:
+        raise _usage_error("--resume requires --cache-dir")
+    if args.bound < 1:
+        raise _usage_error(f"--bound must be positive, got {args.bound}")
+    if args.rounds < 1:
+        raise _usage_error(f"--rounds must be positive, got {args.rounds}")
+    if args.attempts < 1:
+        raise _usage_error(f"--attempts must be positive, got {args.attempts}")
+    store = _store(args)
+
+    config = FuzzConfig(
+        seed=args.seed,
+        bound=args.bound,
+        reference=_diff_model(args.reference),
+        subject=_diff_model(args.subject),
+        rounds=args.rounds,
+        attempts_per_round=args.attempts,
+        max_threads=args.threads,
+        max_witnesses=args.max_witnesses,
+        time_budget_s=args.budget,
+        witness_backend=args.witness_backend,
+        incremental=not args.fresh_solver,
+        symmetry=not args.no_symmetry,
+        solver_core=args.solver_core,
+        inprocessing=not args.no_inprocessing,
+    )
+    obs = _observation(args)
+    retry, faults = _resilience(args)
+    with obs:
+        result = run_fuzz(
+            config,
+            jobs=args.jobs,
+            shard_count=args.shards,
+            store=store,
+            retry=retry,
+            faults=faults,
+        )
+    _warn_degraded(result.failures)
+
+    snapshot = result.coverage.snapshot()
+    if args.json:
+        document = {
+            "identity": fuzz_identity(config),
+            "stats": result.stats.to_json(),
+            "coverage": snapshot,
+            "rounds_run": result.rounds_run,
+            "findings": [
+                {
+                    "class": finding.digest,
+                    "violates": list(finding.violated_axioms),
+                    "size": finding.program.size,
+                    "shrink_steps": finding.shrink_steps,
+                    "occurrences": finding.occurrences,
+                    "source": list(finding.source),
+                }
+                for finding in result.findings
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        stats = result.stats
+        print(
+            f"fuzz {result.reference} vs {result.subject}: seed={result.seed} "
+            f"bound={result.bound} rounds={result.rounds_run}"
+        )
+        print(
+            f"attempts={stats.programs_generated} "
+            f"classes={snapshot['classes']} behaviors={snapshot['behaviors']} "
+            f"saturated={'yes' if snapshot['saturated'] else 'no'}"
+        )
+        print(
+            f"discriminating={stats.discriminating} "
+            f"findings={stats.findings} shrink_steps={stats.shrink_steps} "
+            f"shrink_failed={stats.shrink_failed} truncated={stats.truncated}"
+        )
+        if stats.timed_out:
+            print("NOTE: run hit --budget; coverage and findings are partial")
+        if store is not None:
+            print(
+                f"cache: run_hit={result.run_cache_hit} "
+                f"shard_hits={result.shard_cache_hits} "
+                f"shard_misses={result.shard_cache_misses}"
+            )
+        for index, finding in enumerate(result.findings, start=1):
+            print(
+                f"\n--- finding {index} (class {finding.digest}, violates: "
+                f"{', '.join(finding.violated_axioms)}, size "
+                f"{finding.program.size}, shrink steps "
+                f"{finding.shrink_steps}) ---"
+            )
+            print(
+                format_execution(finding.execution, show_derived=args.verbose)
+            )
+    if getattr(args, "profile", False):
+        out = sys.stderr if args.json else sys.stdout
+        print(
+            json.dumps(
+                {"fuzz_stats": result.stats.to_json()}, sort_keys=True
+            ),
+            file=out,
+        )
+    artifacts = {}
+    if args.save:
+        from .litmus import suite_from_fuzz
+
+        path = suite_from_fuzz(result).save(args.save)
+        if not args.json:
+            print(f"\nfuzz suite written to {path}")
+        artifacts["suite"] = path
+    if args.corpus:
+        paths = write_corpus(result, args.corpus)
+        if not args.json:
+            print(f"corpus: {len(paths)} finding(s) written to {args.corpus}")
+        artifacts["corpus"] = args.corpus
+    if obs.enabled:
+        identity = fuzz_identity(config)
+        identity["kind"] = "fuzz"
+        # FuzzStats is not a SuiteStats (no stage times); ship the fuzz
+        # counters and coverage through the manifest's extra block.
+        _finish_observation(
+            obs, args, "fuzz", identity, None,
+            artifacts=artifacts or None,
+            extra={"fuzz_stats": result.stats.to_json(), "coverage": snapshot},
+        )
+    return 1 if result.findings else 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from .obs import list_manifests
 
@@ -875,6 +1037,88 @@ def build_parser() -> argparse.ArgumentParser:
                       "suite as an .elts file (pair mode only)")
     _add_orchestration_arguments(diff)
     diff.set_defaults(func=cmd_diff)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing beyond the enumeration "
+        "bound: random well-formed programs, shrunk findings, replayable "
+        "corpus (exit 1 when findings exist)",
+    )
+    fuzz.add_argument(
+        "--reference",
+        default="x86t_elt",
+        help="the spec model (forbids the findings; default x86t_elt)",
+    )
+    fuzz.add_argument(
+        "--subject",
+        default="x86t_amd_bug",
+        help="the model under comparison (permits them; default "
+        "x86t_amd_bug, the AMD INVLPG erratum)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="run seed: the only entropy source; a fixed seed makes the "
+        "findings byte-identical across --jobs (default 0)",
+    )
+    fuzz.add_argument(
+        "--bound",
+        type=int,
+        default=DEFAULT_FUZZ_BOUND,
+        help=f"max events per random program (default {DEFAULT_FUZZ_BOUND}; "
+        "8-12 is the beyond-the-enumeration regime)",
+    )
+    fuzz.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="coverage-feedback rounds: generation profiles re-weight at "
+        "each round barrier toward profiles that found novelty (default 2)",
+    )
+    fuzz.add_argument(
+        "--attempts",
+        type=int,
+        default=64,
+        help="programs generated per round (default 64)",
+    )
+    fuzz.add_argument("--threads", type=int, default=2)
+    fuzz.add_argument(
+        "--max-witnesses",
+        type=int,
+        default=20000,
+        help="abandon a program whose candidate-execution count exceeds "
+        "this (counted as truncated; default 20000)",
+    )
+    fuzz.add_argument(
+        "--budget", type=float, default=None, help="seconds for the whole run"
+    )
+    fuzz.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (stable schema, version field inside)",
+    )
+    fuzz.add_argument("--verbose", action="store_true")
+    fuzz.add_argument(
+        "--save",
+        default=None,
+        help="write the shrunk findings as a standard .elts suite file",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write one .elts file per finding into DIR (content-addressed "
+        "by orbit-class digest); with --replay, the directory to re-judge",
+    )
+    fuzz.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay --corpus DIR instead of fuzzing: re-judge every "
+        "committed finding from scratch (exit 1 on any regression)",
+    )
+    _add_orchestration_arguments(fuzz)
+    fuzz.set_defaults(func=cmd_fuzz)
 
     check = sub.add_parser("check", help="check an ELT file against a model")
     check.add_argument("file", help="ELT machine-format file, or - for stdin")

@@ -50,6 +50,7 @@ from .runner import (
     catalog_pairs,
     diff_entry_key,
     diff_identity,
+    execute_shard_tasks,
     run_all_pairs,
     run_diff,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "diff_entry_key",
     "diff_identity",
     "diff_models",
+    "execute_shard_tasks",
     "expected_refinements",
     "finalize_cell",
     "merge_diff_shards",

@@ -152,7 +152,7 @@ class DiffRunResult:
         return bool(self.failures)
 
 
-def _execute_tasks(
+def execute_shard_tasks(
     tasks: List,
     jobs: int,
     executor: Optional[Union[Executor, PoolManager]] = None,
@@ -166,8 +166,9 @@ def _execute_tasks(
     down the pool only when the caller did not share one.  Returns
     ``(results, failures, stats)`` with results in task order (a ``None``
     slot is a quarantined task, listed in ``failures``) — the single
-    execution policy behind both :func:`run_diff` and
-    :func:`run_all_pairs` (which passes the fused multi-pair worker)."""
+    execution policy behind :func:`run_diff`, :func:`run_all_pairs`
+    (which passes the fused multi-pair worker), and the fuzz runner
+    (:func:`repro.fuzz.run_fuzz`, which passes the fuzz shard worker)."""
     pool: Optional[PoolManager] = None
     if isinstance(executor, PoolManager):
         pool = executor
@@ -257,7 +258,7 @@ def run_diff(
 
     progress = ProgressReporter("diff", len(specs))
     progress.done = len(specs) - len(pending)
-    executed, failures, resilience = _execute_tasks(
+    executed, failures, resilience = execute_shard_tasks(
         [task for _index, task in pending],
         jobs,
         executor=executor,
@@ -428,7 +429,7 @@ def run_all_pairs(
             task_slots.append((index, pairs_here))
 
         progress = ProgressReporter("all-pairs", len(tasks))
-        executed, failures, resilience = _execute_tasks(
+        executed, failures, resilience = execute_shard_tasks(
             tasks,
             jobs,
             worker=run_multi_diff_shard,

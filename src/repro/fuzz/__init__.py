@@ -1,0 +1,68 @@
+"""Coverage-guided differential fuzzing beyond the enumeration bound.
+
+Exhaustive synthesis (:mod:`repro.synth`) is exact but hard-capped by
+the bound.  This package is the complementary regime the ROADMAP's
+"Beyond the bound" item calls for: seeded random well-formed VM programs
+at bounds 8-12 (:mod:`.generators` — promoted out of
+``tests/strategies.py`` so the pipeline owns the generator and the tests
+re-export it), judged by the existing pairwise differential oracle
+(:mod:`.oracle`, built on :class:`repro.models.PairClassifier` and the
+engine's witness streams), guided by a coverage map over observed
+behaviors (:mod:`.coverage`), with every discriminating finding shrunk
+to a §IV-B-minimal ELT (:mod:`.shrink`) and landed in the same suite
+format, store, and reports as enumerated ones (:mod:`.runner`,
+:mod:`.corpus`).
+
+Determinism contract: with a fixed seed, the findings suite is
+byte-identical across ``--jobs`` — per-program seeds are a pure function
+of (run seed, round, attempt index), never of shard assignment; coverage
+feedback only crosses rounds through a deterministic merge barrier; and
+finding dedup picks class representatives by rank, never by arrival
+order.  See ``docs/FUZZING.md``.
+"""
+
+from .config import FuzzConfig, FuzzStats, fuzz_identity
+from .corpus import ReplayReport, replay_corpus, write_corpus
+from .coverage import PROFILES, CoverageMap
+from .generators import (
+    INITIAL,
+    VAS,
+    RngChooser,
+    build_program,
+    build_vm_program,
+    derive_seed,
+    random_program,
+)
+from .oracle import ClassSummary, DifferentialOracle, Judgment
+from .runner import FuzzFinding, FuzzRunResult, run_fuzz
+from .shrink import ShrinkOutcome, shrink
+from .worker import FuzzShardResult, FuzzShardTask, run_fuzz_shard
+
+__all__ = [
+    "CoverageMap",
+    "ClassSummary",
+    "DifferentialOracle",
+    "FuzzConfig",
+    "FuzzFinding",
+    "FuzzRunResult",
+    "FuzzShardResult",
+    "FuzzShardTask",
+    "FuzzStats",
+    "INITIAL",
+    "Judgment",
+    "PROFILES",
+    "ReplayReport",
+    "RngChooser",
+    "ShrinkOutcome",
+    "VAS",
+    "build_program",
+    "build_vm_program",
+    "derive_seed",
+    "fuzz_identity",
+    "random_program",
+    "replay_corpus",
+    "run_fuzz",
+    "run_fuzz_shard",
+    "shrink",
+    "write_corpus",
+]

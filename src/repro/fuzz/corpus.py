@@ -1,0 +1,122 @@
+"""The regression corpus: shrunk findings on disk, deterministically.
+
+Each finding is written as a *single-test* ``.elts`` suite file named by
+its orbit-class digest, so the corpus directory is content-addressed:
+re-running the same seeded campaign rewrites byte-identical files, a new
+divergence adds exactly one new file, and version control diffs stay
+readable.  The test format is the standard portable suite format
+(:mod:`repro.litmus.suitefile`) with the fuzz provenance in the meta
+line — any consumer of enumerated suites can consume the corpus.
+
+Replay (:func:`replay_corpus`) is the regression check: every corpus
+entry is re-parsed and re-judged from scratch against the catalog models
+named in its own metadata — the reference must still forbid it, the
+subject must still permit it, it must still be §IV-B minimal, and the
+recorded violated-axiom list must still match.  No fuzzing, no seeds:
+pure oracle replay, cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..litmus.suitefile import EltSuite
+from ..models.catalog import CATALOG
+from ..synth.relax import is_minimal
+
+
+def write_corpus(result, directory: Union[str, Path]) -> List[Path]:
+    """Write one single-test ``.elts`` file per finding (named by class
+    digest) into ``directory``; returns the written paths in finding
+    rank order."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for finding in result.findings:
+        suite = EltSuite()
+        suite.add(
+            f"fuzz_{finding.digest}",
+            finding.execution,
+            meta={
+                "reference": result.reference,
+                "subject": result.subject,
+                "violates": ",".join(finding.violated_axioms),
+                "bound": str(finding.program.size),
+                "agreement": "only-reference-forbids",
+                "seed": str(result.seed),
+                "shrink_steps": str(finding.shrink_steps),
+                "class": finding.digest,
+            },
+        )
+        paths.append(suite.save(directory / f"{finding.digest}.elts"))
+    return paths
+
+
+@dataclass
+class ReplayReport:
+    """The outcome of re-judging every corpus entry from scratch."""
+
+    directory: str
+    entries: int = 0
+    #: (file name, test name, reason) per failed check.
+    failures: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> dict:
+        return {
+            "directory": self.directory,
+            "entries": self.entries,
+            "ok": self.ok,
+            "failures": [
+                {"file": file, "test": test, "reason": reason}
+                for file, test, reason in self.failures
+            ],
+        }
+
+
+def _replay_entry(entry) -> List[str]:
+    """Every broken promise of one corpus entry (empty = still green)."""
+    problems: List[str] = []
+    reference_name = entry.meta.get("reference", "")
+    subject_name = entry.meta.get("subject", "")
+    for role, name in (("reference", reference_name), ("subject", subject_name)):
+        if name not in CATALOG:
+            problems.append(f"unknown {role} model {name!r}")
+    if problems:
+        return problems
+    reference = CATALOG[reference_name]()
+    subject = CATALOG[subject_name]()
+    verdict = reference.check(entry.execution)
+    if verdict.permitted:
+        problems.append(f"reference {reference_name} now permits the ELT")
+    elif "violates" in entry.meta:
+        recorded = tuple(v for v in entry.meta["violates"].split(",") if v)
+        if tuple(verdict.violated) != recorded:
+            problems.append(
+                "violated axioms drifted: recorded "
+                f"{','.join(recorded)}, got {','.join(verdict.violated)}"
+            )
+    if not subject.check(entry.execution).permitted:
+        problems.append(f"subject {subject_name} now forbids the ELT")
+    if not problems and not is_minimal(entry.execution, reference):
+        problems.append("no longer §IV-B minimal under the reference")
+    return problems
+
+
+def replay_corpus(directory: Union[str, Path]) -> ReplayReport:
+    """Re-judge every ``.elts`` file under ``directory`` (sorted by
+    name, so reports are deterministic)."""
+    directory = Path(directory)
+    report = ReplayReport(directory=str(directory))
+    for path in sorted(directory.glob("*.elts")):
+        suite = EltSuite.load(path)
+        for entry in suite:
+            report.entries += 1
+            for reason in _replay_entry(entry):
+                report.failures.append((path.name, entry.name, reason))
+    return report

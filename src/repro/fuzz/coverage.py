@@ -1,0 +1,182 @@
+"""The coverage map: observed behaviors, novelty, and profile feedback.
+
+Coverage has three dimensions, all derived from machinery the exact
+pipeline already trusts:
+
+* **agreement buckets** — the four :class:`~repro.models.Agreement`
+  verdict pairs of the differential oracle, counted per witness;
+* **axiom signatures** — for reference-forbidden witnesses, the sorted
+  tuple of violated reference axioms (the behavior's "why"), combined
+  with the subject verdict;
+* **program classes** — orbit-canonical program keys
+  (:func:`repro.synth.canon.canonical_program_key` digests), so two
+  isomorphic programs never count as two behaviors.
+
+Novelty (first sighting of a class or behavior bucket) feeds generation:
+each profile in :data:`PROFILES` is a bias over the generator's
+operation pool, and the next round's attempts are allocated to profiles
+by largest-remainder apportionment over ``1 + novelty`` weights — an
+exploration floor of one share keeps every profile alive.  The
+allocation is a pure function of the merged map, and the map is merged
+at round barriers in global attempt order, so coverage guidance never
+depends on shard interleaving (the cross-``--jobs`` determinism
+contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence, Tuple
+
+#: Generation profiles: (name, build_program kwargs overrides).  The
+#: op_bias tokens are appended to the legal operation pool, raising
+#: their draw probability; unknown tokens are ignored by the builder.
+PROFILES: Tuple[Tuple[str, dict], ...] = (
+    ("mixed", {}),
+    ("vm_heavy", {"op_bias": ("wpte", "inv", "wpte", "inv")}),
+    ("rmw_heavy", {"op_bias": ("rmw", "rmw", "w")}),
+    ("racy", {"op_bias": ("w", "r", "w")}),
+)
+
+PROFILE_NAMES: Tuple[str, ...] = tuple(name for name, _ in PROFILES)
+
+PROFILE_KWARGS: dict = {name: kwargs for name, kwargs in PROFILES}
+
+
+def class_digest(canonical_key: tuple) -> str:
+    """A short stable digest of an orbit-canonical program key."""
+    rendered = repr(canonical_key).encode("utf-8")
+    return hashlib.blake2b(rendered, digest_size=8).hexdigest()
+
+
+def behavior_key(agreement: str, signature: Tuple[str, ...]) -> str:
+    """One behavior bucket: agreement value x violated-axiom signature."""
+    return f"{agreement}|{'+'.join(signature) if signature else '-'}"
+
+
+@dataclass
+class CoverageMap:
+    """Counts per coverage dimension plus per-profile novelty credit."""
+
+    #: agreement bucket value -> weighted witness count.
+    agreement: dict = field(default_factory=dict)
+    #: behavior bucket (agreement x signature) -> weighted count.
+    behaviors: dict = field(default_factory=dict)
+    #: orbit-canonical program class digest -> attempt count.
+    classes: dict = field(default_factory=dict)
+    #: profile name -> novelty credit (new classes + new behaviors it
+    #: uncovered, across the whole run).
+    novel_by_profile: dict = field(default_factory=dict)
+    #: novelty per completed round (new classes + behaviors), appended
+    #: at each round barrier — the saturation signal.
+    round_novelty: list = field(default_factory=list)
+
+    # -- observation ----------------------------------------------------
+    def observe_attempt(
+        self,
+        profile: str,
+        digest: str,
+        counts: Tuple[int, int, int, int],
+        signatures: Sequence[Tuple[str, Tuple[str, ...]]],
+    ) -> int:
+        """Fold one attempt's class-pure observations in; returns the
+        novelty delta (0, 1 for a new class, +1 per new behavior).
+
+        ``counts`` is (both-permit, both-forbid, only-reference-forbids,
+        only-subject-forbids) weighted witness totals; ``signatures`` are
+        (agreement value, violated-axiom tuple) pairs with implicit
+        weight folded into ``counts`` already.
+        """
+        from ..models import Agreement
+
+        novelty = 0
+        if digest not in self.classes:
+            novelty += 1
+        self.classes[digest] = self.classes.get(digest, 0) + 1
+        for value, count in zip(
+            (
+                Agreement.BOTH_PERMIT.value,
+                Agreement.BOTH_FORBID.value,
+                Agreement.ONLY_REFERENCE_FORBIDS.value,
+                Agreement.ONLY_SUBJECT_FORBIDS.value,
+            ),
+            counts,
+        ):
+            if count:
+                self.agreement[value] = self.agreement.get(value, 0) + count
+        for agreement_value, signature in signatures:
+            key = behavior_key(agreement_value, tuple(signature))
+            if key not in self.behaviors:
+                novelty += 1
+            self.behaviors[key] = self.behaviors.get(key, 0) + 1
+        if novelty:
+            self.novel_by_profile[profile] = (
+                self.novel_by_profile.get(profile, 0) + novelty
+            )
+        return novelty
+
+    def finish_round(self, novelty: int) -> None:
+        self.round_novelty.append(novelty)
+
+    # -- saturation -----------------------------------------------------
+    @property
+    def class_count(self) -> int:
+        return len(self.classes)
+
+    @property
+    def behavior_count(self) -> int:
+        return len(self.behaviors)
+
+    @property
+    def saturated(self) -> bool:
+        """No novelty in the most recent completed round."""
+        return bool(self.round_novelty) and self.round_novelty[-1] == 0
+
+    def novelty_rate(self) -> float:
+        """Novel classes+behaviors per attempt, across the whole run."""
+        attempts = sum(self.classes.values())
+        if attempts == 0:
+            return 0.0
+        total = self.class_count + self.behavior_count
+        return total / attempts
+
+    # -- generation feedback --------------------------------------------
+    def allocate(self, attempts: int) -> Tuple[str, ...]:
+        """Assign each of the next round's attempt slots to a profile.
+
+        Largest-remainder apportionment over ``1 + novelty_credit``
+        weights (the +1 is the exploration floor), then a deterministic
+        block layout in profile order.  A pure function of the merged
+        map — identical whatever the shard split that built it.
+        """
+        weights = [
+            1 + self.novel_by_profile.get(name, 0) for name in PROFILE_NAMES
+        ]
+        total = sum(weights)
+        shares = [attempts * weight / total for weight in weights]
+        counts = [int(share) for share in shares]
+        leftover = attempts - sum(counts)
+        remainders = sorted(
+            range(len(PROFILE_NAMES)),
+            key=lambda i: (-(shares[i] - counts[i]), i),
+        )
+        for i in remainders[:leftover]:
+            counts[i] += 1
+        allocation: list = []
+        for name, count in zip(PROFILE_NAMES, counts):
+            allocation.extend([name] * count)
+        return tuple(allocation)
+
+    # -- serialization --------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "classes": self.class_count,
+            "behaviors": self.behavior_count,
+            "agreement": dict(sorted(self.agreement.items())),
+            "behavior_counts": dict(sorted(self.behaviors.items())),
+            "novel_by_profile": dict(sorted(self.novel_by_profile.items())),
+            "round_novelty": list(self.round_novelty),
+            "saturated": self.saturated,
+            "novelty_rate": round(self.novelty_rate(), 4),
+        }

@@ -1,0 +1,348 @@
+"""Seeded generation of random well-formed transistency programs.
+
+This is the one home of the random-program generator: the fuzzing
+pipeline drives it with a :class:`RngChooser` (a pure function of the
+derived seed — no global ``random`` state), and the Hypothesis
+strategies the property-test suite has always used are thin wrappers
+that drive the *same* builder through a draw adapter
+(``tests/strategies.py`` re-exports them).
+
+The generator mirrors the legality rules the builder enforces (TLB hits
+only on live entries, remap IPI fan-out to every core, one dirty-bit
+ghost per write), so every emitted program is well-formed by
+construction, and event costs are charged against the ``max_events``
+budget up front, so every emitted program fits the requested bound.
+
+Seed derivation (:func:`derive_seed`) is a pure blake2b function of
+``(seed, stream, attempt)``; the fuzz pipeline passes the *round index*
+as the stream, so a program's bytes depend only on the run seed and its
+global attempt index — never on which shard or worker generated it.
+That is the whole byte-identical-across-``--jobs`` argument.
+
+Hypothesis is only imported inside the strategy wrappers: the pipeline
+path has no test-library dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence
+
+from ..mtm import Event, EventKind, Program, ProgramBuilder
+
+VAS = ("x", "y")
+INITIAL = {"x": "pa_x", "y": "pa_y"}
+
+#: Operation tokens the generator understands (subsets apply per mode).
+OPS = ("r", "w", "rmw", "inv", "wpte", "fence")
+
+
+def derive_seed(seed: int, stream: int, attempt: int) -> int:
+    """A per-program seed, as a pure function of (seed, stream, attempt).
+
+    blake2b over the canonical rendering — no global ``random`` state,
+    no process state, no ordering dependence.  The fuzz pipeline uses
+    the round index as ``stream`` (so seeds are independent of shard
+    assignment and ``--jobs``); callers partitioning by shard may pass a
+    shard index instead.
+    """
+    payload = f"{seed}:{stream}:{attempt}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RngChooser:
+    """Deterministic chooser over a :class:`random.Random` instance
+    seeded once — the pipeline's way of driving :func:`build_program`."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def integer(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def choice(self, options: Sequence):
+        return options[self._rng.randrange(len(options))]
+
+    def boolean(self) -> bool:
+        return self._rng.random() < 0.5
+
+
+def _event_cost(op: str, hit: bool, num_threads: int, mcm: bool) -> int:
+    if op == "r":
+        return 1 if (hit or mcm) else 2
+    if op == "w":
+        return 2 if (hit or mcm) else 3
+    if op == "rmw":
+        return (3 if not mcm else 2) + (0 if hit else 1 if not mcm else 0)
+    if op == "wpte":
+        return 1 + num_threads
+    return 1  # inv, fence
+
+
+def build_program(
+    chooser,
+    max_threads: int = 2,
+    max_events: int = 8,
+    mcm: bool = False,
+    allow_vm: bool = True,
+    allow_fences: bool = False,
+    op_bias: Sequence[str] = (),
+) -> Program:
+    """One well-formed transistency program, drawn through ``chooser``.
+
+    ``chooser`` is anything with ``integer(lo, hi)``, ``choice(seq)``,
+    and ``boolean()`` — an :class:`RngChooser` on the pipeline path, a
+    Hypothesis draw adapter on the property-test path.  ``op_bias``
+    extends the operation pool with extra (legal) tokens, raising their
+    selection probability — the coverage map's generation-profile hook.
+    """
+    num_threads = chooser.integer(1, max_threads)
+    builder = ProgramBuilder(initial_map=dict(INITIAL), mcm_mode=mcm)
+    threads = [builder.thread() for _ in range(num_threads)]
+    # Shadow TLB: (thread index, va) -> walk event for hit decisions.
+    live: dict[tuple[int, str], Event] = {}
+    budget = max_events
+
+    ops = ["r", "w"]
+    if allow_fences:
+        ops.append("fence")
+    if not mcm:
+        ops.append("rmw")
+        if allow_vm:
+            ops.extend(["inv", "wpte"])
+    ops.extend(op for op in op_bias if op in ops)
+
+    num_ops = chooser.integer(1, max(5, max_events))
+    for _ in range(num_ops):
+        tid = chooser.integer(0, num_threads - 1)
+        op = chooser.choice(ops)
+        va = chooser.choice(VAS)
+        want_hit = chooser.boolean()
+        hit = want_hit and (tid, va) in live and not mcm
+        cost = _event_cost(op, hit, num_threads, mcm)
+        if cost > budget:
+            continue
+        thread = threads[tid]
+        if op == "r" or op == "w":
+            walk = live[(tid, va)] if hit else None
+            event = (
+                thread.read(va, walk=walk)
+                if op == "r"
+                else thread.write(va, walk=walk)
+            )
+            if not mcm and not hit:
+                live[(tid, va)] = builder.walk_of(event)
+        elif op == "rmw":
+            walk = live[(tid, va)] if hit else None
+            read, _write = thread.rmw(va, walk=walk)
+            if not mcm and not hit:
+                live[(tid, va)] = builder.walk_of(read)
+        elif op == "fence":
+            thread.fence()
+        elif op == "inv":
+            # Spurious INVLPG: only useful surrounded by accesses, but
+            # structurally legal anywhere.
+            thread.invlpg(va)
+            live.pop((tid, va), None)
+        elif op == "wpte":
+            target = chooser.choice(
+                ["pa_fresh"] + [INITIAL[v] for v in VAS if v != va]
+            )
+            wpte = thread.pte_write(va, target)
+            live.pop((tid, va), None)
+            for other_tid, other in enumerate(threads):
+                if other is not thread:
+                    other.invlpg_for(wpte)
+                    live.pop((other_tid, va), None)
+        budget -= cost
+        if budget <= 0:
+            break
+    program = builder.build()
+    if program.size == 0:  # pragma: no cover - defensive
+        threads[0].read("x")
+        program = builder.build()
+    return program
+
+
+def build_vm_program(
+    chooser, max_threads: int = 2, max_events: int = 8
+) -> Program:
+    """A well-formed transistency program guaranteed to exercise the VM
+    vocabulary: at least one PTE write (with its remap IPI fan-out) rides
+    alongside whatever :func:`build_program` drew.  These are the inputs
+    where model differencing is interesting — catalog entries only
+    disagree through translation-visible behavior."""
+    program = build_program(
+        chooser, max_threads=max_threads, max_events=max(2, max_events - 3)
+    )
+    if any(e.kind is EventKind.PTE_WRITE for e in program.events.values()):
+        return program
+    # Rebuild with a remap appended to a drawn thread (builders are
+    # single-shot, so replay the original threads' user instructions;
+    # RMW pairs replay as plain read+write, TLB hits re-walk — both stay
+    # well-formed, which is all these inputs promise).
+    builder = ProgramBuilder(initial_map=dict(INITIAL))
+    threads = [builder.thread() for _ in range(len(program.threads))]
+    for thread, eids in zip(threads, program.threads):
+        for eid in eids:
+            event = program.events[eid]
+            if event.kind is EventKind.READ:
+                thread.read(event.va)
+            elif event.kind is EventKind.WRITE:
+                thread.write(event.va)
+            elif event.kind is EventKind.INVLPG:
+                thread.invlpg(event.va)
+            elif event.kind is EventKind.FENCE:
+                thread.fence()
+    target_thread = threads[chooser.integer(0, len(threads) - 1)]
+    wpte = target_thread.pte_write(chooser.choice(VAS), "pa_fresh")
+    for other in threads:
+        if other is not target_thread:
+            other.invlpg_for(wpte)
+    return builder.build()
+
+
+def random_program(
+    seed: int,
+    stream: int = 0,
+    attempt: int = 0,
+    **kwargs,
+) -> Program:
+    """The pipeline entry point: the program at (seed, stream, attempt),
+    built through a fresh :class:`RngChooser` over the derived seed."""
+    return build_program(RngChooser(derive_seed(seed, stream, attempt)), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies (the property-test surface; lazy import so the
+# pipeline never needs the test library)
+# ----------------------------------------------------------------------
+
+
+def _st():
+    from hypothesis import strategies as st
+
+    return st
+
+
+class DrawChooser:
+    """Adapter driving :func:`build_program` from a Hypothesis draw."""
+
+    def __init__(self, draw, st) -> None:
+        self._draw = draw
+        self._st = st
+
+    def integer(self, low: int, high: int) -> int:
+        return self._draw(self._st.integers(min_value=low, max_value=high))
+
+    def choice(self, options: Sequence):
+        return self._draw(self._st.sampled_from(list(options)))
+
+    def boolean(self) -> bool:
+        return self._draw(self._st.booleans())
+
+
+def programs(
+    max_threads: int = 2,
+    max_events: int = 8,
+    mcm: bool = False,
+    allow_vm: bool = True,
+    allow_fences: bool = False,
+):
+    """Whole well-formed transistency ``Program`` s (user accesses, RMWs,
+    spurious INVLPGs, PTE writes with remap IPI fan-out, optional
+    fences), as a Hypothesis strategy over :func:`build_program`."""
+    st = _st()
+
+    @st.composite
+    def _programs(draw) -> Program:
+        return build_program(
+            DrawChooser(draw, st),
+            max_threads=max_threads,
+            max_events=max_events,
+            mcm=mcm,
+            allow_vm=allow_vm,
+            allow_fences=allow_fences,
+        )
+
+    return _programs()
+
+
+def vm_programs(max_threads: int = 2, max_events: int = 8):
+    """Programs guaranteed to exercise the VM vocabulary (at least one
+    PTE write) — the interesting inputs for model-differencing
+    properties."""
+    st = _st()
+
+    @st.composite
+    def _vm_programs(draw) -> Program:
+        return build_vm_program(
+            DrawChooser(draw, st),
+            max_threads=max_threads,
+            max_events=max_events,
+        )
+
+    return _vm_programs()
+
+
+def catalog_model_names():
+    """A model name drawn from the catalog, in catalog order."""
+    from ..models import CATALOG
+
+    return _st().sampled_from(list(CATALOG))
+
+
+def catalog_model_pairs(distinct: bool = True):
+    """An ordered (reference, subject) pair of instantiated catalog
+    models."""
+    from ..models import CATALOG
+
+    st = _st()
+
+    @st.composite
+    def _pairs(draw):
+        names = list(CATALOG)
+        ref = draw(st.sampled_from(names))
+        pool = [n for n in names if n != ref] if distinct else names
+        sub = draw(st.sampled_from(pool))
+        return CATALOG[ref](), CATALOG[sub]()
+
+    return _pairs()
+
+
+def witness_lists(max_witnesses: int = 40, **program_kwargs):
+    """A program plus a prefix of its candidate-execution enumeration —
+    the shared input shape for metamorphic comparison properties."""
+    st = _st()
+
+    @st.composite
+    def _witness_lists(draw):
+        from ..synth import enumerate_witnesses
+
+        program = draw(programs(**program_kwargs))
+        witnesses = []
+        for index, witness in enumerate(enumerate_witnesses(program)):
+            witnesses.append(witness)
+            if index + 1 >= max_witnesses:
+                break
+        return program, witnesses
+
+    return _witness_lists()
+
+
+def executions(**program_kwargs):
+    """A random candidate execution: random program, random witness."""
+    from ..mtm import Execution
+
+    st = _st()
+
+    @st.composite
+    def _executions(draw) -> Execution:
+        program, witnesses = draw(witness_lists(**program_kwargs))
+        if not witnesses:  # pragma: no cover - every valid program has some
+            return Execution(program)
+        return draw(st.sampled_from(witnesses))
+
+    return _executions()

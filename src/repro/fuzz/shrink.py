@@ -1,0 +1,91 @@
+"""Greedy ELT shrinking: reduce a discriminating program to §IV-B form.
+
+A fuzz finding starts as a random bound-8-to-12 program that the oracle
+says discriminates (reference forbids a witness the subject permits).
+That raw program is a terrible regression test: it carries events the
+divergence never needed.  The shrinker walks the same relaxation lattice
+§IV-B minimality is defined over — closed removal groups and dropped
+RMW pairings from :func:`repro.synth.relax.relaxations` — greedily
+accepting any relaxation whose relaxed program *still discriminates*
+(one memoized :meth:`~repro.fuzz.oracle.DifferentialOracle.classify`
+per candidate), and stops as soon as the current program has a §IV-B
+minimal discriminating witness.  The result is judged once more in full
+to pick the representative execution — a finding in the exact format
+the enumerated suites use.
+
+Every accepted step strictly shrinks ``(|events|, |RMW pairings|)``, so
+descent terminates; ``max_steps`` is a defensive cap, not a tuning knob.
+A discriminating program that gets stuck before reaching minimality
+(every relaxation kills the divergence, yet no current witness is
+minimal) is counted in ``shrink_failed`` and dropped — the suite only
+ever contains §IV-B-minimal ELTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mtm import Program
+from ..obs import current_registry
+from ..synth.relax import relaxations, relaxed_program, without_rmw_pair
+from .oracle import DifferentialOracle, Judgment
+
+
+@dataclass
+class ShrinkOutcome:
+    """A shrink that reached §IV-B minimality."""
+
+    program: Program
+    judgment: Judgment
+    #: Accepted relaxation steps (0 = the input was already minimal).
+    steps: int
+
+
+def shrink(
+    program: Program,
+    oracle: DifferentialOracle,
+    max_steps: int = 64,
+) -> Optional[ShrinkOutcome]:
+    """Greedy descent from ``program`` to a §IV-B-minimal discriminating
+    ELT, or ``None`` when the input does not discriminate (or descent
+    gets stuck before minimality).
+
+    The first relaxation (in :func:`relaxations`'s deterministic order)
+    that preserves discrimination is accepted each round — a pure
+    function of the input program, so isomorphic inputs shrink to
+    isomorphic outputs whatever shard processed them.
+    """
+    summary = oracle.classify(program)
+    if not summary.discriminating:
+        return None
+    steps = 0
+    while steps <= max_steps:
+        if summary.minimal:
+            judgment = oracle.judge(program)
+            if judgment.execution is None:  # pragma: no cover - defensive
+                break
+            current_registry().inc("fuzz.shrunk", informational=True)
+            return ShrinkOutcome(program=program, judgment=judgment, steps=steps)
+        progressed = False
+        for group, dropped in relaxations(program):
+            candidate = (
+                without_rmw_pair(program, dropped)
+                if dropped is not None
+                else relaxed_program(program, group)
+            )
+            if candidate.size == 0:
+                continue
+            candidate_summary = oracle.classify(candidate)
+            if candidate_summary.discriminating:
+                program, summary = candidate, candidate_summary
+                steps += 1
+                oracle.stats.shrink_steps += 1
+                current_registry().inc("fuzz.shrink_steps", informational=True)
+                progressed = True
+                break
+        if not progressed:
+            break
+    oracle.stats.shrink_failed += 1
+    current_registry().inc("fuzz.shrink_failed", informational=True)
+    return None

@@ -13,7 +13,13 @@ from .compare import (
 from .figures import ALL_FIGURES, PaperExample
 from .format import format_execution, format_program, serialize_elt
 from .parser import parse_elt
-from .suitefile import EltSuite, SuiteEntry, suite_from_diff, suite_from_synthesis
+from .suitefile import (
+    EltSuite,
+    SuiteEntry,
+    suite_from_diff,
+    suite_from_fuzz,
+    suite_from_synthesis,
+)
 
 __all__ = [
     "ALL_FIGURES",
@@ -35,5 +41,6 @@ __all__ = [
     "EltSuite",
     "SuiteEntry",
     "suite_from_diff",
+    "suite_from_fuzz",
     "suite_from_synthesis",
 ]

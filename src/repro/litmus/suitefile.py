@@ -188,6 +188,37 @@ def suite_from_diff(cell, prefix: str = "diff") -> EltSuite:
     return suite
 
 
+def suite_from_fuzz(result, prefix: str = "fuzz") -> EltSuite:
+    """Package a :class:`~repro.fuzz.FuzzRunResult`'s shrunk findings as
+    a persistable suite.
+
+    Same shape as :func:`suite_from_diff` — each finding is a
+    reference-forbidden, subject-permitted, §IV-B-minimal ELT — with the
+    fuzz provenance added: the run seed, the shrunk program's event
+    bound, the winning attempt's shrink-step count, and the finding's
+    orbit-class digest (the corpus file name stem).  Findings arrive
+    deduplicated and rank-sorted from the runner, so the serialized
+    bytes are identical across ``--jobs`` and shard splits.
+    """
+    suite = EltSuite()
+    for index, finding in enumerate(result.findings, start=1):
+        suite.add(
+            f"{prefix}_{index:03d}",
+            finding.execution,
+            meta={
+                "reference": result.reference,
+                "subject": result.subject,
+                "violates": ",".join(finding.violated_axioms),
+                "bound": str(finding.program.size),
+                "agreement": "only-reference-forbids",
+                "seed": str(result.seed),
+                "shrink_steps": str(finding.shrink_steps),
+                "class": finding.digest,
+            },
+        )
+    return suite
+
+
 def suite_from_synthesis(result, prefix: str = "elt") -> EltSuite:
     """Package a :class:`~repro.synth.SuiteResult` as a persistable suite."""
     suite = EltSuite()

@@ -25,6 +25,8 @@ from .shards import (
 from .store import (
     KIND_DIFF_CELL,
     KIND_DIFF_SHARD,
+    KIND_FUZZ_RUN,
+    KIND_FUZZ_SHARD,
     KIND_SHARD,
     KIND_SUITE,
     SCHEMA_VERSION,
@@ -39,6 +41,8 @@ __all__ = [
     "DEFAULT_OVERSUBSCRIPTION",
     "KIND_DIFF_CELL",
     "KIND_DIFF_SHARD",
+    "KIND_FUZZ_RUN",
+    "KIND_FUZZ_SHARD",
     "KIND_SHARD",
     "KIND_SUITE",
     "MergeReport",

@@ -77,6 +77,12 @@ KIND_SUITE = "suite"
 # repro.conformance.runner.diff_identity.
 KIND_DIFF_SHARD = "diff-shard"
 KIND_DIFF_CELL = "diff-cell"
+# Coverage-guided fuzzing entries (payloads produced by repro.fuzz:
+# FuzzShardResult per (round, shard), FuzzRunResult per run).  Their
+# identity dicts come from repro.fuzz.config.fuzz_identity — seed,
+# bound, pair, and round/attempt schedule; see repro.fuzz.runner.
+KIND_FUZZ_SHARD = "fuzz-shard"
+KIND_FUZZ_RUN = "fuzz-run"
 
 
 def config_identity(config: SynthesisConfig) -> dict[str, Any]:

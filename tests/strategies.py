@@ -1,209 +1,40 @@
 """Hypothesis strategies for random valid ELT programs and executions.
 
-The generator mirrors the legality rules the builder enforces (TLB hits
-only on live entries, remap IPI fan-out to every core, one dirty-bit ghost
-per write), so every drawn program is well-formed by construction and the
-property tests exercise the *semantics*, not input validation.
+The generators now live in :mod:`repro.fuzz.generators` — the fuzzing
+pipeline owns them (seeded, pure-function-of-(seed, stream, attempt)
+generation with no global ``random`` state), and this module is a thin
+re-export so the property-test suite keeps its historical import path.
 
-Strategy menu:
+Strategy menu (see :mod:`repro.fuzz.generators` for docs):
 
-* :func:`programs` — whole well-formed transistency ``Program``\\ s (user
-  accesses, RMWs, spurious INVLPGs, PTE writes with remap IPI fan-out,
-  optional fences);
-* :func:`vm_programs` — programs guaranteed to exercise the VM
-  vocabulary (at least one PTE write), the interesting inputs for
-  model-differencing properties;
-* :func:`executions` — a random candidate execution of a random program;
-* :func:`witness_lists` — a program together with a prefix of its
-  candidate-execution enumeration (shared inputs for metamorphic
-  comparisons);
+* :func:`programs` / :func:`vm_programs` — well-formed transistency
+  programs (the VM variant guarantees at least one PTE write);
+* :func:`executions` / :func:`witness_lists` — candidate executions and
+  enumeration prefixes over random programs;
 * :func:`catalog_model_names` / :func:`catalog_model_pairs` — models
   drawn from the catalog, for properties quantified over model pairs.
 """
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
+from repro.fuzz.generators import (  # noqa: F401
+    INITIAL,
+    VAS,
+    catalog_model_names,
+    catalog_model_pairs,
+    executions,
+    programs,
+    vm_programs,
+    witness_lists,
+)
 
-from repro.models import CATALOG
-from repro.mtm import Event, EventKind, Execution, Program, ProgramBuilder
-
-VAS = ("x", "y")
-INITIAL = {"x": "pa_x", "y": "pa_y"}
-
-
-def _event_cost(op: str, hit: bool, num_threads: int, mcm: bool) -> int:
-    if op == "r":
-        return 1 if (hit or mcm) else 2
-    if op == "w":
-        return 2 if (hit or mcm) else 3
-    if op == "rmw":
-        return (3 if not mcm else 2) + (0 if hit else 1 if not mcm else 0)
-    if op == "wpte":
-        return 1 + num_threads
-    return 1  # inv, fence
-
-
-@st.composite
-def programs(
-    draw,
-    max_threads: int = 2,
-    max_events: int = 8,
-    mcm: bool = False,
-    allow_vm: bool = True,
-    allow_fences: bool = False,
-) -> Program:
-    num_threads = draw(st.integers(min_value=1, max_value=max_threads))
-    builder = ProgramBuilder(initial_map=dict(INITIAL), mcm_mode=mcm)
-    threads = [builder.thread() for _ in range(num_threads)]
-    # Shadow TLB: (thread index, va) -> walk event for hit decisions.
-    live: dict[tuple[int, str], Event] = {}
-    budget = max_events
-
-    ops = ["r", "w"]
-    if allow_fences:
-        ops.append("fence")
-    if not mcm:
-        ops.append("rmw")
-        if allow_vm:
-            ops.extend(["inv", "wpte"])
-
-    num_ops = draw(st.integers(min_value=1, max_value=5))
-    for _ in range(num_ops):
-        tid = draw(st.integers(min_value=0, max_value=num_threads - 1))
-        op = draw(st.sampled_from(ops))
-        va = draw(st.sampled_from(VAS))
-        want_hit = draw(st.booleans())
-        hit = want_hit and (tid, va) in live and not mcm
-        cost = _event_cost(op, hit, num_threads, mcm)
-        if cost > budget:
-            continue
-        thread = threads[tid]
-        if op == "r" or op == "w":
-            walk = live[(tid, va)] if hit else None
-            event = (
-                thread.read(va, walk=walk)
-                if op == "r"
-                else thread.write(va, walk=walk)
-            )
-            if not mcm and not hit:
-                live[(tid, va)] = builder.walk_of(event)
-        elif op == "rmw":
-            walk = live[(tid, va)] if hit else None
-            read, _write = thread.rmw(va, walk=walk)
-            if not mcm and not hit:
-                live[(tid, va)] = builder.walk_of(read)
-        elif op == "fence":
-            thread.fence()
-        elif op == "inv":
-            # Spurious INVLPG: only useful surrounded by accesses, but
-            # structurally legal anywhere.
-            thread.invlpg(va)
-            live.pop((tid, va), None)
-        elif op == "wpte":
-            target = draw(
-                st.sampled_from(
-                    ["pa_fresh"] + [INITIAL[v] for v in VAS if v != va]
-                )
-            )
-            wpte = thread.pte_write(va, target)
-            live.pop((tid, va), None)
-            for other_tid, other in enumerate(threads):
-                if other is not thread:
-                    other.invlpg_for(wpte)
-                    live.pop((other_tid, va), None)
-            cost += 0  # IPI costs were charged up front
-        budget -= cost
-        if budget <= 0:
-            break
-    # Ensure at least one event exists.
-    if not any(builder.build().threads for _ in [0]):  # pragma: no cover
-        threads[0].read("x")
-    program = builder.build()
-    if program.size == 0:  # pragma: no cover - defensive
-        threads[0].read("x")
-        program = builder.build()
-    return program
-
-
-@st.composite
-def vm_programs(draw, max_threads: int = 2, max_events: int = 8) -> Program:
-    """A well-formed transistency program guaranteed to exercise the VM
-    vocabulary: at least one PTE write (with its remap IPI fan-out) rides
-    alongside whatever :func:`programs` drew.  These are the inputs where
-    model differencing is interesting — catalog entries only disagree
-    through translation-visible behavior."""
-    program = draw(
-        programs(max_threads=max_threads, max_events=max(2, max_events - 3))
-    )
-    if any(
-        e.kind is EventKind.PTE_WRITE for e in program.events.values()
-    ):
-        return program
-    # Rebuild with a remap appended to a drawn thread (builders are
-    # single-shot, so replay the original threads' user instructions;
-    # RMW pairs replay as plain read+write, TLB hits re-walk — both stay
-    # well-formed, which is all these inputs promise).
-    builder = ProgramBuilder(initial_map=dict(INITIAL))
-    threads = [builder.thread() for _ in range(len(program.threads))]
-    for thread, eids in zip(threads, program.threads):
-        for eid in eids:
-            event = program.events[eid]
-            if event.kind is EventKind.READ:
-                thread.read(event.va)
-            elif event.kind is EventKind.WRITE:
-                thread.write(event.va)
-            elif event.kind is EventKind.INVLPG:
-                thread.invlpg(event.va)
-            elif event.kind is EventKind.FENCE:
-                thread.fence()
-    target_thread = threads[draw(st.integers(0, len(threads) - 1))]
-    wpte = target_thread.pte_write(
-        draw(st.sampled_from(VAS)), "pa_fresh"
-    )
-    for other in threads:
-        if other is not target_thread:
-            other.invlpg_for(wpte)
-    return builder.build()
-
-
-def catalog_model_names() -> st.SearchStrategy:
-    """A model name drawn from the catalog, in catalog order."""
-    return st.sampled_from(list(CATALOG))
-
-
-@st.composite
-def catalog_model_pairs(draw, distinct: bool = True):
-    """An ordered (reference, subject) pair of instantiated catalog
-    models."""
-    names = list(CATALOG)
-    ref = draw(st.sampled_from(names))
-    pool = [n for n in names if n != ref] if distinct else names
-    sub = draw(st.sampled_from(pool))
-    return CATALOG[ref](), CATALOG[sub]()
-
-
-@st.composite
-def witness_lists(
-    draw, max_witnesses: int = 40, **program_kwargs
-) -> tuple[Program, list[Execution]]:
-    """A program plus a prefix of its candidate-execution enumeration —
-    the shared input shape for metamorphic comparison properties."""
-    from repro.synth import enumerate_witnesses
-
-    program = draw(programs(**program_kwargs))
-    witnesses = []
-    for index, witness in enumerate(enumerate_witnesses(program)):
-        witnesses.append(witness)
-        if index + 1 >= max_witnesses:
-            break
-    return program, witnesses
-
-
-@st.composite
-def executions(draw, **program_kwargs) -> Execution:
-    """A random candidate execution: random program, random witness."""
-    _program, witnesses = draw(witness_lists(**program_kwargs))
-    if not witnesses:  # pragma: no cover - every valid program has some
-        return Execution(_program)
-    return draw(st.sampled_from(witnesses))
+__all__ = [
+    "INITIAL",
+    "VAS",
+    "catalog_model_names",
+    "catalog_model_pairs",
+    "executions",
+    "programs",
+    "vm_programs",
+    "witness_lists",
+]

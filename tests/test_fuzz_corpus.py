@@ -1,0 +1,123 @@
+"""The committed fuzz regression corpus (``corpus/``) stays honest.
+
+Three promises are pinned here:
+
+1. **Replay is green** — every committed entry still discriminates
+   (reference forbids, subject permits), is still §IV-B minimal, and its
+   recorded violated-axiom signature has not drifted.
+2. **The corpus is regenerable** — re-running the pinned-seed campaign
+   rewrites byte-identical files, so the committed bytes *are* the
+   fuzzer's deterministic output, not a hand-curated snapshot.
+3. **The fuzzer rediscovers the AMD INVLPG erratum** — a bound-8 random
+   campaign shrinks back into the enumerated suite: at least one finding
+   class coincides with a discriminator the exact diff pipeline
+   synthesizes at bound 5-6.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import DiffConfig, diff_models
+from repro.fuzz import FuzzConfig, replay_corpus, run_fuzz, write_corpus
+from repro.litmus.suitefile import EltSuite
+from repro.models import x86t_amd_bug, x86t_elt
+from repro.synth import SynthesisConfig
+from repro.synth.relax import is_minimal
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+#: The campaign that produced the committed corpus (the FuzzConfig
+#: defaults, spelled out so a default drift fails loudly here).
+PINNED = dict(seed=0, bound=8, rounds=2, attempts_per_round=64)
+
+
+@pytest.fixture(scope="module")
+def pinned_run():
+    return run_fuzz(FuzzConfig(**PINNED))
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_committed(self) -> None:
+        assert sorted(path.name for path in CORPUS_DIR.glob("*.elts")), (
+            "corpus/ must ship at least one .elts regression entry"
+        )
+
+    def test_replay_is_green(self) -> None:
+        report = replay_corpus(CORPUS_DIR)
+        assert report.entries >= 1
+        assert report.ok, report.failures
+
+    def test_entries_are_minimal_discriminators(self) -> None:
+        reference, subject = x86t_elt(), x86t_amd_bug()
+        for path in CORPUS_DIR.glob("*.elts"):
+            suite = EltSuite.load(path)
+            for entry in suite:
+                assert entry.meta["reference"] == reference.name
+                assert entry.meta["subject"] == subject.name
+                assert reference.forbids(entry.execution)
+                assert subject.permits(entry.execution)
+                assert is_minimal(entry.execution, reference)
+                assert int(entry.meta["bound"]) == entry.execution.program.size
+
+    def test_file_names_are_class_digests(self) -> None:
+        for path in CORPUS_DIR.glob("*.elts"):
+            suite = EltSuite.load(path)
+            (entry,) = list(suite)
+            assert entry.meta["class"] == path.stem
+            assert entry.name == f"fuzz_{path.stem}"
+
+
+class TestDeterministicRegeneration:
+    def test_pinned_campaign_rewrites_identical_bytes(
+        self, pinned_run, tmp_path
+    ) -> None:
+        regenerated = write_corpus(pinned_run, tmp_path)
+        committed = sorted(path.name for path in CORPUS_DIR.glob("*.elts"))
+        assert sorted(path.name for path in regenerated) == committed
+        for path in regenerated:
+            assert path.read_text() == (CORPUS_DIR / path.name).read_text(), (
+                f"corpus entry {path.name} drifted; regenerate with "
+                "`transform-synth fuzz --seed 0 --corpus corpus`"
+            )
+
+    def test_regenerated_corpus_replays_green(
+        self, pinned_run, tmp_path
+    ) -> None:
+        write_corpus(pinned_run, tmp_path)
+        report = replay_corpus(tmp_path)
+        assert report.entries == len(pinned_run.findings)
+        assert report.ok, report.failures
+
+
+class TestErratumRediscovery:
+    def test_bound8_campaign_rediscovers_the_invlpg_erratum(
+        self, pinned_run
+    ) -> None:
+        invlpg_findings = [
+            finding
+            for finding in pinned_run.findings
+            if "invlpg" in finding.violated_axioms
+        ]
+        assert invlpg_findings, "the pinned campaign must hit the erratum"
+        assert any(f.program.size <= 6 for f in invlpg_findings)
+
+    def test_findings_shrink_into_the_enumerated_suite(
+        self, pinned_run
+    ) -> None:
+        """At least one fuzz class coincides with a discriminator the
+        exact diff pipeline synthesizes — the fuzzer's random bound-8
+        programs shrink back *into* the enumerated bound-5/6 universe."""
+        enumerated_keys = set()
+        for bound in (5, 6):
+            cell = diff_models(
+                DiffConfig(
+                    base=SynthesisConfig(bound=bound, model=x86t_elt()),
+                    subject=x86t_amd_bug(),
+                )
+            )
+            enumerated_keys.update(elt.key for elt in cell.elts)
+        fuzz_keys = {finding.canonical_key for finding in pinned_run.findings}
+        assert fuzz_keys & enumerated_keys
